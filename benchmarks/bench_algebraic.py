@@ -1,0 +1,69 @@
+"""Experiment E10: cost of the algebraic normal form (flattening + matching, Fig. 3).
+
+Sweeps the length of an associative/commutative chain that has been fully
+reordered and re-associated between the two program versions; the matching
+step has to pair the operands by their output-input mappings, so its cost
+grows with the chain length.  Every variant must still verify well within the
+paper's bound.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.lang import parse_program
+from repro.transforms import reassociate_chain
+
+from conftest import run_once
+
+CHAIN_LENGTHS = [3, 5, 7, 9]
+
+
+def _chain_source(length: int) -> str:
+    terms = " + ".join(f"A[k + {i}]" for i in range(length))
+    return f"""
+    f(int A[], int C[])
+    {{
+        int k;
+        for (k = 0; k < 64; k++)
+    s1:     C[k] = {terms};
+    }}
+    """
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def bench_e10_reassociated_chain(benchmark, length, paper_threshold_seconds):
+    original = parse_program(_chain_source(length))
+    rng = random.Random(length)
+    order = list(range(length))
+    rng.shuffle(order)
+    transformed = reassociate_chain(original, "s1", order, left_assoc=False)
+    result = run_once(benchmark, check_equivalence, original, transformed, rounds=1)
+    assert result.equivalent
+    assert result.stats.matching_operations > 0
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+    benchmark.extra_info["chain_length"] = length
+
+
+@pytest.mark.parametrize("length", [4, 8])
+def bench_e10_commuted_products(benchmark, length, paper_threshold_seconds):
+    terms = " * ".join(f"A[k + {i}]" for i in range(length))
+    original = parse_program(
+        f"f(int A[], int C[]) {{ int k; for (k = 0; k < 64; k++) s1: C[k] = {terms}; }}"
+    )
+    rng = random.Random(length + 100)
+    order = list(range(length))
+    rng.shuffle(order)
+    transformed = reassociate_chain(original, "s1", order, op="*", left_assoc=True)
+    result = run_once(benchmark, check_equivalence, original, transformed, rounds=1)
+    assert result.equivalent
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+def bench_e10_basic_method_cost_on_same_pair(benchmark):
+    """The basic method fails fast on algebraic pairs (it stops at the first mismatch)."""
+    original = parse_program(_chain_source(6))
+    transformed = reassociate_chain(original, "s1", [5, 4, 3, 2, 1, 0], left_assoc=False)
+    result = run_once(benchmark, check_equivalence, original, transformed, method="basic", rounds=3)
+    assert not result.equivalent

@@ -1,0 +1,65 @@
+"""Experiments E1 / E4 / E5 / E6: the paper's running example (Fig. 1, N = 1024).
+
+Regenerates, with timings:
+
+* E1  — the pairwise verdicts of the four versions,
+* E4  — the basic method on (a) vs (b) (expression propagation + loop
+        transformations only, Section 5.1),
+* E5  — the extended method on (a) vs (c) (flattening + matching, Section 5.2),
+* E6  — the diagnostics for (a) vs (d) (Section 6.1): statements v1/v3 and
+        variable ``buf`` blamed, mismatch on the even output indices.
+"""
+
+import pytest
+
+from repro.checker import DiagnosticKind, check_equivalence
+from repro.workloads import fig1_program
+
+from conftest import run_once
+
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def versions():
+    return {name: fig1_program(name, N) for name in "abcd"}
+
+
+def bench_e4_basic_method_a_vs_b(benchmark, versions, paper_threshold_seconds):
+    result = run_once(benchmark, check_equivalence, versions["a"], versions["b"], method="basic", rounds=3)
+    assert result.equivalent
+    assert result.stats.paths_checked >= 8
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+def bench_e5_extended_method_a_vs_c(benchmark, versions, paper_threshold_seconds):
+    result = run_once(benchmark, check_equivalence, versions["a"], versions["c"], rounds=3)
+    assert result.equivalent
+    assert result.stats.flatten_operations > 0
+    assert result.stats.matching_operations > 0
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+def bench_e1_extended_method_b_vs_c(benchmark, versions):
+    result = run_once(benchmark, check_equivalence, versions["b"], versions["c"], rounds=3)
+    assert result.equivalent
+
+
+def bench_e1_extended_method_a_vs_b(benchmark, versions):
+    result = run_once(benchmark, check_equivalence, versions["a"], versions["b"], rounds=3)
+    assert result.equivalent
+
+
+def bench_e6_diagnose_a_vs_d(benchmark, versions, paper_threshold_seconds):
+    result = run_once(benchmark, check_equivalence, versions["a"], versions["d"], rounds=3)
+    assert not result.equivalent
+    mismatches = result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+    assert mismatches
+    assert all(d.suspect_arrays == ("buf",) for d in mismatches)
+    assert all({"v1", "v3"} <= set(d.suspect_statements) for d in mismatches)
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+def bench_e1_basic_method_rejects_algebraic_pair(benchmark, versions):
+    result = run_once(benchmark, check_equivalence, versions["a"], versions["c"], method="basic", rounds=3)
+    assert not result.equivalent

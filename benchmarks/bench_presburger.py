@@ -1,0 +1,67 @@
+"""Substrate micro-benchmarks: the integer set / relation operations (OMEGA substitute).
+
+Section 6.2 argues the cost of the integer tuple operations "can be safely
+assumed to be bound by a small constant as the lengths of the formulae ...
+are usually small".  These micro-benchmarks measure the operations the
+checker performs most often — composition, equality, subtraction with
+divisibility constraints, feasibility — at the formula sizes that actually
+occur, backing that claim for this reimplementation.
+"""
+
+import pytest
+
+from repro.presburger import parse_map, parse_set, transitive_closure
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def maps():
+    return {
+        "affine": parse_map("{ [k] -> [2k - 2] : 1 <= k <= 1024 }"),
+        "identity": parse_map("{ [k] -> [k] : 0 <= k < 1024 }"),
+        "strided": parse_map("{ [k] -> [k] : exists j : k = 2j and 0 <= k < 1024 }"),
+        "piecewise": parse_map("{ [k] -> [2k] : 0 <= k < 512 ; [k] -> [2k] : 512 <= k < 1024 }"),
+        "two_dim": parse_map("{ [i, j] -> [i, j - 1] : 0 <= i < 64 and 1 <= j < 16 }"),
+    }
+
+
+def bench_composition(benchmark, maps):
+    result = run_once(benchmark, maps["identity"].compose, maps["affine"], rounds=5)
+    assert not result.is_empty()
+
+
+def bench_equality_of_piecewise_maps(benchmark, maps):
+    whole = parse_map("{ [k] -> [2k] : 0 <= k < 1024 }")
+    equal = run_once(benchmark, maps["piecewise"].is_equal, whole, rounds=5)
+    assert equal
+
+
+def bench_subtraction_with_divisibility(benchmark, maps):
+    def subtract():
+        return maps["identity"].subtract(maps["strided"])
+
+    difference = run_once(benchmark, subtract, rounds=5)
+    assert not difference.is_empty()
+    assert difference.domain().contains([1])
+    assert not difference.domain().contains([2])
+
+
+def bench_domain_and_range(benchmark, maps):
+    def both():
+        return maps["affine"].domain(), maps["affine"].range()
+
+    domain, range_ = run_once(benchmark, both, rounds=5)
+    assert domain.contains([1]) and range_.contains([0])
+
+
+def bench_feasibility_of_parity_conflict(benchmark):
+    even = parse_set("{ [k] : exists i : k = 2i and 0 <= k < 4096 }")
+    odd = parse_set("{ [k] : exists i : k = 2i + 1 and 0 <= k < 4096 }")
+    empty = run_once(benchmark, even.intersect(odd).is_empty, rounds=5)
+    assert empty
+
+
+def bench_two_dimensional_closure(benchmark, maps):
+    closure, exact = run_once(benchmark, transitive_closure, maps["two_dim"], rounds=3)
+    assert exact

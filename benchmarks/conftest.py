@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark corresponds to an experiment of ``DESIGN.md`` / ``EXPERIMENTS.md``
+(the paper has no numbered result tables; its evaluation is the worked Fig. 1
+example, the diagnostics walk-through of Section 6.1 and the timing claims of
+Section 6.2).  The harness therefore both *times* the checks with
+pytest-benchmark and *asserts* the qualitative outcome the paper reports
+(which pairs are equivalent, what the diagnostics say, how the cost scales).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, rounds: int = 1, **kwargs):
+    """Benchmark *function* with a small fixed number of rounds.
+
+    Equivalence checks are deterministic, so a couple of rounds give a stable
+    median without making the harness take tens of minutes.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=rounds, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def paper_threshold_seconds() -> float:
+    """The paper's Section 6.2 bound: verification consistently under 100 s."""
+    return 100.0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: verify a simple loop + algebraic transformation in a few lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.checker import check_equivalence
+from repro.lang import program_to_text, parse_program
+
+ORIGINAL = """
+#define N 256
+scale_add(int A[], int B[], int C[])
+{
+    int k, tmp[N];
+    for (k = 0; k < N; k++)
+s1:     tmp[k] = A[k] + B[2*k];
+    for (k = 0; k < N; k++)
+s2:     C[k] = tmp[k] + A[k+1];
+}
+"""
+
+# The transformed version eliminates the temporary (expression propagation),
+# reverses the loop (loop transformation) and reorders the additions
+# (algebraic transformation relying on associativity + commutativity).
+TRANSFORMED = """
+#define N 256
+scale_add(int A[], int B[], int C[])
+{
+    int k;
+    for (k = N-1; k >= 0; k--)
+t1:     C[k] = (A[k+1] + B[2*k]) + A[k];
+}
+"""
+
+# An incorrectly transformed version: the designer mistyped one index.
+BROKEN = """
+#define N 256
+scale_add(int A[], int B[], int C[])
+{
+    int k;
+    for (k = N-1; k >= 0; k--)
+t1:     C[k] = (A[k+1] + B[2*k+1]) + A[k];
+}
+"""
+
+
+def main() -> None:
+    original = parse_program(ORIGINAL)
+    transformed = parse_program(TRANSFORMED)
+    broken = parse_program(BROKEN)
+
+    print("=== original ===")
+    print(program_to_text(original))
+    print("=== transformed ===")
+    print(program_to_text(transformed))
+
+    result = check_equivalence(original, transformed)
+    print("Verdict for the correct transformation:")
+    print(result.summary())
+    print()
+
+    result = check_equivalence(original, broken)
+    print("Verdict for the broken transformation:")
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Array data dependence graphs: structure, extraction, DOT export."""
+
+from .dot import addg_to_dot
+from .extractor import NEGATE_OP, build_addg, build_expr_node
+from .graph import ADDG, ConstNode, ExprNode, OpNode, ReadNode, StatementNode
+
+__all__ = [
+    "ADDG",
+    "ConstNode",
+    "ExprNode",
+    "NEGATE_OP",
+    "OpNode",
+    "ReadNode",
+    "StatementNode",
+    "addg_to_dot",
+    "build_addg",
+    "build_expr_node",
+]

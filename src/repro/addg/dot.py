@@ -1,0 +1,71 @@
+"""Graphviz (DOT) export of ADDGs, for visual inspection of Fig. 2-style graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .graph import ADDG, ConstNode, ExprNode, OpNode, ReadNode
+
+__all__ = ["addg_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\"", "\\\"")
+
+
+def addg_to_dot(addg: ADDG, name: str = "addg") -> str:
+    """Render the ADDG in Graphviz DOT syntax.
+
+    Array variables become boxes (inputs double-bordered, outputs bold),
+    operator occurrences become circles, and edges carry the statement label
+    (for array -> operator edges) or the operand position (for operator ->
+    operand edges), matching the conventions of Fig. 2 of the paper.
+    """
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+
+    array_names = addg.array_nodes()
+    for array in array_names:
+        shape = "box"
+        style = []
+        if addg.is_input(array):
+            style.append("peripheries=2")
+        if addg.is_output(array):
+            style.append("penwidth=2")
+        attributes = ", ".join([f'label="{_escape(array)}"', f"shape={shape}"] + style)
+        lines.append(f'  "arr_{_escape(array)}" [{attributes}];')
+
+    node_ids: Dict[int, str] = {}
+    counter = [0]
+
+    def node_id(node: ExprNode) -> str:
+        key = id(node)
+        if key not in node_ids:
+            counter[0] += 1
+            node_ids[key] = f"n{counter[0]}"
+        return node_ids[key]
+
+    def emit(node: ExprNode) -> str:
+        if isinstance(node, ReadNode):
+            return f"arr_{_escape(node.array)}"
+        if isinstance(node, ConstNode):
+            identifier = node_id(node)
+            lines.append(f'  "{identifier}" [label="{node.value}", shape=plaintext];')
+            return identifier
+        if isinstance(node, OpNode):
+            identifier = node_id(node)
+            lines.append(f'  "{identifier}" [label="{_escape(node.op)}", shape=circle];')
+            for position, child in enumerate(node.operands, start=1):
+                child_id = emit(child)
+                lines.append(f'  "{identifier}" -> "{child_id}" [label="{position}"];')
+            return identifier
+        raise TypeError(f"unexpected node type {type(node).__name__}")
+
+    for statement in addg.statements:
+        root_id = emit(statement.rhs)
+        lines.append(
+            f'  "arr_{_escape(statement.target)}" -> "{root_id}" '
+            f'[label="{_escape(statement.label)}", style=bold];'
+        )
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

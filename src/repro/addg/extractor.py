@@ -1,0 +1,82 @@
+"""ADDG extraction from a program in the allowed class (the "ADDG extractor" of Fig. 6)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.access import defined_set, dependency_map, write_access_map
+from ..analysis.domains import StatementContext, statement_contexts
+from ..lang.ast import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    IntConst,
+    Program,
+    UnaryOp,
+    VarRef,
+)
+from ..lang.errors import ProgramClassError
+from ..lang.validate import require_program_class
+from .graph import ADDG, ConstNode, ExprNode, OpNode, ReadNode, StatementNode
+
+__all__ = ["build_addg", "build_expr_node"]
+
+#: Display name used for the unary negation operator node.
+NEGATE_OP = "neg"
+
+
+def build_expr_node(
+    expr: Expr,
+    context: StatementContext,
+    path: Tuple[int, ...] = (),
+    position: int = 1,
+) -> ExprNode:
+    """Recursively convert a right-hand-side expression into ADDG nodes."""
+    if isinstance(expr, IntConst):
+        return ConstNode(expr.value)
+    if isinstance(expr, ArrayRef):
+        dependency = dependency_map(context, expr)
+        return ReadNode(expr.name, expr, dependency, context.label, path, position)
+    if isinstance(expr, BinOp):
+        operands = [
+            build_expr_node(expr.lhs, context, path + (1,), 1),
+            build_expr_node(expr.rhs, context, path + (2,), 2),
+        ]
+        return OpNode(expr.op, operands, context.label, path)
+    if isinstance(expr, UnaryOp):
+        operand = build_expr_node(expr.operand, context, path + (1,), 1)
+        return OpNode(NEGATE_OP, [operand], context.label, path)
+    if isinstance(expr, Call):
+        operands = [
+            build_expr_node(argument, context, path + (index + 1,), index + 1)
+            for index, argument in enumerate(expr.args)
+        ]
+        return OpNode(expr.func, operands, context.label, path)
+    if isinstance(expr, VarRef):
+        raise ProgramClassError(
+            f"statement {context.label!r}: scalar {expr.name!r} used as a data operand "
+            "(the allowed program class only reads array elements and constants)"
+        )
+    raise ProgramClassError(f"unsupported expression node {type(expr).__name__} in data position")
+
+
+def build_addg(program: Program, validate: bool = True) -> ADDG:
+    """Extract the ADDG of *program*.
+
+    When *validate* is true (the default) the program is first checked against
+    the allowed program class and a :class:`ProgramClassError` is raised for
+    violations; the geometric data-flow prerequisites (single assignment,
+    def-use order) are checked separately by :func:`repro.analysis.check_dataflow`
+    as in the verification scheme of Fig. 6.
+    """
+    if validate:
+        require_program_class(program)
+    contexts = statement_contexts(program)
+    statements: List[StatementNode] = []
+    for context in contexts:
+        rhs = build_expr_node(context.assignment.rhs, context)
+        write_map = write_access_map(context)
+        written = defined_set(context)
+        statements.append(StatementNode(context, rhs, write_map, written))
+    return ADDG(program, statements)

@@ -1,0 +1,120 @@
+"""Array access maps and dependency mappings.
+
+Given a :class:`~repro.analysis.domains.StatementContext`, this module builds
+
+* the **write access map** of the statement (iteration vector -> written
+  element),
+* **read access maps** for each array reference in the right-hand side,
+* the **defined set** (the elements of the target array written by the
+  statement), and
+* the paper's **dependency mappings**: relations from elements of the defined
+  array to the elements of an operand array read to compute them
+  (Section 3.2, e.g. ``M_buf,A2 = {[x] -> [y] : x = 2k-2 and y = k-1 and k in D}``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..presburger import AffineConstraint, LinExpr, Map, Set, eq_
+from ..lang.ast import ArrayRef
+from ..lang.affine import expr_to_affine
+from .domains import StatementContext
+
+__all__ = [
+    "element_dim_names",
+    "access_map",
+    "write_access_map",
+    "defined_set",
+    "dependency_map",
+]
+
+
+def element_dim_names(array: str, rank: int, prefix: str = "e") -> Tuple[str, ...]:
+    """Canonical dimension names for the element space of an array."""
+    return tuple(f"{prefix}{index}" for index in range(rank))
+
+
+def _iteration_dim_names(context: StatementContext) -> Tuple[str, ...]:
+    return context.iterators
+
+
+def access_map(context: StatementContext, ref: ArrayRef, prefix: str = "e") -> Map:
+    """The access map of *ref* inside *context*: iteration vector -> element.
+
+    The map is restricted to the statement's iteration domain.
+    """
+    iterators = _iteration_dim_names(context)
+    rank = len(ref.indices)
+    out_names = element_dim_names(ref.name, rank, prefix)
+    constraints: List[AffineConstraint] = []
+    for out_name, index_expr in zip(out_names, ref.indices):
+        constraints.append(eq_(LinExpr.var(out_name), expr_to_affine(index_expr)))
+    relation = Map.build(iterators, out_names, constraints)
+    return relation.restrict_domain(context.domain)
+
+
+def write_access_map(context: StatementContext) -> Map:
+    """The access map of the statement's assignment target."""
+    return access_map(context, context.assignment.target, prefix="w")
+
+
+def defined_set(context: StatementContext) -> Set:
+    """The set of elements of the target array written by the statement."""
+    return write_access_map(context).range()
+
+
+def dependency_map(context: StatementContext, ref: ArrayRef) -> Map:
+    """The dependency mapping from defined elements to the elements read by *ref*.
+
+    For the statement ``s`` with target access ``w(i)`` and the operand
+    reference ``r(i)``, this is ``{ w(i) -> r(i) : i in D_s }``, built directly
+    with the iteration vector as existential dimensions (the construction of
+    Section 3.2 of the paper).
+    """
+    iterators = list(_iteration_dim_names(context))
+    target = context.assignment.target
+    in_names = element_dim_names(target.name, len(target.indices), prefix="x")
+    out_names = element_dim_names(ref.name, len(ref.indices), prefix="y")
+
+    used = set(in_names) | set(out_names)
+    renaming = {}
+    for iterator in iterators:
+        fresh = iterator
+        while fresh in used:
+            fresh = f"{fresh}_it"
+        renaming[iterator] = fresh
+        used.add(fresh)
+
+    constraints: List[AffineConstraint] = []
+    for name, index_expr in zip(in_names, target.indices):
+        affine = expr_to_affine(index_expr).rename(renaming)
+        constraints.append(eq_(LinExpr.var(name), affine))
+    for name, index_expr in zip(out_names, ref.indices):
+        affine = expr_to_affine(index_expr).rename(renaming)
+        constraints.append(eq_(LinExpr.var(name), affine))
+
+    pieces: Optional[Map] = None
+    for conjunct in context.domain.conjuncts:
+        piece_constraints = list(constraints)
+        exists = [renaming[i] for i in iterators]
+        # Lower the domain conjunct into constraints over the renamed iterators.
+        div_names = [f"__dom_div{i}" for i in range(conjunct.n_div)]
+        exists = exists + div_names
+        order = [renaming[i] for i in iterators] + div_names
+        for eq in conjunct.eqs:
+            expr = _vector_to_linexpr(eq, order)
+            piece_constraints.append(AffineConstraint(expr, "=="))
+        for ineq in conjunct.ineqs:
+            expr = _vector_to_linexpr(ineq, order)
+            piece_constraints.append(AffineConstraint(expr, ">="))
+        piece = Map.build(in_names, out_names, piece_constraints, exists=exists)
+        pieces = piece if pieces is None else pieces.union(piece)
+    if pieces is None:
+        return Map.empty(in_names, out_names)
+    return pieces
+
+
+def _vector_to_linexpr(vector: Sequence[int], order: Sequence[str]) -> LinExpr:
+    coeffs = {name: coefficient for name, coefficient in zip(order, vector[:-1]) if coefficient}
+    return LinExpr(coeffs, vector[-1])

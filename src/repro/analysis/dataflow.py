@@ -1,0 +1,191 @@
+"""Array data-flow checks: single assignment, coverage, and def-use order.
+
+The verification scheme of Fig. 6 of the paper runs a *def-use checker* on
+both programs before equivalence checking, because the sufficient condition
+assumes the code is correctly scheduled ("all the reads for values follow
+their writes").  This module implements that prerequisite with standard array
+data-flow analysis on the statement contexts:
+
+* :func:`check_single_assignment` — every array element is written at most
+  once (the dynamic single-assignment property of the program class);
+* :func:`check_coverage` — every element read from a non-input array is
+  written by some statement (no reads of undefined values);
+* :func:`check_def_use_order` — every read happens after the write of the
+  element it reads, under the sequential schedule of the program;
+* :func:`check_dataflow` — all of the above, returning a list of issues.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..presburger import AffineConstraint, LinExpr, Map, Set, eq_, lt_
+from ..lang.ast import ArrayRef, Program, array_reads
+from .access import access_map, defined_set, write_access_map
+from .domains import StatementContext, statement_contexts
+
+__all__ = [
+    "check_single_assignment",
+    "check_coverage",
+    "check_def_use_order",
+    "check_dataflow",
+    "written_set_by_array",
+]
+
+
+def written_set_by_array(contexts: Sequence[StatementContext]) -> Dict[str, Set]:
+    """The union of written elements per array over all statements."""
+    result: Dict[str, Set] = {}
+    for context in contexts:
+        elements = defined_set(context)
+        name = context.target_array
+        if name in result:
+            result[name] = result[name].union(elements)
+        else:
+            result[name] = elements
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Single assignment
+# --------------------------------------------------------------------------- #
+def check_single_assignment(program: Program, contexts: Optional[Sequence[StatementContext]] = None) -> List[str]:
+    """Verify the dynamic single-assignment property at the element level."""
+    contexts = list(contexts) if contexts is not None else statement_contexts(program)
+    issues: List[str] = []
+    by_array: Dict[str, List[StatementContext]] = {}
+    for context in contexts:
+        by_array.setdefault(context.target_array, []).append(context)
+
+    for array, writers in by_array.items():
+        for index, writer in enumerate(writers):
+            write_map = write_access_map(writer)
+            if not write_map.is_injective():
+                issues.append(
+                    f"statement {writer.label!r} writes some element of {array!r} "
+                    "in more than one iteration (single-assignment violation)"
+                )
+            for other in writers[index + 1 :]:
+                if not defined_set(writer).is_disjoint(defined_set(other)):
+                    issues.append(
+                        f"statements {writer.label!r} and {other.label!r} both write "
+                        f"some element of {array!r} (single-assignment violation)"
+                    )
+    return issues
+
+
+# --------------------------------------------------------------------------- #
+# Coverage (no reads of undefined elements)
+# --------------------------------------------------------------------------- #
+def check_coverage(program: Program, contexts: Optional[Sequence[StatementContext]] = None) -> List[str]:
+    """Verify that every read of a non-input array reads a written element."""
+    contexts = list(contexts) if contexts is not None else statement_contexts(program)
+    issues: List[str] = []
+    inputs = set(program.input_arrays())
+    written = written_set_by_array(contexts)
+
+    for context in contexts:
+        for ref in array_reads(context.assignment.rhs):
+            if ref.name in inputs:
+                continue
+            read_elements = access_map(context, ref).range()
+            if read_elements.is_empty():
+                continue
+            available = written.get(ref.name)
+            if available is None:
+                issues.append(
+                    f"statement {context.label!r} reads {ref.name!r} which is never written"
+                )
+                continue
+            uncovered = read_elements.subtract(available.rename(read_elements.names))
+            if not uncovered.is_empty():
+                issues.append(
+                    f"statement {context.label!r} reads undefined elements of {ref.name!r}: {uncovered}"
+                )
+    return issues
+
+
+# --------------------------------------------------------------------------- #
+# Def-use order
+# --------------------------------------------------------------------------- #
+def _schedule_map(context: StatementContext, length: int, prefix: str) -> Map:
+    """Map from the statement's iteration vector to its (padded) timestamp vector."""
+    iterators = context.iterators
+    out_names = tuple(f"{prefix}{i}" for i in range(length))
+    constraints: List[AffineConstraint] = []
+    renaming = {it: f"{prefix}_{it}" for it in iterators}
+    in_names = tuple(renaming[it] for it in iterators)
+    for index in range(length):
+        if index < len(context.schedule):
+            expr = context.schedule[index].rename(renaming)
+        else:
+            expr = LinExpr.constant(0)
+        constraints.append(eq_(LinExpr.var(out_names[index]), expr))
+    relation = Map.build(in_names, out_names, constraints)
+    domain = context.domain.rename(in_names)
+    return relation.restrict_domain(domain)
+
+
+def _lexicographic_before(length: int) -> Map:
+    """The relation ``a lex< b`` over two timestamp vectors of the given length."""
+    a_names = tuple(f"a{i}" for i in range(length))
+    b_names = tuple(f"b{i}" for i in range(length))
+    result = Map.empty(a_names, b_names)
+    for position in range(length):
+        constraints: List[AffineConstraint] = []
+        for index in range(position):
+            constraints.append(eq_(LinExpr.var(a_names[index]), LinExpr.var(b_names[index])))
+        constraints.append(lt_(LinExpr.var(a_names[position]), LinExpr.var(b_names[position])))
+        result = result.union(Map.build(a_names, b_names, constraints))
+    return result
+
+
+def check_def_use_order(program: Program, contexts: Optional[Sequence[StatementContext]] = None) -> List[str]:
+    """Verify that every read of a written element executes after its write.
+
+    For each (writer statement, reader reference) pair on the same array, the
+    conflict relation ``{ i_w -> i_r : w(i_w) = r(i_r) }`` must be contained
+    in the happens-before relation derived from the ``2d+1`` schedules.
+    """
+    contexts = list(contexts) if contexts is not None else statement_contexts(program)
+    issues: List[str] = []
+    inputs = set(program.input_arrays())
+    writers_by_array: Dict[str, List[StatementContext]] = {}
+    for context in contexts:
+        writers_by_array.setdefault(context.target_array, []).append(context)
+
+    max_schedule = max((len(c.schedule) for c in contexts), default=0)
+
+    for reader in contexts:
+        for ref in array_reads(reader.assignment.rhs):
+            if ref.name in inputs or ref.name not in writers_by_array:
+                continue
+            read_map = access_map(reader, ref)
+            for writer in writers_by_array[ref.name]:
+                write_map = write_access_map(writer)
+                # conflict: writer iteration -> reader iteration touching the same element
+                conflict = write_map.compose(read_map.inverse())
+                if conflict.is_empty():
+                    continue
+                writer_schedule = _schedule_map(writer, max_schedule, "w")
+                reader_schedule = _schedule_map(reader, max_schedule, "r")
+                before = _lexicographic_before(max_schedule)
+                # writer iteration -> reader iteration pairs that are correctly ordered
+                ordered = writer_schedule.compose(before).compose(reader_schedule.inverse())
+                if not conflict.is_subset(ordered):
+                    violation = conflict.subtract(ordered)
+                    issues.append(
+                        f"statement {reader.label!r} reads elements of {ref.name!r} before "
+                        f"statement {writer.label!r} writes them (violating instances: {violation})"
+                    )
+    return issues
+
+
+def check_dataflow(program: Program) -> List[str]:
+    """Run all data-flow prerequisites of the verification scheme (Fig. 6)."""
+    contexts = statement_contexts(program)
+    issues: List[str] = []
+    issues.extend(check_single_assignment(program, contexts))
+    issues.extend(check_coverage(program, contexts))
+    issues.extend(check_def_use_order(program, contexts))
+    return issues

@@ -1,0 +1,138 @@
+"""Iteration domains and schedules of assignment statements.
+
+For every assignment statement the geometric analysis computes
+
+* the ordered tuple of enclosing loop iterators,
+* the **iteration domain**: the set of iterator vectors for which the
+  statement instance executes (loop bounds, strides and ``if`` guards),
+* a **schedule**: a ``2d+1``-style multidimensional timestamp (alternating
+  static statement positions and loop "time" expressions) used by the
+  def-use order checker.
+
+These are bundled in :class:`StatementContext`, the unit the ADDG extractor
+and the dependency-mapping construction work from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..presburger import AffineConstraint, LinExpr, Set
+from ..lang.ast import Assignment, ForLoop, IfThenElse, Program, Statement
+from ..lang.affine import (
+    condition_to_pieces,
+    expr_to_affine,
+    loop_constraints,
+    negated_condition_pieces,
+)
+
+__all__ = ["StatementContext", "statement_contexts"]
+
+
+class StatementContext:
+    """An assignment statement together with its geometric context."""
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        label: str,
+        iterators: Tuple[str, ...],
+        domain: Set,
+        schedule: Tuple[LinExpr, ...],
+        position: int,
+    ):
+        self.assignment = assignment
+        self.label = label
+        self.iterators = iterators
+        self.domain = domain
+        self.schedule = schedule
+        self.position = position
+
+    @property
+    def target_array(self) -> str:
+        return self.assignment.target.name
+
+    def __repr__(self) -> str:
+        return (
+            f"StatementContext({self.label!r}, target={self.target_array!r}, "
+            f"iterators={list(self.iterators)})"
+        )
+
+
+def statement_contexts(program: Program) -> List[StatementContext]:
+    """Compute the :class:`StatementContext` of every assignment in *program*."""
+    contexts: List[StatementContext] = []
+    fresh_counter = [0]
+
+    def fresh_label(assignment: Assignment) -> str:
+        if assignment.label:
+            return assignment.label
+        fresh_counter[0] += 1
+        return f"__stmt{fresh_counter[0]}"
+
+    def visit(
+        statements: Sequence[Statement],
+        iterators: List[str],
+        pieces: List[List[AffineConstraint]],
+        existentials: List[str],
+        schedule_prefix: List[LinExpr],
+    ) -> None:
+        for position, statement in enumerate(statements):
+            if isinstance(statement, Assignment):
+                domain = Set.empty(tuple(iterators)) if iterators else Set.empty(())
+                built = None
+                for piece in pieces:
+                    piece_set = Set.build(tuple(iterators), piece, exists=tuple(existentials))
+                    built = piece_set if built is None else built.union(piece_set)
+                domain = built if built is not None else Set.universe(tuple(iterators))
+                schedule = tuple(schedule_prefix + [LinExpr.constant(position)])
+                contexts.append(
+                    StatementContext(
+                        statement,
+                        fresh_label(statement),
+                        tuple(iterators),
+                        domain,
+                        schedule,
+                        position,
+                    )
+                )
+            elif isinstance(statement, ForLoop):
+                constraints, extra_exists = loop_constraints(
+                    statement.var, statement.init, statement.cond_op, statement.bound, statement.step
+                )
+                new_pieces = [piece + constraints for piece in pieces]
+                init_affine = expr_to_affine(statement.init)
+                direction = 1 if statement.step > 0 else -1
+                time_expr = (LinExpr.var(statement.var) - init_affine) * direction
+                visit(
+                    statement.body,
+                    iterators + [statement.var],
+                    new_pieces,
+                    existentials + extra_exists,
+                    schedule_prefix + [LinExpr.constant(position), time_expr],
+                )
+            elif isinstance(statement, IfThenElse):
+                then_pieces = condition_to_pieces(statement.condition)
+                combined_then = [piece + extra for piece in pieces for extra in then_pieces]
+                visit(
+                    statement.then_body,
+                    iterators,
+                    combined_then,
+                    existentials,
+                    schedule_prefix + [LinExpr.constant(position)],
+                )
+                if statement.else_body:
+                    else_pieces = negated_condition_pieces(statement.condition)
+                    combined_else = [piece + extra for piece in pieces for extra in else_pieces]
+                    visit(
+                        statement.else_body,
+                        iterators,
+                        combined_else,
+                        existentials,
+                        schedule_prefix + [LinExpr.constant(position)],
+                    )
+            else:
+                raise TypeError(f"unsupported statement type {type(statement).__name__}")
+
+    visit(program.body, [], [[]], [], [])
+    return contexts

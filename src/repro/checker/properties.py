@@ -1,0 +1,83 @@
+"""Operator property declarations (associativity / commutativity).
+
+The algebraic data-flow transformations the paper handles rely on the
+associativity and/or commutativity of operators such as fixed-point addition
+and multiplication (Section 4).  The checker consults an
+:class:`OperatorRegistry` to know which operators admit which algebraic laws;
+the registry can be extended with declarations for user-defined functions
+(the "operator property declarations" optional input of Fig. 6).
+
+The *basic* method of the paper (Section 5.1, our reproduction of [11])
+corresponds to checking with an empty registry: no operator is assumed
+associative or commutative, so only expression propagation and loop
+transformations can be verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["OperatorProperties", "OperatorRegistry", "default_registry", "empty_registry"]
+
+
+@dataclass(frozen=True)
+class OperatorProperties:
+    """Algebraic properties declared for one operator."""
+
+    associative: bool = False
+    commutative: bool = False
+
+    @property
+    def is_algebraic(self) -> bool:
+        """True when at least one algebraic law applies."""
+        return self.associative or self.commutative
+
+
+class OperatorRegistry:
+    """A mapping from operator names to their declared algebraic properties."""
+
+    def __init__(self, properties: Optional[Mapping[str, OperatorProperties]] = None):
+        self._properties: Dict[str, OperatorProperties] = dict(properties or {})
+
+    def declare(self, op: str, *, associative: bool = False, commutative: bool = False) -> None:
+        """Declare (or overwrite) the properties of *op*."""
+        self._properties[op] = OperatorProperties(associative, commutative)
+
+    def get(self, op: str) -> OperatorProperties:
+        """The declared properties of *op* (no properties if undeclared)."""
+        return self._properties.get(op, OperatorProperties())
+
+    def __contains__(self, op: str) -> bool:
+        return op in self._properties
+
+    def items(self) -> Iterable[Tuple[str, OperatorProperties]]:
+        return self._properties.items()
+
+    def copy(self) -> "OperatorRegistry":
+        return OperatorRegistry(self._properties)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{op}:{'A' if p.associative else ''}{'C' if p.commutative else ''}"
+            for op, p in sorted(self._properties.items())
+        )
+        return f"OperatorRegistry({entries})"
+
+
+def default_registry() -> OperatorRegistry:
+    """The default declarations: ``+`` and ``*`` are associative and commutative.
+
+    Following the paper, fixed-point integer addition and multiplication are
+    treated as associative and commutative modulo overflow; subtraction,
+    division and uninterpreted function calls admit no algebraic laws.
+    """
+    registry = OperatorRegistry()
+    registry.declare("+", associative=True, commutative=True)
+    registry.declare("*", associative=True, commutative=True)
+    return registry
+
+
+def empty_registry() -> OperatorRegistry:
+    """A registry with no algebraic laws (the *basic* method of Section 5.1)."""
+    return OperatorRegistry()

@@ -1,0 +1,185 @@
+"""Checker verdicts, statistics and error diagnostics.
+
+The checker never simply answers "no": every failed check produces a
+:class:`Diagnostic` carrying the kind of mismatch, the statements and arrays
+involved on both sides, the conflicting dependency mappings and the output
+domain on which they disagree, plus suspect statements/variables derived by
+the heuristic of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Diagnostic", "CheckStats", "OutputReport", "EquivalenceResult", "DiagnosticKind"]
+
+
+class DiagnosticKind:
+    """Symbolic names of the diagnostic categories emitted by the checker."""
+
+    PRECONDITION = "precondition"
+    OUTPUT_MISSING = "output-missing"
+    DOMAIN_MISMATCH = "output-domain-mismatch"
+    UNDEFINED_READ = "undefined-read"
+    OPERATOR_MISMATCH = "operator-mismatch"
+    LEAF_MISMATCH = "leaf-mismatch"
+    CONSTANT_MISMATCH = "constant-mismatch"
+    MAPPING_MISMATCH = "mapping-mismatch"
+    OPERAND_COUNT_MISMATCH = "operand-count-mismatch"
+    SIGNATURE_MISMATCH = "signature-mismatch"
+    MATCHING_FAILURE = "matching-failure"
+    KIND_MISMATCH = "kind-mismatch"
+    UNSUPPORTED = "unsupported"
+
+    ALL = (
+        PRECONDITION,
+        OUTPUT_MISSING,
+        DOMAIN_MISMATCH,
+        UNDEFINED_READ,
+        OPERATOR_MISMATCH,
+        LEAF_MISMATCH,
+        CONSTANT_MISMATCH,
+        MAPPING_MISMATCH,
+        OPERAND_COUNT_MISMATCH,
+        SIGNATURE_MISMATCH,
+        MATCHING_FAILURE,
+        KIND_MISMATCH,
+        UNSUPPORTED,
+    )
+
+
+@dataclass
+class Diagnostic:
+    """A single piece of error feedback for the designer."""
+
+    kind: str
+    message: str
+    output_array: Optional[str] = None
+    original_statements: Tuple[str, ...] = ()
+    transformed_statements: Tuple[str, ...] = ()
+    original_arrays: Tuple[str, ...] = ()
+    transformed_arrays: Tuple[str, ...] = ()
+    original_mapping: Optional[str] = None
+    transformed_mapping: Optional[str] = None
+    mismatch_domain: Optional[str] = None
+    original_path: Tuple[str, ...] = ()
+    transformed_path: Tuple[str, ...] = ()
+    suspect_statements: Tuple[str, ...] = ()
+    suspect_arrays: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        """A multi-line human readable rendering of the diagnostic."""
+        lines = [f"[{self.kind}] {self.message}"]
+        if self.output_array:
+            lines.append(f"  output array      : {self.output_array}")
+        if self.original_statements:
+            lines.append(f"  original stmts    : {', '.join(self.original_statements)}")
+        if self.transformed_statements:
+            lines.append(f"  transformed stmts : {', '.join(self.transformed_statements)}")
+        if self.original_mapping:
+            lines.append(f"  original mapping  : {self.original_mapping}")
+        if self.transformed_mapping:
+            lines.append(f"  transformed mapping: {self.transformed_mapping}")
+        if self.mismatch_domain:
+            lines.append(f"  mismatch domain   : {self.mismatch_domain}")
+        if self.original_path:
+            lines.append(f"  original path     : {' -> '.join(self.original_path)}")
+        if self.transformed_path:
+            lines.append(f"  transformed path  : {' -> '.join(self.transformed_path)}")
+        if self.suspect_statements:
+            lines.append(f"  suspect statements: {', '.join(self.suspect_statements)}")
+        if self.suspect_arrays:
+            lines.append(f"  suspect variables : {', '.join(self.suspect_arrays)}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass
+class CheckStats:
+    """Work counters of one equivalence check (used by the benchmarks)."""
+
+    elapsed_seconds: float = 0.0
+    compare_calls: int = 0
+    leaf_comparisons: int = 0
+    paths_checked: int = 0
+    table_hits: int = 0
+    table_entries: int = 0
+    flatten_operations: int = 0
+    matching_operations: int = 0
+    assumption_uses: int = 0
+    original_addg_size: int = 0
+    transformed_addg_size: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "compare_calls": self.compare_calls,
+            "leaf_comparisons": self.leaf_comparisons,
+            "paths_checked": self.paths_checked,
+            "table_hits": self.table_hits,
+            "table_entries": self.table_entries,
+            "flatten_operations": self.flatten_operations,
+            "matching_operations": self.matching_operations,
+            "assumption_uses": self.assumption_uses,
+            "original_addg_size": self.original_addg_size,
+            "transformed_addg_size": self.transformed_addg_size,
+        }
+
+
+@dataclass
+class OutputReport:
+    """The per-output-array verdict of a check."""
+
+    array: str
+    equivalent: bool
+    checked_domain: Optional[str] = None
+    failing_domain: Optional[str] = None
+
+
+@dataclass
+class EquivalenceResult:
+    """The overall verdict of one equivalence check."""
+
+    equivalent: bool
+    outputs: List[OutputReport] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    stats: CheckStats = field(default_factory=CheckStats)
+    method: str = "extended"
+
+    def failures(self) -> List[Diagnostic]:
+        return list(self.diagnostics)
+
+    def diagnostics_of_kind(self, kind: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.kind == kind]
+
+    def summary(self) -> str:
+        """A compact human readable report (what the CLI prints)."""
+        lines = []
+        verdict = "EQUIVALENT" if self.equivalent else "NOT PROVEN EQUIVALENT"
+        lines.append(f"{verdict}  (method: {self.method})")
+        for report in self.outputs:
+            status = "ok" if report.equivalent else "FAILED"
+            line = f"  output {report.array}: {status}"
+            if report.failing_domain and not report.equivalent:
+                line += f"  (failing on {report.failing_domain})"
+            lines.append(line)
+        if self.diagnostics:
+            lines.append(f"  {len(self.diagnostics)} diagnostic(s):")
+            for diagnostic in self.diagnostics:
+                for text_line in diagnostic.format().splitlines():
+                    lines.append("    " + text_line)
+        lines.append(
+            "  stats: "
+            f"{self.stats.paths_checked} path(s), {self.stats.compare_calls} compare call(s), "
+            f"{self.stats.table_hits} table hit(s), {self.stats.elapsed_seconds:.3f} s"
+        )
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def __str__(self) -> str:
+        return self.summary()

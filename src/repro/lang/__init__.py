@@ -1,0 +1,93 @@
+"""The mini-C frontend: AST, parser, printer, validator, interpreter, builder.
+
+The language is the allowed program class of Section 3.1 of the paper:
+single-assignment functions over integer arrays with static affine control
+flow and explicit indexing.  The Fig. 1 programs of the paper parse verbatim
+with :func:`parse_program`.
+"""
+
+from .ast import (
+    And,
+    ArrayDecl,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Comparison,
+    Condition,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    IntConst,
+    Program,
+    Statement,
+    UnaryOp,
+    VarRef,
+    array_reads,
+    map_expr,
+    substitute_vars,
+    walk_expr,
+)
+from .affine import (
+    condition_to_pieces,
+    expr_to_affine,
+    loop_constraints,
+    negated_condition_pieces,
+)
+from .builder import ProgramBuilder
+from .errors import (
+    InterpreterError,
+    LangError,
+    LexError,
+    NotAffineError,
+    ParseSyntaxError,
+    ProgramClassError,
+)
+from .interpreter import outputs_equal, random_input_provider, run_program
+from .parser import parse_program
+from .printer import condition_to_text, expr_to_text, program_to_text, statement_to_text
+from .validate import check_program_class, require_program_class
+
+__all__ = [
+    "And",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assignment",
+    "BinOp",
+    "Call",
+    "Comparison",
+    "Condition",
+    "Expr",
+    "ForLoop",
+    "IfThenElse",
+    "IntConst",
+    "InterpreterError",
+    "LangError",
+    "LexError",
+    "NotAffineError",
+    "ParseSyntaxError",
+    "Program",
+    "ProgramBuilder",
+    "ProgramClassError",
+    "Statement",
+    "UnaryOp",
+    "VarRef",
+    "array_reads",
+    "check_program_class",
+    "condition_to_pieces",
+    "condition_to_text",
+    "expr_to_affine",
+    "expr_to_text",
+    "loop_constraints",
+    "map_expr",
+    "negated_condition_pieces",
+    "outputs_equal",
+    "parse_program",
+    "program_to_text",
+    "random_input_provider",
+    "require_program_class",
+    "run_program",
+    "statement_to_text",
+    "substitute_vars",
+    "walk_expr",
+]

@@ -1,0 +1,174 @@
+"""Bridging the AST's affine fragment to the Presburger library.
+
+Index expressions, loop bounds and ``if`` conditions of the allowed program
+class are (piece-wise) affine in the enclosing loop iterators.  This module
+converts them to :class:`~repro.presburger.linexpr.LinExpr` values and
+constraint lists so that the geometric analyses can build iteration domains
+and access maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..presburger import AffineConstraint, LinExpr, eq_, ge_, gt_, le_, lt_
+from .ast import (
+    And,
+    ArrayRef,
+    BinOp,
+    Call,
+    Comparison,
+    Condition,
+    Expr,
+    IntConst,
+    UnaryOp,
+    VarRef,
+)
+from .errors import NotAffineError
+
+__all__ = [
+    "expr_to_affine",
+    "comparison_to_constraints",
+    "condition_to_pieces",
+    "negated_condition_pieces",
+    "loop_constraints",
+]
+
+
+def expr_to_affine(expr: Expr, constants: Optional[Dict[str, int]] = None) -> LinExpr:
+    """Convert an AST expression to an affine :class:`LinExpr`.
+
+    Scalar variable references become affine variables; ``#define`` constants
+    can be supplied through *constants*.  Raises :class:`NotAffineError` when
+    the expression involves array reads, calls, division, or non-linear
+    products.
+    """
+    constants = constants or {}
+    if isinstance(expr, IntConst):
+        return LinExpr.constant(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name in constants:
+            return LinExpr.constant(constants[expr.name])
+        return LinExpr.var(expr.name)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return -expr_to_affine(expr.operand, constants)
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return expr_to_affine(expr.lhs, constants) + expr_to_affine(expr.rhs, constants)
+        if expr.op == "-":
+            return expr_to_affine(expr.lhs, constants) - expr_to_affine(expr.rhs, constants)
+        if expr.op == "*":
+            lhs = expr_to_affine(expr.lhs, constants)
+            rhs = expr_to_affine(expr.rhs, constants)
+            if lhs.is_constant():
+                return rhs * lhs.const
+            if rhs.is_constant():
+                return lhs * rhs.const
+            raise NotAffineError(f"non-linear product in affine context: {expr!r}")
+        raise NotAffineError(f"operator {expr.op!r} is not affine")
+    if isinstance(expr, (ArrayRef, Call)):
+        raise NotAffineError(f"{type(expr).__name__} is not allowed in an affine context: {expr!r}")
+    raise NotAffineError(f"cannot convert {expr!r} to an affine expression")
+
+
+def comparison_to_constraints(
+    comparison: Comparison, constants: Optional[Dict[str, int]] = None
+) -> List[List[AffineConstraint]]:
+    """Lower a comparison to a disjunction (list) of conjunctions (inner lists)."""
+    lhs = expr_to_affine(comparison.lhs, constants)
+    rhs = expr_to_affine(comparison.rhs, constants)
+    if comparison.op == "<":
+        return [[lt_(lhs, rhs)]]
+    if comparison.op == "<=":
+        return [[le_(lhs, rhs)]]
+    if comparison.op == ">":
+        return [[gt_(lhs, rhs)]]
+    if comparison.op == ">=":
+        return [[ge_(lhs, rhs)]]
+    if comparison.op == "==":
+        return [[eq_(lhs, rhs)]]
+    if comparison.op == "!=":
+        return [[lt_(lhs, rhs)], [gt_(lhs, rhs)]]
+    raise ValueError(f"unknown comparison operator {comparison.op!r}")
+
+
+def condition_to_pieces(
+    condition: Condition, constants: Optional[Dict[str, int]] = None
+) -> List[List[AffineConstraint]]:
+    """Lower a condition to disjunctive normal form over affine constraints."""
+    if isinstance(condition, Comparison):
+        return comparison_to_constraints(condition, constants)
+    if isinstance(condition, And):
+        pieces: List[List[AffineConstraint]] = [[]]
+        for part in condition.parts:
+            part_pieces = condition_to_pieces(part, constants)
+            pieces = [existing + new for existing in pieces for new in part_pieces]
+        return pieces
+    raise TypeError(f"unsupported condition node {type(condition).__name__}")
+
+
+def negated_condition_pieces(
+    condition: Condition, constants: Optional[Dict[str, int]] = None
+) -> List[List[AffineConstraint]]:
+    """DNF of the *negation* of a condition (used for ``else`` branches)."""
+    if isinstance(condition, Comparison):
+        return comparison_to_constraints(condition.negated(), constants)
+    if isinstance(condition, And):
+        # not (a and b and ...)  =  (not a) or (a and not b) or ...
+        pieces: List[List[AffineConstraint]] = []
+        prefix: List[List[AffineConstraint]] = [[]]
+        for part in condition.parts:
+            negated = negated_condition_pieces(part, constants)
+            pieces.extend(
+                existing + negative for existing in prefix for negative in negated
+            )
+            positive = condition_to_pieces(part, constants)
+            prefix = [existing + pos for existing in prefix for pos in positive]
+        return pieces
+    raise TypeError(f"unsupported condition node {type(condition).__name__}")
+
+
+def loop_constraints(
+    var: str,
+    init: Expr,
+    cond_op: str,
+    bound: Expr,
+    step: int,
+    constants: Optional[Dict[str, int]] = None,
+) -> Tuple[List[AffineConstraint], List[str]]:
+    """Constraints describing the iteration values of a ``for`` loop.
+
+    Returns ``(constraints, existentials)``.  For unit steps the constraints
+    involve only the loop variable and the bounds; for larger steps a fresh
+    existential trip-count variable ``__t_<var>`` expresses the stride:
+    ``var = init + step * t  and  t >= 0``.
+    """
+    init_expr = expr_to_affine(init, constants)
+    bound_expr = expr_to_affine(bound, constants)
+    variable = LinExpr.var(var)
+    constraints: List[AffineConstraint] = []
+    existentials: List[str] = []
+
+    if cond_op == "<":
+        constraints.append(lt_(variable, bound_expr))
+    elif cond_op == "<=":
+        constraints.append(le_(variable, bound_expr))
+    elif cond_op == ">":
+        constraints.append(gt_(variable, bound_expr))
+    elif cond_op == ">=":
+        constraints.append(ge_(variable, bound_expr))
+    else:
+        raise ValueError(f"unsupported loop condition operator {cond_op!r}")
+
+    if step > 0:
+        constraints.append(ge_(variable, init_expr))
+    else:
+        constraints.append(le_(variable, init_expr))
+
+    if abs(step) != 1:
+        trip = f"__t_{var}"
+        existentials.append(trip)
+        constraints.append(eq_(variable, init_expr + step * LinExpr.var(trip)))
+        constraints.append(ge_(LinExpr.var(trip), 0))
+
+    return constraints, existentials

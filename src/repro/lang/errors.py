@@ -1,0 +1,25 @@
+"""Exceptions raised by the mini-C frontend."""
+
+
+class LangError(Exception):
+    """Base class for all frontend errors."""
+
+
+class LexError(LangError):
+    """Raised when the source text cannot be tokenized or a token is unexpected."""
+
+
+class ParseSyntaxError(LangError):
+    """Raised when the token stream does not form a valid program."""
+
+
+class NotAffineError(LangError):
+    """Raised when an expression required to be affine is not."""
+
+
+class ProgramClassError(LangError):
+    """Raised when a program falls outside the allowed program class (Section 3.1)."""
+
+
+class InterpreterError(LangError):
+    """Raised by the reference interpreter (e.g. reading an unwritten element)."""

@@ -1,0 +1,258 @@
+"""Reference interpreter (executable semantics) for the mini-C AST.
+
+The interpreter provides the ground truth that the equivalence checker's
+verdicts are cross-validated against in the test-suite: two programs that the
+checker declares equivalent must produce identical outputs for any common
+input, and a reported inequivalence must be witnessed by some input (the
+Fig. 1(d) error, for instance, shows up on every even output index).
+
+Arrays are represented sparsely as ``dict`` objects keyed by index tuples so
+that reads of never-written elements are detected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .ast import (
+    And,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Comparison,
+    Condition,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    IntConst,
+    Program,
+    Statement,
+    UnaryOp,
+    VarRef,
+)
+from .errors import InterpreterError
+
+__all__ = ["run_program", "random_input_provider", "outputs_equal", "InputProvider"]
+
+InputProvider = Callable[[str, Tuple[int, ...]], int]
+
+
+_DEFAULT_FUNCTIONS: Dict[str, Callable[..., int]] = {
+    "abs": lambda x: abs(x),
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+    "min3": lambda a, b, c: min(a, b, c),
+    "sq": lambda x: x * x,
+    "clip": lambda x, lo, hi: max(lo, min(hi, x)),
+}
+
+
+def random_input_provider(seed: int = 0, low: int = -100, high: int = 100) -> InputProvider:
+    """A deterministic pseudo-random input provider.
+
+    The value of element ``A[i, j]`` depends only on the array name, the index
+    tuple and the seed, so two programs reading the same abstract input see
+    exactly the same values regardless of their access order.
+    """
+
+    span = high - low + 1
+
+    def provider(name: str, index: Tuple[int, ...]) -> int:
+        key = f"{seed}:{name}:{','.join(str(i) for i in index)}".encode()
+        digest = hashlib.sha256(key).digest()
+        return low + int.from_bytes(digest[:4], "little") % span
+
+    return provider
+
+
+class _Machine:
+    def __init__(
+        self,
+        program: Program,
+        inputs: Union[Mapping[str, object], InputProvider],
+        functions: Optional[Mapping[str, Callable[..., int]]] = None,
+        check_single_assignment: bool = False,
+    ):
+        self.program = program
+        self.functions = dict(_DEFAULT_FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+        self.check_single_assignment = check_single_assignment
+        self.scalars: Dict[str, int] = {}
+        self.arrays: Dict[str, Dict[Tuple[int, ...], int]] = {}
+        self.input_names = set(program.input_arrays())
+        self.output_names = set(program.output_arrays())
+
+        for name in program.declarations():
+            self.arrays[name] = {}
+
+        if callable(inputs) and not isinstance(inputs, Mapping):
+            self.input_provider: Optional[InputProvider] = inputs
+        else:
+            self.input_provider = None
+            for name, data in dict(inputs).items():
+                self.arrays.setdefault(name, {})
+                self.arrays[name].update(_flatten_array(name, data))
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Dict[str, Dict[Tuple[int, ...], int]]:
+        for statement in self.program.body:
+            self._execute(statement)
+        return {name: dict(self.arrays[name]) for name in self.output_names}
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, statement: Statement) -> None:
+        if isinstance(statement, Assignment):
+            indices = tuple(self._eval(index) for index in statement.target.indices)
+            value = self._eval(statement.rhs)
+            target = self.arrays.setdefault(statement.target.name, {})
+            if self.check_single_assignment and indices in target:
+                raise InterpreterError(
+                    f"single-assignment violation: {statement.target.name}{list(indices)} written twice"
+                )
+            target[indices] = value
+            return
+        if isinstance(statement, ForLoop):
+            value = self._eval(statement.init)
+            while self._loop_condition_holds(value, statement):
+                self.scalars[statement.var] = value
+                for child in statement.body:
+                    self._execute(child)
+                value += statement.step
+                # The loop variable stays bound while the condition (whose
+                # bound may reference outer iterators) is re-evaluated.
+            self.scalars.pop(statement.var, None)
+            return
+        if isinstance(statement, IfThenElse):
+            if self._eval_condition(statement.condition):
+                for child in statement.then_body:
+                    self._execute(child)
+            else:
+                for child in statement.else_body:
+                    self._execute(child)
+            return
+        raise InterpreterError(f"cannot execute statement of type {type(statement).__name__}")
+
+    def _loop_condition_holds(self, value: int, loop: ForLoop) -> bool:
+        bound = self._eval(loop.bound)
+        return {
+            "<": value < bound,
+            "<=": value <= bound,
+            ">": value > bound,
+            ">=": value >= bound,
+        }[loop.cond_op]
+
+    def _eval_condition(self, condition: Condition) -> bool:
+        if isinstance(condition, Comparison):
+            lhs = self._eval(condition.lhs)
+            rhs = self._eval(condition.rhs)
+            return {
+                "<": lhs < rhs,
+                "<=": lhs <= rhs,
+                ">": lhs > rhs,
+                ">=": lhs >= rhs,
+                "==": lhs == rhs,
+                "!=": lhs != rhs,
+            }[condition.op]
+        if isinstance(condition, And):
+            return all(self._eval_condition(part) for part in condition.parts)
+        raise InterpreterError(f"cannot evaluate condition of type {type(condition).__name__}")
+
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: Expr) -> int:
+        if isinstance(expr, IntConst):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name in self.scalars:
+                return self.scalars[expr.name]
+            raise InterpreterError(f"read of undefined scalar {expr.name!r}")
+        if isinstance(expr, ArrayRef):
+            indices = tuple(self._eval(index) for index in expr.indices)
+            return self._read_array(expr.name, indices)
+        if isinstance(expr, UnaryOp):
+            value = self._eval(expr.operand)
+            if expr.op == "-":
+                return -value
+            raise InterpreterError(f"unsupported unary operator {expr.op!r}")
+        if isinstance(expr, BinOp):
+            lhs = self._eval(expr.lhs)
+            rhs = self._eval(expr.rhs)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            if expr.op == "/":
+                if rhs == 0:
+                    raise InterpreterError("division by zero")
+                quotient = abs(lhs) // abs(rhs)
+                return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+            if expr.op == "%":
+                if rhs == 0:
+                    raise InterpreterError("modulo by zero")
+                return lhs - rhs * (abs(lhs) // abs(rhs) if (lhs >= 0) == (rhs >= 0) else -(abs(lhs) // abs(rhs)))
+            raise InterpreterError(f"unsupported binary operator {expr.op!r}")
+        if isinstance(expr, Call):
+            if expr.func not in self.functions:
+                raise InterpreterError(f"call of unknown function {expr.func!r}")
+            return int(self.functions[expr.func](*(self._eval(arg) for arg in expr.args)))
+        raise InterpreterError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+    def _read_array(self, name: str, indices: Tuple[int, ...]) -> int:
+        storage = self.arrays.setdefault(name, {})
+        if indices in storage:
+            return storage[indices]
+        if name in self.input_names and self.input_provider is not None:
+            value = int(self.input_provider(name, indices))
+            storage[indices] = value
+            return value
+        raise InterpreterError(f"read of undefined element {name}{list(indices)}")
+
+
+def _flatten_array(name: str, data: object, prefix: Tuple[int, ...] = ()) -> Dict[Tuple[int, ...], int]:
+    result: Dict[Tuple[int, ...], int] = {}
+    if isinstance(data, Mapping):
+        for key, value in data.items():
+            index = key if isinstance(key, tuple) else (key,)
+            result[tuple(int(i) for i in index)] = int(value)
+        return result
+    if isinstance(data, (list, tuple)):
+        for position, item in enumerate(data):
+            if isinstance(item, (list, tuple)):
+                result.update(_flatten_array(name, item, prefix + (position,)))
+            else:
+                result[prefix + (position,)] = int(item)
+        return result
+    raise InterpreterError(f"cannot interpret input data for array {name!r}")
+
+
+def run_program(
+    program: Program,
+    inputs: Union[Mapping[str, object], InputProvider],
+    functions: Optional[Mapping[str, Callable[..., int]]] = None,
+    check_single_assignment: bool = False,
+) -> Dict[str, Dict[Tuple[int, ...], int]]:
+    """Execute *program* and return its output arrays (sparse dictionaries).
+
+    ``inputs`` is either a mapping from input array names to (nested) lists /
+    dicts of values, or an :data:`InputProvider` callable such as the one
+    returned by :func:`random_input_provider`.
+    """
+    machine = _Machine(program, inputs, functions, check_single_assignment)
+    return machine.run()
+
+
+def outputs_equal(
+    first: Mapping[str, Mapping[Tuple[int, ...], int]],
+    second: Mapping[str, Mapping[Tuple[int, ...], int]],
+) -> bool:
+    """True when two output environments define the same elements with the same values."""
+    if set(first) != set(second):
+        return False
+    for name in first:
+        if dict(first[name]) != dict(second[name]):
+            return False
+    return True

@@ -1,0 +1,127 @@
+"""Pretty-printer: regenerate mini-C source text from the AST.
+
+The printer is the inverse of :func:`repro.lang.parser.parse_program` (up to
+whitespace and ``#define`` folding): ``parse_program(program_to_text(p))``
+yields a program equal to ``p``.  It is used by the transformation engine to
+emit transformed source and by the examples and diagnostics to show code to
+the user.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    And,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Comparison,
+    Condition,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    IntConst,
+    Program,
+    Statement,
+    UnaryOp,
+    VarRef,
+)
+
+__all__ = ["program_to_text", "statement_to_text", "expr_to_text", "condition_to_text"]
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "%": 2}
+
+
+def expr_to_text(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression as C source text."""
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return expr.name + "".join(f"[{expr_to_text(index)}]" for index in expr.indices)
+    if isinstance(expr, Call):
+        return f"{expr.func}({', '.join(expr_to_text(arg) for arg in expr.args)})"
+    if isinstance(expr, UnaryOp):
+        inner = expr_to_text(expr.operand, 3)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, BinOp):
+        precedence = _PRECEDENCE.get(expr.op, 1)
+        left = expr_to_text(expr.lhs, precedence)
+        right = expr_to_text(expr.rhs, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot print expression of type {type(expr).__name__}")
+
+
+def condition_to_text(condition: Condition) -> str:
+    """Render an affine condition as C source text."""
+    if isinstance(condition, Comparison):
+        return f"{expr_to_text(condition.lhs)} {condition.op} {expr_to_text(condition.rhs)}"
+    if isinstance(condition, And):
+        return " && ".join(condition_to_text(part) for part in condition.parts)
+    raise TypeError(f"cannot print condition of type {type(condition).__name__}")
+
+
+def statement_to_text(statement: Statement, indent: int = 0) -> str:
+    """Render a statement (and its body) as C source text."""
+    pad = "    " * indent
+    if isinstance(statement, Assignment):
+        label = f"{statement.label}: " if statement.label else ""
+        return f"{pad}{label}{expr_to_text(statement.target)} = {expr_to_text(statement.rhs)};\n"
+    if isinstance(statement, ForLoop):
+        step = statement.step
+        if step == 1:
+            increment = f"{statement.var}++"
+        elif step == -1:
+            increment = f"{statement.var}--"
+        elif step > 0:
+            increment = f"{statement.var} += {step}"
+        else:
+            increment = f"{statement.var} -= {-step}"
+        header = (
+            f"{pad}for ({statement.var} = {expr_to_text(statement.init)}; "
+            f"{statement.var} {statement.cond_op} {expr_to_text(statement.bound)}; {increment}) {{\n"
+        )
+        body = "".join(statement_to_text(child, indent + 1) for child in statement.body)
+        return header + body + f"{pad}}}\n"
+    if isinstance(statement, IfThenElse):
+        header = f"{pad}if ({condition_to_text(statement.condition)}) {{\n"
+        then_body = "".join(statement_to_text(child, indent + 1) for child in statement.then_body)
+        text = header + then_body + f"{pad}}}\n"
+        if statement.else_body:
+            text = text[:-1] + " else {\n"
+            text += "".join(statement_to_text(child, indent + 1) for child in statement.else_body)
+            text += f"{pad}}}\n"
+        return text
+    raise TypeError(f"cannot print statement of type {type(statement).__name__}")
+
+
+def program_to_text(program: Program) -> str:
+    """Render a whole program as compilable mini-C source text."""
+    lines: List[str] = []
+    for name, value in program.defines.items():
+        lines.append(f"#define {name} {value}")
+    if program.defines:
+        lines.append("")
+    params = []
+    for decl in program.params:
+        dims = "".join("[]" if extent == 0 else f"[{extent}]" for extent in decl.dims) or "[]"
+        params.append(f"int {decl.name}{dims}")
+    lines.append(f"void {program.name}({', '.join(params)})")
+    lines.append("{")
+    scalars = [decl.name for decl in program.locals if decl.is_scalar]
+    arrays = [decl for decl in program.locals if not decl.is_scalar]
+    declaration_parts = list(scalars) + [
+        decl.name + "".join(f"[{extent}]" for extent in decl.dims) for decl in arrays
+    ]
+    if declaration_parts:
+        lines.append(f"    int {', '.join(declaration_parts)};")
+    body = "".join(statement_to_text(statement, 1) for statement in program.body)
+    lines.append(body.rstrip("\n"))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

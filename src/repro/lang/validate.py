@@ -1,0 +1,141 @@
+"""Syntactic checks for the allowed program class (Section 3.1 of the paper).
+
+The paper assumes that programs have been preprocessed into a class with
+four properties: dynamic single-assignment form, static control flow, affine
+index expressions, and no pointer references.  The *syntactic* parts of those
+properties are checked here; the *geometric* parts (single assignment of
+array elements, def-before-use) require dependence analysis and live in
+:mod:`repro.analysis.dataflow`.
+
+:func:`check_program_class` returns a list of human-readable issues (empty
+when the program is in the class); :func:`require_program_class` raises
+:class:`ProgramClassError` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .ast import (
+    And,
+    ArrayRef,
+    Assignment,
+    Comparison,
+    Condition,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    Program,
+    Statement,
+    VarRef,
+    walk_expr,
+)
+from .affine import expr_to_affine
+from .errors import NotAffineError, ProgramClassError
+
+__all__ = ["check_program_class", "require_program_class"]
+
+
+def check_program_class(program: Program) -> List[str]:
+    """Return a list of violations of the allowed program class (empty if none)."""
+    issues: List[str] = []
+    declarations = program.declarations()
+    seen_labels: Set[str] = set()
+
+    def describe(statement: Statement) -> str:
+        if isinstance(statement, Assignment) and statement.label:
+            return f"statement {statement.label!r}"
+        if statement.line is not None:
+            return f"statement at line {statement.line}"
+        return "statement"
+
+    def check_affine(expr: Expr, iterators: Sequence[str], context: str) -> None:
+        try:
+            affine = expr_to_affine(expr)
+        except NotAffineError as exc:
+            issues.append(f"{context}: not affine ({exc})")
+            return
+        for variable in affine.variables():
+            if variable not in iterators:
+                issues.append(
+                    f"{context}: refers to {variable!r} which is not an enclosing loop iterator"
+                )
+
+    def check_condition(condition: Condition, iterators: Sequence[str], context: str) -> None:
+        if isinstance(condition, Comparison):
+            check_affine(condition.lhs, iterators, context)
+            check_affine(condition.rhs, iterators, context)
+        elif isinstance(condition, And):
+            for part in condition.parts:
+                check_condition(part, iterators, context)
+        else:
+            issues.append(f"{context}: unsupported condition of type {type(condition).__name__}")
+
+    def check_data_expr(expr: Expr, iterators: Sequence[str], context: str) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, ArrayRef):
+                if node.name not in declarations:
+                    issues.append(f"{context}: reference to undeclared array {node.name!r}")
+                else:
+                    declared = declarations[node.name]
+                    if declared.dims and len(node.indices) != len(declared.dims):
+                        issues.append(
+                            f"{context}: {node.name!r} is {len(declared.dims)}-dimensional "
+                            f"but indexed with {len(node.indices)} subscript(s)"
+                        )
+                for index in node.indices:
+                    check_affine(index, iterators, f"{context}: index of {node.name!r}")
+            elif isinstance(node, VarRef):
+                if node.name not in iterators and node.name not in program.defines:
+                    if node.name in declarations and declarations[node.name].is_scalar:
+                        issues.append(
+                            f"{context}: scalar {node.name!r} is read as data "
+                            "(scalars may only be loop iterators in the allowed class)"
+                        )
+                    else:
+                        issues.append(f"{context}: reference to unknown variable {node.name!r}")
+
+    def visit(statements: Sequence[Statement], iterators: List[str]) -> None:
+        for statement in statements:
+            if isinstance(statement, Assignment):
+                context = describe(statement)
+                if statement.label is not None:
+                    if statement.label in seen_labels:
+                        issues.append(f"duplicate statement label {statement.label!r}")
+                    seen_labels.add(statement.label)
+                if statement.target.name not in declarations:
+                    issues.append(f"{context}: assignment to undeclared array {statement.target.name!r}")
+                if not statement.target.indices:
+                    issues.append(f"{context}: assignment target must be an array element")
+                for index in statement.target.indices:
+                    check_affine(index, iterators, f"{context}: target index")
+                check_data_expr(statement.rhs, iterators, context)
+            elif isinstance(statement, ForLoop):
+                context = describe(statement)
+                check_affine(statement.init, iterators, f"{context}: loop lower bound")
+                check_affine(statement.bound, iterators, f"{context}: loop bound")
+                if statement.step == 0:
+                    issues.append(f"{context}: loop step must be non-zero")
+                if statement.var in iterators:
+                    issues.append(f"{context}: loop variable {statement.var!r} shadows an outer iterator")
+                visit(statement.body, iterators + [statement.var])
+            elif isinstance(statement, IfThenElse):
+                context = describe(statement)
+                check_condition(statement.condition, iterators, f"{context}: if-condition")
+                visit(statement.then_body, iterators)
+                visit(statement.else_body, iterators)
+            else:
+                issues.append(f"unsupported statement of type {type(statement).__name__}")
+
+    visit(program.body, [])
+    return issues
+
+
+def require_program_class(program: Program) -> None:
+    """Raise :class:`ProgramClassError` when the program is outside the allowed class."""
+    issues = check_program_class(program)
+    if issues:
+        details = "\n  - ".join(issues)
+        raise ProgramClassError(
+            f"program {program.name!r} is outside the allowed program class:\n  - {details}"
+        )

@@ -1,0 +1,58 @@
+"""Exact integer sets and tuple relations (the OMEGA-calculator substitute).
+
+This package provides the Presburger-arithmetic machinery the equivalence
+checker relies on: affine integer sets (:class:`Set`), tuple relations
+(:class:`Map`), symbolic affine expressions (:class:`LinExpr`) and
+constraints, a parser for the usual textual notation, and transitive closure
+of dependence relations.
+
+Quick tour
+----------
+
+>>> from repro.presburger import parse_map, parse_set
+>>> m = parse_map("{ [k] -> [2k] : 0 <= k < 512 }")
+>>> n = parse_map("{ [k] -> [2k] : 0 <= k < 1024 }")
+>>> m.is_subset(n)
+True
+>>> m.is_equal(n)
+False
+>>> str(m.domain())
+'{ [k] : k >= 0 and -k + 511 >= 0 }'
+"""
+
+from .conjunct import Conjunct
+from .constraints import AffineConstraint, all_of, eq_, ge_, gt_, le_, lt_
+from .closure import transitive_closure, power_closure_exactness
+from .errors import (
+    ParseError,
+    PresburgerError,
+    SpaceMismatchError,
+    UnboundedSetError,
+    UnsupportedOperationError,
+)
+from .linexpr import LinExpr
+from .parser import parse_map, parse_set
+from .setmap import Map, Set
+
+__all__ = [
+    "AffineConstraint",
+    "Conjunct",
+    "LinExpr",
+    "Map",
+    "ParseError",
+    "PresburgerError",
+    "Set",
+    "SpaceMismatchError",
+    "UnboundedSetError",
+    "UnsupportedOperationError",
+    "all_of",
+    "eq_",
+    "ge_",
+    "gt_",
+    "le_",
+    "lt_",
+    "parse_map",
+    "parse_set",
+    "power_closure_exactness",
+    "transitive_closure",
+]

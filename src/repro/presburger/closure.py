@@ -1,0 +1,162 @@
+"""Transitive closure of dependence relations.
+
+The paper handles cycles in an ADDG (recurrences in the data flow) by
+computing the transitive closure of the total dependence mapping of the
+cycle, noting that this "is computable only under certain conditions that
+usually hold in most real-life programs".  This module implements exactly
+that: the positive transitive closure ``M+`` for relations whose conjuncts
+are *uniform* (constant-distance) translations, which covers the recurrences
+appearing in the targeted signal-processing codes (``acc[k] = acc[k-1] + x``
+and friends), plus an exactness certificate for the general case.
+
+``transitive_closure`` returns a pair ``(closure, exact)``.  When ``exact``
+is ``True`` the returned map is precisely ``M+``; otherwise it is a sound
+over-approximation and callers (the equivalence checker) must treat the
+result conservatively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .conjunct import Conjunct
+from .errors import UnsupportedOperationError
+from .linexpr import LinExpr
+from .constraints import AffineConstraint, EQUALITY, INEQUALITY
+from .setmap import Map, Set
+
+__all__ = ["transitive_closure", "closure_of_uniform_map", "power_closure_exactness"]
+
+
+def _uniform_offsets(piece: Map) -> Optional[Tuple[int, ...]]:
+    """If *piece* (a single-conjunct map) is a uniform translation, return its offset."""
+    deltas = piece.deltas()
+    if deltas.is_empty():
+        return None
+    points = []
+    try:
+        for point in deltas.points(limit=4):
+            points.append(point)
+            if len(points) > 1:
+                return None
+    except Exception:
+        return None
+    if len(points) != 1:
+        return None
+    return points[0]
+
+
+def closure_of_uniform_map(relation: Map) -> Optional[Map]:
+    """Exact positive transitive closure for a union of uniform translations.
+
+    Returns ``None`` when the relation is not a union of uniform (constant
+    offset) translations, in which case the caller should fall back to an
+    over-approximation.
+    """
+    n = relation.n_in
+    if n != relation.n_out:
+        raise UnsupportedOperationError("transitive closure requires equal arities")
+
+    pieces: List[Map] = []
+    offsets: List[Tuple[int, ...]] = []
+    for conjunct in relation.conjuncts:
+        piece = Map(relation.in_names, relation.out_names, [conjunct], _clean_input=False)
+        offset = _uniform_offsets(piece)
+        if offset is None:
+            return None
+        pieces.append(piece)
+        offsets.append(offset)
+
+    if len(pieces) == 1:
+        return _closure_single_uniform(pieces[0], offsets[0])
+
+    # For unions, compute the closure iteratively:  closure of (A u B) =
+    # limit of unions of compositions.  We bound the iteration and verify the
+    # fixpoint; if it does not stabilise we report failure.
+    closure = None
+    for piece, offset in zip(pieces, offsets):
+        piece_closure = _closure_single_uniform(piece, offset)
+        if piece_closure is None:
+            return None
+        closure = piece_closure if closure is None else closure.union(piece_closure)
+    if closure is None:
+        return None
+    # Grow until fixpoint (bounded number of rounds to stay safe).
+    current = closure.union(relation)
+    for _ in range(8):
+        grown = current.union(current.compose(current))
+        if grown.is_equal(current):
+            return current
+        current = grown
+    return None
+
+
+def _closure_single_uniform(piece: Map, offset: Tuple[int, ...]) -> Optional[Map]:
+    """Closure of ``{ x -> x + d : x in D }``:  ``{ x -> x + k*d : k >= 1, ... }``.
+
+    The result is exact when the relation's domain/range structure is itself a
+    translation-invariant band, which we certify afterwards with
+    :func:`power_closure_exactness`; otherwise ``None`` is returned.
+    """
+    n = piece.n_in
+    in_names = [f"x{i}" for i in range(n)]
+    out_names = [f"y{i}" for i in range(n)]
+    k = LinExpr.var("__k")
+    constraints = [AffineConstraint(k - 1, INEQUALITY)]  # k >= 1
+    for index in range(n):
+        lhs = LinExpr.var(out_names[index]) - LinExpr.var(in_names[index]) - offset[index] * k
+        constraints.append(AffineConstraint(lhs, EQUALITY))
+    candidate = Map.build(in_names, out_names, constraints, exists=["__k"])
+
+    # Every chain starts at a point of the domain and ends at a point of the
+    # range, so restricting the candidate this way keeps it a superset of the
+    # true closure while making it tight for contiguous domains.
+    candidate = candidate.restrict_domain(piece.domain()).restrict_range(piece.range())
+    candidate = candidate.rename(piece.in_names, piece.out_names)
+    if power_closure_exactness(piece, candidate):
+        return candidate
+    return None
+
+
+def power_closure_exactness(relation: Map, candidate: Map) -> bool:
+    """Check that *candidate* is exactly the positive transitive closure of *relation*.
+
+    The certificate is the standard one:
+
+    * ``relation`` is contained in ``candidate``;
+    * ``candidate . relation`` and ``relation . candidate`` are contained in
+      ``candidate`` (so ``candidate`` is transitively closed over relation);
+    * ``candidate`` is contained in ``relation  u  (relation . candidate)``
+      (so it contains nothing beyond the true closure).
+    """
+    if not relation.is_subset(candidate):
+        return False
+    if not relation.compose(candidate).is_subset(candidate):
+        return False
+    if not candidate.compose(relation).is_subset(candidate):
+        return False
+    rebuilt = relation.union(relation.compose(candidate))
+    return candidate.is_subset(rebuilt)
+
+
+def transitive_closure(relation: Map) -> Tuple[Map, bool]:
+    """The positive transitive closure ``relation+`` with an exactness flag.
+
+    For unions of uniform translations the result is exact.  Otherwise a
+    sound over-approximation (the universe map restricted to the relation's
+    domain and range hull) is returned with ``exact=False``.
+    """
+    if relation.is_empty():
+        return relation, True
+    exact = closure_of_uniform_map(relation)
+    if exact is not None:
+        return exact, True
+    # Sound over-approximation: anything in the domain may reach anything in
+    # the union of domain and range (the checker treats non-exact closures
+    # conservatively and refuses to conclude equivalence from them).
+    hull_domain = relation.domain()
+    hull_range = relation.range()
+    over = Map.universe(relation.in_names, relation.out_names)
+    over = over.restrict_domain(hull_domain.union(hull_range.rename(hull_domain.names)))
+    over = over.restrict_range(hull_range.union(hull_domain.rename(hull_range.names)))
+    return over, False

@@ -1,0 +1,250 @@
+"""Conjuncts: conjunctions of affine integer constraints with existentials.
+
+A :class:`Conjunct` is the basic building block of the Presburger sets and
+maps used throughout the library (the analogue of isl's ``basic_set`` /
+``basic_map`` or an Omega "conjunct").  It represents
+
+.. math::
+
+    \\{ x \\in Z^{n} \\mid \\exists e \\in Z^{d} :
+        A (x, e, 1)^T = 0 \\wedge B (x, e, 1)^T \\ge 0 \\}
+
+where ``n`` is the number of *public* dimensions and ``d`` the number of
+*existential* (a.k.a. "div") dimensions.  Coefficient vectors are stored
+densely as tuples of Python ints with the layout::
+
+    [ public dims... | existential dims... | constant ]
+
+The class is deliberately dumb: all non-trivial algorithms (normalisation,
+variable elimination, feasibility) live in :mod:`repro.presburger.omega` so
+they can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Iterable, List, Sequence, Tuple
+
+Vector = Tuple[int, ...]
+
+
+class Conjunct:
+    """A conjunction of integer affine equalities and inequalities.
+
+    Parameters
+    ----------
+    n_vars:
+        Number of public dimensions.
+    n_div:
+        Number of existential dimensions.
+    eqs:
+        Equality constraints, each a coefficient vector ``v`` meaning
+        ``v . (vars, divs, 1) == 0``.
+    ineqs:
+        Inequality constraints, each meaning ``v . (vars, divs, 1) >= 0``.
+    """
+
+    __slots__ = ("n_vars", "n_div", "eqs", "ineqs")
+
+    def __init__(
+        self,
+        n_vars: int,
+        n_div: int = 0,
+        eqs: Iterable[Sequence[int]] = (),
+        ineqs: Iterable[Sequence[int]] = (),
+    ):
+        self.n_vars = int(n_vars)
+        self.n_div = int(n_div)
+        width = self.n_vars + self.n_div + 1
+        self.eqs: Tuple[Vector, ...] = tuple(self._check(v, width) for v in eqs)
+        self.ineqs: Tuple[Vector, ...] = tuple(self._check(v, width) for v in ineqs)
+
+    @staticmethod
+    def _check(vector: Sequence[int], width: int) -> Vector:
+        vec = tuple(int(x) for x in vector)
+        if len(vec) != width:
+            raise ValueError(f"constraint vector has length {len(vec)}, expected {width}")
+        return vec
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_cols(self) -> int:
+        """Total number of columns (public + existential + constant)."""
+        return self.n_vars + self.n_div + 1
+
+    @property
+    def const_col(self) -> int:
+        """Index of the constant column."""
+        return self.n_vars + self.n_div
+
+    def is_universe(self) -> bool:
+        """True when the conjunct has no constraints at all."""
+        return not self.eqs and not self.ineqs
+
+    def constraints(self) -> List[Tuple[Vector, bool]]:
+        """All constraints as ``(vector, is_equality)`` pairs."""
+        result: List[Tuple[Vector, bool]] = [(v, True) for v in self.eqs]
+        result.extend((v, False) for v in self.ineqs)
+        return result
+
+    def involves_col(self, col: int) -> bool:
+        """True if any constraint has a non-zero coefficient in column *col*."""
+        return any(v[col] != 0 for v in self.eqs) or any(v[col] != 0 for v in self.ineqs)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def universe(n_vars: int, n_div: int = 0) -> "Conjunct":
+        """The unconstrained conjunct over *n_vars* public dimensions."""
+        return Conjunct(n_vars, n_div)
+
+    def with_constraints(
+        self,
+        eqs: Iterable[Sequence[int]] = (),
+        ineqs: Iterable[Sequence[int]] = (),
+    ) -> "Conjunct":
+        """A copy of this conjunct with extra constraints appended."""
+        return Conjunct(
+            self.n_vars,
+            self.n_div,
+            list(self.eqs) + [tuple(v) for v in eqs],
+            list(self.ineqs) + [tuple(v) for v in ineqs],
+        )
+
+    def add_divs(self, count: int) -> "Conjunct":
+        """A copy with *count* extra existential columns (inserted before the constant)."""
+        if count == 0:
+            return self
+        insert_at = self.const_col
+
+        def widen(vec: Vector) -> Vector:
+            return vec[:insert_at] + (0,) * count + vec[insert_at:]
+
+        return Conjunct(
+            self.n_vars,
+            self.n_div + count,
+            [widen(v) for v in self.eqs],
+            [widen(v) for v in self.ineqs],
+        )
+
+    def drop_col(self, col: int) -> "Conjunct":
+        """A copy with column *col* removed.
+
+        All constraints must have a zero coefficient in that column; the caller
+        is responsible for eliminating the variable first.
+        """
+        if col >= self.const_col:
+            raise ValueError("cannot drop the constant column")
+        for vec in list(self.eqs) + list(self.ineqs):
+            if vec[col] != 0:
+                raise ValueError("cannot drop a column that still appears in constraints")
+        n_vars = self.n_vars - 1 if col < self.n_vars else self.n_vars
+        n_div = self.n_div if col < self.n_vars else self.n_div - 1
+
+        def shrink(vec: Vector) -> Vector:
+            return vec[:col] + vec[col + 1:]
+
+        return Conjunct(n_vars, n_div, [shrink(v) for v in self.eqs], [shrink(v) for v in self.ineqs])
+
+    def promote_var_to_div(self, col: int) -> "Conjunct":
+        """Turn public column *col* into an existential column (moved after the vars)."""
+        if not (0 <= col < self.n_vars):
+            raise ValueError(f"column {col} is not a public dimension")
+        new_pos = self.n_vars - 1  # position of the moved column among the new vars/divs
+
+        def move(vec: Vector) -> Vector:
+            values = list(vec)
+            moved = values.pop(col)
+            values.insert(new_pos, moved)
+            return tuple(values)
+
+        return Conjunct(
+            self.n_vars - 1,
+            self.n_div + 1,
+            [move(v) for v in self.eqs],
+            [move(v) for v in self.ineqs],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Point evaluation
+    # ------------------------------------------------------------------ #
+    def substitute_vars(self, values: Sequence[int]) -> "Conjunct":
+        """Plug concrete integers into the public dimensions.
+
+        The result is a conjunct with zero public dimensions whose feasibility
+        decides membership of the point.
+        """
+        if len(values) != self.n_vars:
+            raise ValueError(f"expected {self.n_vars} values, got {len(values)}")
+
+        def plug(vec: Vector) -> Vector:
+            constant = vec[self.const_col] + sum(c * v for c, v in zip(vec[: self.n_vars], values))
+            return tuple(vec[self.n_vars : self.const_col]) + (constant,)
+
+        return Conjunct(0, self.n_div, [plug(v) for v in self.eqs], [plug(v) for v in self.ineqs])
+
+    # ------------------------------------------------------------------ #
+    # Structural helpers
+    # ------------------------------------------------------------------ #
+    def normalized_key(self) -> Tuple:
+        """A canonical-ish key used for syntactic deduplication of conjuncts."""
+        return (
+            self.n_vars,
+            self.n_div,
+            tuple(sorted(self.eqs)),
+            tuple(sorted(self.ineqs)),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conjunct):
+            return NotImplemented
+        return self.normalized_key() == other.normalized_key()
+
+    def __hash__(self) -> int:
+        return hash(self.normalized_key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Conjunct(n_vars={self.n_vars}, n_div={self.n_div}, "
+            f"eqs={list(self.eqs)!r}, ineqs={list(self.ineqs)!r})"
+        )
+
+    def pretty(self, var_names: Sequence[str] | None = None) -> str:
+        """Human readable rendering, mostly for debugging and error messages."""
+        names = list(var_names) if var_names is not None else [f"x{i}" for i in range(self.n_vars)]
+        names += [f"e{i}" for i in range(self.n_div)]
+
+        def render(vec: Vector, op: str) -> str:
+            terms = []
+            for coefficient, name in zip(vec[:-1], names):
+                if coefficient == 0:
+                    continue
+                if coefficient == 1:
+                    terms.append(f"+ {name}")
+                elif coefficient == -1:
+                    terms.append(f"- {name}")
+                elif coefficient > 0:
+                    terms.append(f"+ {coefficient}{name}")
+                else:
+                    terms.append(f"- {-coefficient}{name}")
+            constant = vec[-1]
+            if constant or not terms:
+                terms.append(f"+ {constant}" if constant >= 0 else f"- {-constant}")
+            text = " ".join(terms)
+            if text.startswith("+ "):
+                text = text[2:]
+            return f"{text} {op} 0"
+
+        pieces = [render(v, "=") for v in self.eqs] + [render(v, ">=") for v in self.ineqs]
+        return " and ".join(pieces) if pieces else "true"
+
+
+def vector_gcd(values: Iterable[int]) -> int:
+    """The gcd of the absolute values of *values* (0 when all are zero)."""
+    result = 0
+    for value in values:
+        result = gcd(result, abs(value))
+    return result

@@ -1,0 +1,95 @@
+"""Symbolic affine constraints used to build sets and maps.
+
+An :class:`AffineConstraint` pairs a :class:`~repro.presburger.linexpr.LinExpr`
+with a sense (equality or ``>= 0``).  The helper functions :func:`eq_`,
+:func:`ge_`, :func:`le_`, :func:`gt_` and :func:`lt_` provide a readable way
+of writing constraints in client code::
+
+    from repro.presburger import LinExpr, ge_, lt_, eq_
+    k = LinExpr.var("k")
+    constraints = [ge_(k, 0), lt_(k, 1024), eq_(LinExpr.var("x"), 2 * k - 2)]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+from .linexpr import LinExpr
+
+_ExprLike = Union[LinExpr, int, str]
+
+EQUALITY = "=="
+INEQUALITY = ">="
+
+
+class AffineConstraint:
+    """A constraint of the form ``expr == 0`` or ``expr >= 0``."""
+
+    __slots__ = ("expr", "kind")
+
+    def __init__(self, expr: LinExpr, kind: str):
+        if kind not in (EQUALITY, INEQUALITY):
+            raise ValueError(f"unknown constraint kind {kind!r}")
+        self.expr = expr
+        self.kind = kind
+
+    @property
+    def is_equality(self) -> bool:
+        return self.kind == EQUALITY
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables()
+
+    def rename(self, mapping) -> "AffineConstraint":
+        return AffineConstraint(self.expr.rename(mapping), self.kind)
+
+    def substitute(self, bindings) -> "AffineConstraint":
+        return AffineConstraint(self.expr.substitute(bindings), self.kind)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineConstraint):
+            return NotImplemented
+        return self.kind == other.kind and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.expr))
+
+    def __repr__(self) -> str:
+        op = "=" if self.is_equality else ">="
+        return f"AffineConstraint({self.expr} {op} 0)"
+
+
+def eq_(lhs: _ExprLike, rhs: _ExprLike = 0) -> AffineConstraint:
+    """The constraint ``lhs == rhs``."""
+    return AffineConstraint(LinExpr.coerce(lhs) - LinExpr.coerce(rhs), EQUALITY)
+
+
+def ge_(lhs: _ExprLike, rhs: _ExprLike = 0) -> AffineConstraint:
+    """The constraint ``lhs >= rhs``."""
+    return AffineConstraint(LinExpr.coerce(lhs) - LinExpr.coerce(rhs), INEQUALITY)
+
+
+def le_(lhs: _ExprLike, rhs: _ExprLike = 0) -> AffineConstraint:
+    """The constraint ``lhs <= rhs``."""
+    return AffineConstraint(LinExpr.coerce(rhs) - LinExpr.coerce(lhs), INEQUALITY)
+
+
+def gt_(lhs: _ExprLike, rhs: _ExprLike = 0) -> AffineConstraint:
+    """The constraint ``lhs > rhs`` (integer semantics: ``lhs >= rhs + 1``)."""
+    return AffineConstraint(LinExpr.coerce(lhs) - LinExpr.coerce(rhs) - 1, INEQUALITY)
+
+
+def lt_(lhs: _ExprLike, rhs: _ExprLike = 0) -> AffineConstraint:
+    """The constraint ``lhs < rhs`` (integer semantics: ``lhs <= rhs - 1``)."""
+    return AffineConstraint(LinExpr.coerce(rhs) - LinExpr.coerce(lhs) - 1, INEQUALITY)
+
+
+def all_of(*constraints: Iterable[AffineConstraint]) -> Tuple[AffineConstraint, ...]:
+    """Flatten nested iterables of constraints into a single tuple."""
+    result = []
+    for item in constraints:
+        if isinstance(item, AffineConstraint):
+            result.append(item)
+        else:
+            result.extend(all_of(*item))
+    return tuple(result)

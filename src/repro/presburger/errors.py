@@ -1,0 +1,27 @@
+"""Exceptions raised by the Presburger (integer set / relation) library."""
+
+
+class PresburgerError(Exception):
+    """Base class for all errors raised by :mod:`repro.presburger`."""
+
+
+class SpaceMismatchError(PresburgerError):
+    """Raised when two sets/maps with incompatible dimensionality are combined."""
+
+
+class UnsupportedOperationError(PresburgerError):
+    """Raised when an operation falls outside the supported (decidable) fragment.
+
+    The library is exact on the fragment it supports; rather than silently
+    approximating, operations that would require capabilities we do not
+    implement (e.g. complementing a conjunct whose existential variables are
+    not expressible as divisibility constraints) raise this error.
+    """
+
+
+class ParseError(PresburgerError):
+    """Raised when the textual set/map notation cannot be parsed."""
+
+
+class UnboundedSetError(PresburgerError):
+    """Raised when point enumeration is requested for an unbounded set."""

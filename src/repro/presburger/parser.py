@@ -1,0 +1,376 @@
+"""Parser for the textual set / map notation used throughout the project.
+
+The notation follows the style of the OMEGA calculator and isl, which is also
+the notation the paper uses for dependency mappings::
+
+    { [k] -> [2k] : 0 <= k < 1024 }
+    { [k] -> [2k - 2] : 1 <= k <= 1024 }
+    { [x, y] : 0 <= x < 8 and 0 <= y < 8 and (x + y) % 2 = 0 }
+    { [k] -> [k] : exists j : k = 2j and 0 <= k < 16 }
+    { [k] -> [k] : 0 <= k < 8 ; [k] -> [k + 1] : 8 <= k < 16 }
+
+Several conjuncts may be separated with ``;`` or the keyword ``or``.
+Multiplication may be written explicitly (``2*k``) or implicitly (``2k``).
+Chained comparisons (``0 <= k < 1024``) are supported, as are ``%``/``mod``
+expressions inside constraints (lowered to a fresh existential variable).
+Variables that are neither tuple dimensions nor declared with ``exists`` are
+treated as implicitly existentially quantified, as in the OMEGA calculator.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .constraints import AffineConstraint, EQUALITY, INEQUALITY
+from .errors import ParseError
+from .linexpr import LinExpr
+from .setmap import Map, Set
+
+__all__ = ["parse_set", "parse_map"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9']*)"
+    r"|(?P<op><=|>=|->|=|<|>|\+|-|\*|%|\(|\)|\[|\]|\{|\}|,|:|;))"
+)
+
+_KEYWORDS = {"and", "or", "exists", "mod"}
+
+_TupleItem = Union[Tuple[str, str], Tuple[str, LinExpr]]  # ("name", n) or ("expr", e)
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            if text[position].isspace():
+                position += 1
+                continue
+            match = _TOKEN_RE.match(text, position)
+            if not match or match.end() == position:
+                raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+            if match.group("num") is not None:
+                self.tokens.append(("num", match.group("num")))
+            elif match.group("name") is not None:
+                name = match.group("name")
+                if name in _KEYWORDS:
+                    self.tokens.append(("kw", name))
+                else:
+                    self.tokens.append(("name", name))
+            else:
+                self.tokens.append(("op", match.group("op")))
+            position = match.end()
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        if self.index + offset < len(self.tokens):
+            return self.tokens[self.index + offset]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Tuple[str, str]:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(f"expected {value or kind!r}, found {token[1]!r}")
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind and (value is None or token[1] == value):
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class _RawConjunct:
+    """One parsed conjunct before lowering to canonical dimension names."""
+
+    def __init__(self) -> None:
+        self.in_items: List[_TupleItem] = []
+        self.out_items: Optional[List[_TupleItem]] = None
+        self.constraints: List[AffineConstraint] = []
+        self.declared_exists: List[str] = []
+        self._fresh = 0
+
+    def fresh_div(self) -> str:
+        name = f"__q{self._fresh}"
+        self._fresh += 1
+        self.declared_exists.append(name)
+        return name
+
+
+class _Parser:
+    """Recursive-descent parser for the set/map notation."""
+
+    def __init__(self, text: str):
+        self.tokens = _Tokenizer(text)
+
+    # --------------------------- expressions ---------------------------- #
+    def _parse_expr(self, spec: _RawConjunct) -> LinExpr:
+        expr = self._parse_term(spec)
+        while True:
+            token = self.tokens.peek()
+            if token == ("op", "+"):
+                self.tokens.next()
+                expr = expr + self._parse_term(spec)
+            elif token == ("op", "-"):
+                self.tokens.next()
+                expr = expr - self._parse_term(spec)
+            else:
+                return expr
+
+    def _parse_term(self, spec: _RawConjunct) -> LinExpr:
+        factor = self._parse_factor(spec)
+        while True:
+            token = self.tokens.peek()
+            if token == ("op", "*"):
+                self.tokens.next()
+                factor = self._multiply(factor, self._parse_factor(spec))
+            elif token == ("op", "%") or token == ("kw", "mod"):
+                self.tokens.next()
+                modulus_expr = self._parse_factor(spec)
+                if not modulus_expr.is_constant():
+                    raise ParseError("modulus must be a constant")
+                modulus = modulus_expr.const
+                if modulus <= 0:
+                    raise ParseError("modulus must be positive")
+                # x % m  ==>  x - m*q  with  0 <= x - m*q < m  for a fresh q.
+                quotient = spec.fresh_div()
+                remainder = factor - modulus * LinExpr.var(quotient)
+                spec.constraints.append(AffineConstraint(remainder, INEQUALITY))
+                spec.constraints.append(
+                    AffineConstraint(LinExpr.constant(modulus - 1) - remainder, INEQUALITY)
+                )
+                factor = remainder
+            else:
+                return factor
+
+    @staticmethod
+    def _multiply(left: LinExpr, right: LinExpr) -> LinExpr:
+        if left.is_constant():
+            return right * left.const
+        if right.is_constant():
+            return left * right.const
+        raise ParseError("non-linear product in affine expression")
+
+    def _parse_factor(self, spec: _RawConjunct) -> LinExpr:
+        token = self.tokens.next()
+        if token[0] == "num":
+            value = int(token[1])
+            nxt = self.tokens.peek()
+            if nxt is not None and nxt[0] == "name":
+                # Implicit multiplication such as "2k".
+                self.tokens.next()
+                return LinExpr({nxt[1]: value}, 0)
+            return LinExpr.constant(value)
+        if token[0] == "name":
+            return LinExpr.var(token[1])
+        if token == ("op", "-"):
+            return -self._parse_factor(spec)
+        if token == ("op", "+"):
+            return self._parse_factor(spec)
+        if token == ("op", "("):
+            expr = self._parse_expr(spec)
+            self.tokens.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token[1]!r} in expression")
+
+    # ------------------------------ tuples ------------------------------ #
+    def _parse_dim_tuple(self, spec: _RawConjunct) -> List[_TupleItem]:
+        items: List[_TupleItem] = []
+        self.tokens.expect("op", "[")
+        if self.tokens.accept("op", "]"):
+            return items
+        while True:
+            token = self.tokens.peek()
+            following = self.tokens.peek(1)
+            if (
+                token is not None
+                and token[0] == "name"
+                and following is not None
+                and following == ("op", ",")
+                or (token is not None and token[0] == "name" and following == ("op", "]"))
+            ):
+                self.tokens.next()
+                items.append(("name", token[1]))
+            else:
+                items.append(("expr", self._parse_expr(spec)))
+            if self.tokens.accept("op", "]"):
+                break
+            self.tokens.expect("op", ",")
+        return items
+
+    # --------------------------- constraints ---------------------------- #
+    def _parse_constraint_chain(self, spec: _RawConjunct) -> None:
+        exprs = [self._parse_expr(spec)]
+        operators: List[str] = []
+        while True:
+            token = self.tokens.peek()
+            if token is not None and token[0] == "op" and token[1] in ("<=", ">=", "<", ">", "="):
+                operators.append(self.tokens.next()[1])
+                exprs.append(self._parse_expr(spec))
+            else:
+                break
+        if not operators:
+            raise ParseError("expected a comparison operator in constraint")
+        for left, operator, right in zip(exprs, operators, exprs[1:]):
+            if operator == "=":
+                spec.constraints.append(AffineConstraint(left - right, EQUALITY))
+            elif operator == "<=":
+                spec.constraints.append(AffineConstraint(right - left, INEQUALITY))
+            elif operator == ">=":
+                spec.constraints.append(AffineConstraint(left - right, INEQUALITY))
+            elif operator == "<":
+                spec.constraints.append(AffineConstraint(right - left - 1, INEQUALITY))
+            elif operator == ">":
+                spec.constraints.append(AffineConstraint(left - right - 1, INEQUALITY))
+
+    def _parse_condition(self, spec: _RawConjunct) -> None:
+        while True:
+            if self.tokens.accept("kw", "exists"):
+                while True:
+                    name_token = self.tokens.expect("name")
+                    spec.declared_exists.append(name_token[1])
+                    if not self.tokens.accept("op", ","):
+                        break
+                self.tokens.expect("op", ":")
+                continue
+            self._parse_constraint_chain(spec)
+            if self.tokens.accept("kw", "and"):
+                continue
+            return
+
+    # ------------------------------ driver ------------------------------ #
+    def parse(self) -> Tuple[bool, List[_RawConjunct]]:
+        self.tokens.expect("op", "{")
+        conjuncts: List[_RawConjunct] = []
+        is_map: Optional[bool] = None
+        while True:
+            spec = _RawConjunct()
+            next_token = self.tokens.peek()
+            reuse_tuple = bool(conjuncts) and next_token != ("op", "[")
+            if reuse_tuple:
+                # "... or <condition>" without repeating the tuple: reuse the
+                # previous conjunct's tuple items (OMEGA-style disjunction).
+                spec.in_items = list(conjuncts[-1].in_items)
+                spec.out_items = (
+                    list(conjuncts[-1].out_items)
+                    if conjuncts[-1].out_items is not None
+                    else None
+                )
+                self.tokens.accept("op", ":")
+                self._parse_condition(spec)
+            else:
+                spec.in_items = self._parse_dim_tuple(spec)
+                if self.tokens.accept("op", "->"):
+                    spec.out_items = self._parse_dim_tuple(spec)
+                if self.tokens.accept("op", ":"):
+                    self._parse_condition(spec)
+            conjunct_is_map = spec.out_items is not None
+            if is_map is None:
+                is_map = conjunct_is_map
+            elif is_map != conjunct_is_map:
+                raise ParseError("cannot mix set and map conjuncts")
+            conjuncts.append(spec)
+            if self.tokens.accept("op", ";") or self.tokens.accept("kw", "or"):
+                continue
+            break
+        self.tokens.expect("op", "}")
+        if not self.tokens.at_end():
+            raise ParseError("trailing input after closing brace")
+        return bool(is_map), conjuncts
+
+
+# --------------------------------------------------------------------------- #
+# Lowering to Set / Map
+# --------------------------------------------------------------------------- #
+def _canonical_names(items: Sequence[_TupleItem], prefix: str, taken: Sequence[str]) -> List[str]:
+    names: List[str] = []
+    seen = set(taken)
+    for index, item in enumerate(items):
+        candidate = item[1] if item[0] == "name" else f"{prefix}{index}"
+        if not isinstance(candidate, str):
+            candidate = f"{prefix}{index}"
+        while candidate in seen:
+            candidate += "'"
+        seen.add(candidate)
+        names.append(candidate)
+    return names
+
+
+def _lower_conjunct(
+    spec: _RawConjunct,
+    in_names: Sequence[str],
+    out_names: Sequence[str],
+) -> Tuple[List[AffineConstraint], List[str]]:
+    constraints = list(spec.constraints)
+    dim_names = list(in_names) + list(out_names)
+    items = list(spec.in_items) + list(spec.out_items or [])
+    if len(items) != len(dim_names):
+        raise ParseError(
+            f"conjunct has {len(items)} dimensions, expected {len(dim_names)}"
+        )
+    for name, item in zip(dim_names, items):
+        if item[0] == "name" and item[1] == name:
+            continue
+        expr = LinExpr.var(item[1]) if item[0] == "name" else item[1]
+        constraints.append(AffineConstraint(LinExpr.var(name) - expr, EQUALITY))
+    # Any variable that is not a canonical dimension is existential.
+    exists: List[str] = []
+    seen = set(dim_names)
+    for declared in spec.declared_exists:
+        if declared not in seen:
+            exists.append(declared)
+            seen.add(declared)
+    for constraint in constraints:
+        for variable in constraint.variables():
+            if variable not in seen:
+                exists.append(variable)
+                seen.add(variable)
+    return constraints, exists
+
+
+def parse_set(text: str) -> Set:
+    """Parse the textual notation of an integer set."""
+    is_map, raw_conjuncts = _Parser(text).parse()
+    if is_map:
+        raise ParseError("expected a set, found a map (with '->')")
+    arity = len(raw_conjuncts[0].in_items)
+    for raw in raw_conjuncts:
+        if len(raw.in_items) != arity:
+            raise ParseError("conjuncts have differing arity")
+    names = _canonical_names(raw_conjuncts[0].in_items, "i", ())
+    result = Set.empty(names)
+    for raw in raw_conjuncts:
+        constraints, exists = _lower_conjunct(raw, names, ())
+        result = result.union(Set.build(names, constraints, exists=exists))
+    return result
+
+
+def parse_map(text: str) -> Map:
+    """Parse the textual notation of an integer map (tuple relation)."""
+    is_map, raw_conjuncts = _Parser(text).parse()
+    if not is_map:
+        raise ParseError("expected a map (with '->'), found a set")
+    in_arity = len(raw_conjuncts[0].in_items)
+    out_arity = len(raw_conjuncts[0].out_items or [])
+    for raw in raw_conjuncts:
+        if len(raw.in_items) != in_arity or len(raw.out_items or []) != out_arity:
+            raise ParseError("conjuncts have differing arity")
+    in_names = _canonical_names(raw_conjuncts[0].in_items, "i", ())
+    out_names = _canonical_names(raw_conjuncts[0].out_items or [], "o", in_names)
+    result = Map.empty(in_names, out_names)
+    for raw in raw_conjuncts:
+        constraints, exists = _lower_conjunct(raw, in_names, out_names)
+        result = result.union(Map.build(in_names, out_names, constraints, exists=exists))
+    return result

@@ -1,0 +1,764 @@
+"""Integer sets and maps (tuple relations) — the user-facing Presburger API.
+
+:class:`Set` and :class:`Map` are finite unions of
+:class:`~repro.presburger.conjunct.Conjunct` values over named dimensions.
+They provide the operations the equivalence checker needs from the OMEGA
+calculator: intersection, union, subtraction, composition (natural join of
+relations), domain/range, inverse, emptiness, equality and subset tests,
+restriction, and point enumeration for bounded sets.
+
+All operations are exact over the integers.  Dimension *names* are cosmetic
+(used for parsing and pretty-printing); all binary operations match
+dimensions positionally and only require equal arities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .conjunct import Conjunct, Vector
+from .constraints import AffineConstraint
+from .errors import SpaceMismatchError, UnboundedSetError
+from .linexpr import LinExpr
+from . import omega
+
+__all__ = ["Set", "Map"]
+
+
+# --------------------------------------------------------------------------- #
+# Helpers shared by Set and Map
+# --------------------------------------------------------------------------- #
+def _clean(conjuncts: Iterable[Conjunct]) -> Tuple[Conjunct, ...]:
+    """Simplify, drop infeasible conjuncts and deduplicate syntactically."""
+    seen = {}
+    for conjunct in conjuncts:
+        simplified = omega.simplify(conjunct)
+        if simplified is None:
+            continue
+        if not omega.is_feasible(simplified):
+            continue
+        key = simplified.normalized_key()
+        if key not in seen:
+            seen[key] = simplified
+    return tuple(seen.values())
+
+
+def _union_intersect(a: Sequence[Conjunct], b: Sequence[Conjunct]) -> Tuple[Conjunct, ...]:
+    return _clean(
+        omega.conjunct_intersect(left, right) for left in a for right in b
+    )
+
+
+def _union_subtract(a: Sequence[Conjunct], b: Sequence[Conjunct]) -> Tuple[Conjunct, ...]:
+    pieces: List[Conjunct] = list(a)
+    for other in b:
+        negations = omega.complement(other)
+        pieces = [
+            omega.conjunct_intersect(piece, negation)
+            for piece in pieces
+            for negation in negations
+        ]
+        pieces = list(_clean(pieces))
+        if not pieces:
+            break
+    return tuple(pieces)
+
+
+def _lower_constraints(
+    constraints: Iterable[AffineConstraint],
+    public_names: Sequence[str],
+    exist_names: Sequence[str],
+) -> Conjunct:
+    order = list(public_names) + list(exist_names)
+    if len(set(order)) != len(order):
+        raise SpaceMismatchError(f"duplicate dimension names in {order!r}")
+    eqs: List[Vector] = []
+    ineqs: List[Vector] = []
+    for constraint in constraints:
+        vector = constraint.expr.to_vector(order)
+        if constraint.is_equality:
+            eqs.append(vector)
+        else:
+            ineqs.append(vector)
+    return Conjunct(len(public_names), len(exist_names), eqs, ineqs)
+
+
+def _render_affine(names: Sequence[str], coeffs: Sequence[int], const: int) -> str:
+    expr = LinExpr({name: coefficient for name, coefficient in zip(names, coeffs)}, const)
+    return str(expr)
+
+
+def _render_conjunct_body(conjunct: Conjunct, names: Sequence[str], skip: Sequence[int] = ()) -> str:
+    all_names = list(names) + [f"e{i}" for i in range(conjunct.n_div)]
+    parts: List[str] = []
+    for index, vec in enumerate(conjunct.eqs):
+        if ("eq", index) in skip:
+            continue
+        parts.append(f"{_render_affine(all_names, vec[:-1], vec[-1])} = 0")
+    for vec in conjunct.ineqs:
+        parts.append(f"{_render_affine(all_names, vec[:-1], vec[-1])} >= 0")
+    return " and ".join(parts) if parts else "true"
+
+
+# --------------------------------------------------------------------------- #
+# Set
+# --------------------------------------------------------------------------- #
+class Set:
+    """A union of conjuncts over a tuple of named integer dimensions."""
+
+    __slots__ = ("names", "conjuncts")
+
+    def __init__(self, names: Sequence[str], conjuncts: Iterable[Conjunct] = (), *, _clean_input: bool = True):
+        self.names: Tuple[str, ...] = tuple(names)
+        conjuncts = tuple(conjuncts)
+        for conjunct in conjuncts:
+            if conjunct.n_vars != len(self.names):
+                raise SpaceMismatchError(
+                    f"conjunct has {conjunct.n_vars} dims, set has {len(self.names)}"
+                )
+        self.conjuncts: Tuple[Conjunct, ...] = _clean(conjuncts) if _clean_input else conjuncts
+
+    # -------------------------- constructors -------------------------- #
+    @staticmethod
+    def universe(names: Sequence[str]) -> "Set":
+        return Set(names, [Conjunct.universe(len(tuple(names)))], _clean_input=False)
+
+    @staticmethod
+    def empty(names: Sequence[str]) -> "Set":
+        return Set(names, [], _clean_input=False)
+
+    @staticmethod
+    def build(
+        names: Sequence[str],
+        constraints: Iterable[AffineConstraint] = (),
+        exists: Sequence[str] = (),
+    ) -> "Set":
+        """Build a single-conjunct set from symbolic affine constraints."""
+        conjunct = _lower_constraints(constraints, tuple(names), tuple(exists))
+        return Set(names, [conjunct])
+
+    @staticmethod
+    def from_points(names: Sequence[str], points: Iterable[Sequence[int]]) -> "Set":
+        """The finite set containing exactly the given integer points."""
+        names = tuple(names)
+        conjuncts = []
+        for point in points:
+            if len(point) != len(names):
+                raise SpaceMismatchError("point arity does not match set arity")
+            eqs = []
+            for index, value in enumerate(point):
+                vector = [0] * (len(names) + 1)
+                vector[index] = 1
+                vector[-1] = -int(value)
+                eqs.append(tuple(vector))
+            conjuncts.append(Conjunct(len(names), 0, eqs, []))
+        return Set(names, conjuncts)
+
+    # ---------------------------- queries ----------------------------- #
+    @property
+    def arity(self) -> int:
+        return len(self.names)
+
+    def is_empty(self) -> bool:
+        return not self.conjuncts
+
+    def is_universe(self) -> bool:
+        return any(c.is_universe() for c in self.conjuncts)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Membership test for a concrete integer point."""
+        if len(point) != self.arity:
+            raise SpaceMismatchError("point arity does not match set arity")
+        values = [int(x) for x in point]
+        for conjunct in self.conjuncts:
+            if omega.is_feasible(conjunct.substitute_vars(values)):
+                return True
+        return False
+
+    def _require_compatible(self, other: "Set") -> None:
+        if not isinstance(other, Set):
+            raise TypeError(f"expected Set, got {type(other).__name__}")
+        if other.arity != self.arity:
+            raise SpaceMismatchError(f"set arities differ: {self.arity} vs {other.arity}")
+
+    # --------------------------- operations --------------------------- #
+    def intersect(self, other: "Set") -> "Set":
+        self._require_compatible(other)
+        return Set(self.names, _union_intersect(self.conjuncts, other.conjuncts), _clean_input=False)
+
+    def union(self, other: "Set") -> "Set":
+        self._require_compatible(other)
+        return Set(self.names, _clean(self.conjuncts + other.conjuncts), _clean_input=False)
+
+    def subtract(self, other: "Set") -> "Set":
+        self._require_compatible(other)
+        return Set(self.names, _union_subtract(self.conjuncts, other.conjuncts), _clean_input=False)
+
+    def complement(self) -> "Set":
+        return Set.universe(self.names).subtract(self)
+
+    def is_subset(self, other: "Set") -> bool:
+        self._require_compatible(other)
+        return not _union_subtract(self.conjuncts, other.conjuncts)
+
+    def is_equal(self, other: "Set") -> bool:
+        return self.is_subset(other) and other.is_subset(self)
+
+    def is_disjoint(self, other: "Set") -> bool:
+        self._require_compatible(other)
+        return not _union_intersect(self.conjuncts, other.conjuncts)
+
+    def project_out(self, names: Sequence[str]) -> "Set":
+        """Existentially project away the named dimensions."""
+        names = list(names)
+        for name in names:
+            if name not in self.names:
+                raise SpaceMismatchError(f"dimension {name!r} not in set {self.names!r}")
+        cols = [self.names.index(name) for name in names]
+        remaining = tuple(n for n in self.names if n not in names)
+        pieces: List[Conjunct] = []
+        for conjunct in self.conjuncts:
+            pieces.extend(omega.project_cols(conjunct, cols))
+        return Set(remaining, pieces)
+
+    def rename(self, names: Sequence[str]) -> "Set":
+        names = tuple(names)
+        if len(names) != self.arity:
+            raise SpaceMismatchError("renaming must preserve arity")
+        return Set(names, self.conjuncts, _clean_input=False)
+
+    def coalesce(self) -> "Set":
+        """Drop conjuncts that are subsets of other conjuncts (light coalescing)."""
+        kept: List[Conjunct] = []
+        for index, conjunct in enumerate(self.conjuncts):
+            others = [c for j, c in enumerate(self.conjuncts) if j != index]
+            single = Set(self.names, [conjunct], _clean_input=False)
+            rest = Set(self.names, others, _clean_input=False)
+            if others and single.is_subset(rest):
+                continue
+            kept.append(conjunct)
+        return Set(self.names, kept, _clean_input=False)
+
+    # ------------------------ point enumeration ----------------------- #
+    def dim_bounds(self, name: str) -> Tuple[int, int]:
+        """Valid integer bounds ``(low, high)`` of dimension *name*.
+
+        The bounds enclose the dimension's values (they are derived from the
+        rational relaxation, so they may not be tight, but every point of the
+        set lies within them).  Raises :class:`UnboundedSetError` if no finite
+        bound exists and :class:`SpaceMismatchError` for unknown dimensions.
+        """
+        if name not in self.names:
+            raise SpaceMismatchError(f"dimension {name!r} not in set {self.names!r}")
+        if self.is_empty():
+            raise UnboundedSetError("cannot bound a dimension of an empty set")
+        target = self.names.index(name)
+        lower: Optional[int] = None
+        upper: Optional[int] = None
+        for conjunct in self.conjuncts:
+            other_cols = [c for c in range(conjunct.const_col) if c != target]
+            shadow = omega.real_shadow_eliminate(conjunct, other_cols)
+            conj_lower: Optional[int] = None
+            conj_upper: Optional[int] = None
+            for ineq in shadow.ineqs:
+                coefficient = ineq[0]
+                constant = ineq[-1]
+                if coefficient > 0:
+                    # a*x + c >= 0  =>  x >= ceil(-c/a)
+                    bound = (-constant + coefficient - 1) // coefficient
+                    conj_lower = bound if conj_lower is None else max(conj_lower, bound)
+                elif coefficient < 0:
+                    # a*x + c >= 0, a < 0  =>  x <= floor(c/-a)
+                    bound = constant // (-coefficient)
+                    conj_upper = bound if conj_upper is None else min(conj_upper, bound)
+            if conj_lower is None or conj_upper is None:
+                raise UnboundedSetError(f"dimension {name!r} is unbounded")
+            lower = conj_lower if lower is None else min(lower, conj_lower)
+            upper = conj_upper if upper is None else max(upper, conj_upper)
+
+        if lower is None or upper is None:
+            raise UnboundedSetError(f"dimension {name!r} is unbounded")
+        return lower, upper
+
+    def points(self, limit: int = 1_000_000) -> Iterator[Tuple[int, ...]]:
+        """Iterate over all integer points of a bounded set.
+
+        Raises :class:`UnboundedSetError` when a dimension is unbounded and a
+        :class:`ValueError` when the bounding box exceeds *limit* candidates.
+        """
+        if self.is_empty():
+            return iter(())
+        ranges = []
+        box = 1
+        for name in self.names:
+            low, high = self.dim_bounds(name)
+            ranges.append(range(low, high + 1))
+            box *= len(ranges[-1])
+            if box > limit:
+                raise ValueError(f"bounding box exceeds {limit} candidate points")
+
+        def generator() -> Iterator[Tuple[int, ...]]:
+            if not ranges:
+                # Zero-dimensional set: the single (empty) point is present iff
+                # the set is non-empty, which we already know.
+                yield ()
+                return
+            for candidate in itertools.product(*ranges):
+                if self.contains(candidate):
+                    yield candidate
+
+        return generator()
+
+    def count(self, limit: int = 1_000_000) -> int:
+        """The number of integer points of a bounded set."""
+        return sum(1 for _ in self.points(limit))
+
+    # --------------------------- dunder api ---------------------------- #
+    def __and__(self, other: "Set") -> "Set":
+        return self.intersect(other)
+
+    def __or__(self, other: "Set") -> "Set":
+        return self.union(other)
+
+    def __sub__(self, other: "Set") -> "Set":
+        return self.subtract(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Set):
+            return NotImplemented
+        return self.is_equal(other)
+
+    def __hash__(self) -> int:  # sets are mutable-free; hash on syntactic form
+        return hash((self.names, tuple(sorted(c.normalized_key() for c in self.conjuncts))))
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "{ " + "[" + ", ".join(self.names) + "] : false }"
+        pieces = []
+        header = "[" + ", ".join(self.names) + "]"
+        for conjunct in self.conjuncts:
+            body = _render_conjunct_body(conjunct, self.names)
+            pieces.append(f"{header} : {body}" if body != "true" else header)
+        return "{ " + "; ".join(pieces) + " }"
+
+    def __repr__(self) -> str:
+        return f"Set({str(self)!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Map
+# --------------------------------------------------------------------------- #
+class Map:
+    """A union of conjuncts relating an input tuple to an output tuple."""
+
+    __slots__ = ("in_names", "out_names", "conjuncts")
+
+    def __init__(
+        self,
+        in_names: Sequence[str],
+        out_names: Sequence[str],
+        conjuncts: Iterable[Conjunct] = (),
+        *,
+        _clean_input: bool = True,
+    ):
+        self.in_names: Tuple[str, ...] = tuple(in_names)
+        self.out_names: Tuple[str, ...] = tuple(out_names)
+        conjuncts = tuple(conjuncts)
+        width = len(self.in_names) + len(self.out_names)
+        for conjunct in conjuncts:
+            if conjunct.n_vars != width:
+                raise SpaceMismatchError(
+                    f"conjunct has {conjunct.n_vars} dims, map has {width}"
+                )
+        self.conjuncts: Tuple[Conjunct, ...] = _clean(conjuncts) if _clean_input else conjuncts
+
+    # -------------------------- constructors -------------------------- #
+    @staticmethod
+    def universe(in_names: Sequence[str], out_names: Sequence[str]) -> "Map":
+        width = len(tuple(in_names)) + len(tuple(out_names))
+        return Map(in_names, out_names, [Conjunct.universe(width)], _clean_input=False)
+
+    @staticmethod
+    def empty(in_names: Sequence[str], out_names: Sequence[str]) -> "Map":
+        return Map(in_names, out_names, [], _clean_input=False)
+
+    @staticmethod
+    def identity(names: Sequence[str], domain: Optional[Set] = None) -> "Map":
+        """The identity map on the given dimensions, optionally restricted to *domain*."""
+        names = tuple(names)
+        out_names = tuple(f"{n}'" for n in names)
+        width = 2 * len(names)
+        eqs = []
+        for index in range(len(names)):
+            vector = [0] * (width + 1)
+            vector[index] = 1
+            vector[len(names) + index] = -1
+            eqs.append(tuple(vector))
+        result = Map(names, out_names, [Conjunct(width, 0, eqs, [])], _clean_input=False)
+        if domain is not None:
+            result = result.restrict_domain(domain)
+        return result
+
+    @staticmethod
+    def build(
+        in_names: Sequence[str],
+        out_names: Sequence[str],
+        constraints: Iterable[AffineConstraint] = (),
+        exists: Sequence[str] = (),
+    ) -> "Map":
+        """Build a single-conjunct map from symbolic affine constraints."""
+        public = tuple(in_names) + tuple(out_names)
+        conjunct = _lower_constraints(constraints, public, tuple(exists))
+        return Map(in_names, out_names, [conjunct])
+
+    @staticmethod
+    def from_exprs(
+        in_names: Sequence[str],
+        out_exprs: Sequence[LinExpr],
+        domain_constraints: Iterable[AffineConstraint] = (),
+        out_names: Optional[Sequence[str]] = None,
+    ) -> "Map":
+        """The affine function ``in -> (out_exprs)`` restricted by *domain_constraints*.
+
+        Output expressions must be affine in the input dimensions.
+        """
+        in_names = tuple(in_names)
+        if out_names is None:
+            out_names = tuple(f"o{i}" for i in range(len(out_exprs)))
+        out_names = tuple(out_names)
+        constraints: List[AffineConstraint] = []
+        for name, expr in zip(out_names, out_exprs):
+            constraints.append(AffineConstraint(LinExpr.var(name) - expr, "=="))
+        constraints.extend(domain_constraints)
+        return Map.build(in_names, out_names, constraints)
+
+    # ---------------------------- queries ----------------------------- #
+    @property
+    def n_in(self) -> int:
+        return len(self.in_names)
+
+    @property
+    def n_out(self) -> int:
+        return len(self.out_names)
+
+    def is_empty(self) -> bool:
+        return not self.conjuncts
+
+    def contains(self, in_point: Sequence[int], out_point: Sequence[int]) -> bool:
+        values = [int(x) for x in in_point] + [int(x) for x in out_point]
+        if len(values) != self.n_in + self.n_out:
+            raise SpaceMismatchError("point arity does not match map arity")
+        for conjunct in self.conjuncts:
+            if omega.is_feasible(conjunct.substitute_vars(values)):
+                return True
+        return False
+
+    def _require_compatible(self, other: "Map") -> None:
+        if not isinstance(other, Map):
+            raise TypeError(f"expected Map, got {type(other).__name__}")
+        if other.n_in != self.n_in or other.n_out != self.n_out:
+            raise SpaceMismatchError(
+                f"map arities differ: {self.n_in}->{self.n_out} vs {other.n_in}->{other.n_out}"
+            )
+
+    # --------------------------- operations --------------------------- #
+    def intersect(self, other: "Map") -> "Map":
+        self._require_compatible(other)
+        return Map(self.in_names, self.out_names, _union_intersect(self.conjuncts, other.conjuncts), _clean_input=False)
+
+    def union(self, other: "Map") -> "Map":
+        self._require_compatible(other)
+        return Map(self.in_names, self.out_names, _clean(self.conjuncts + other.conjuncts), _clean_input=False)
+
+    def subtract(self, other: "Map") -> "Map":
+        self._require_compatible(other)
+        return Map(self.in_names, self.out_names, _union_subtract(self.conjuncts, other.conjuncts), _clean_input=False)
+
+    def is_subset(self, other: "Map") -> bool:
+        self._require_compatible(other)
+        return not _union_subtract(self.conjuncts, other.conjuncts)
+
+    def is_equal(self, other: "Map") -> bool:
+        return self.is_subset(other) and other.is_subset(self)
+
+    def is_disjoint(self, other: "Map") -> bool:
+        self._require_compatible(other)
+        return not _union_intersect(self.conjuncts, other.conjuncts)
+
+    def as_set(self) -> Set:
+        """The map viewed as a set over the concatenated (in, out) dimensions."""
+        names = self._wrapped_names()
+        return Set(names, self.conjuncts, _clean_input=False)
+
+    def _wrapped_names(self) -> Tuple[str, ...]:
+        out_names = tuple(
+            name if name not in self.in_names else f"{name}'" for name in self.out_names
+        )
+        return self.in_names + out_names
+
+    def domain(self) -> Set:
+        """The set of input tuples related to at least one output tuple."""
+        wrapped = self.as_set()
+        return wrapped.project_out(wrapped.names[self.n_in :]).rename(self.in_names)
+
+    def range(self) -> Set:
+        """The set of output tuples related to at least one input tuple."""
+        wrapped = self.as_set()
+        return wrapped.project_out(wrapped.names[: self.n_in]).rename(self.out_names)
+
+    def inverse(self) -> "Map":
+        """The relation with inputs and outputs swapped."""
+        width = self.n_in + self.n_out
+
+        def swap(vec: Vector) -> Vector:
+            ins = vec[: self.n_in]
+            outs = vec[self.n_in : width]
+            rest = vec[width:]
+            return outs + ins + rest
+
+        conjuncts = [
+            Conjunct(width, c.n_div, [swap(v) for v in c.eqs], [swap(v) for v in c.ineqs])
+            for c in self.conjuncts
+        ]
+        return Map(self.out_names, self.in_names, conjuncts, _clean_input=False)
+
+    def compose(self, other: "Map") -> "Map":
+        """Relational composition ``self`` *then* ``other``.
+
+        ``result = { x -> z : exists y . (x -> y) in self and (y -> z) in other }``
+        This is the natural join used by the paper to reduce intermediate
+        variables:  ``M_C_B = M_C_tmp . M_tmp_B``.
+        """
+        if not isinstance(other, Map):
+            raise TypeError(f"expected Map, got {type(other).__name__}")
+        if self.n_out != other.n_in:
+            raise SpaceMismatchError(
+                f"cannot compose: left has {self.n_out} outputs, right has {other.n_in} inputs"
+            )
+        n_x, n_y, n_z = self.n_in, self.n_out, other.n_out
+        width = n_x + n_z
+        pieces: List[Conjunct] = []
+        for left in self.conjuncts:
+            for right in other.conjuncts:
+                n_div = left.n_div + right.n_div + n_y
+                eqs: List[Vector] = []
+                ineqs: List[Vector] = []
+
+                def lift_left(vec: Vector) -> Vector:
+                    x = vec[:n_x]
+                    y = vec[n_x : n_x + n_y]
+                    divs = vec[n_x + n_y : -1]
+                    constant = vec[-1]
+                    return (
+                        x
+                        + (0,) * n_z
+                        + divs
+                        + (0,) * right.n_div
+                        + y
+                        + (constant,)
+                    )
+
+                def lift_right(vec: Vector) -> Vector:
+                    y = vec[:n_y]
+                    z = vec[n_y : n_y + n_z]
+                    divs = vec[n_y + n_z : -1]
+                    constant = vec[-1]
+                    return (
+                        (0,) * n_x
+                        + z
+                        + (0,) * left.n_div
+                        + divs
+                        + y
+                        + (constant,)
+                    )
+
+                for vec in left.eqs:
+                    eqs.append(lift_left(vec))
+                for vec in left.ineqs:
+                    ineqs.append(lift_left(vec))
+                for vec in right.eqs:
+                    eqs.append(lift_right(vec))
+                for vec in right.ineqs:
+                    ineqs.append(lift_right(vec))
+                pieces.append(Conjunct(width, n_div, eqs, ineqs))
+        return Map(self.in_names, other.out_names, pieces)
+
+    def apply(self, domain_set: Set) -> Set:
+        """The image of *domain_set* under this map."""
+        return self.restrict_domain(domain_set).range()
+
+    def preimage(self, range_set: Set) -> Set:
+        """The preimage of *range_set* under this map."""
+        return self.restrict_range(range_set).domain()
+
+    def restrict_domain(self, domain_set: Set) -> "Map":
+        """Keep only pairs whose input tuple lies in *domain_set*."""
+        if domain_set.arity != self.n_in:
+            raise SpaceMismatchError("domain restriction arity mismatch")
+        pieces: List[Conjunct] = []
+        for map_conjunct in self.conjuncts:
+            for set_conjunct in domain_set.conjuncts:
+                lifted = self._lift_set_conjunct(set_conjunct, at_input=True)
+                pieces.append(omega.conjunct_intersect(map_conjunct, lifted))
+        return Map(self.in_names, self.out_names, pieces)
+
+    def restrict_range(self, range_set: Set) -> "Map":
+        """Keep only pairs whose output tuple lies in *range_set*."""
+        if range_set.arity != self.n_out:
+            raise SpaceMismatchError("range restriction arity mismatch")
+        pieces: List[Conjunct] = []
+        for map_conjunct in self.conjuncts:
+            for set_conjunct in range_set.conjuncts:
+                lifted = self._lift_set_conjunct(set_conjunct, at_input=False)
+                pieces.append(omega.conjunct_intersect(map_conjunct, lifted))
+        return Map(self.in_names, self.out_names, pieces)
+
+    def _lift_set_conjunct(self, conjunct: Conjunct, *, at_input: bool) -> Conjunct:
+        width = self.n_in + self.n_out
+
+        def lift(vec: Vector) -> Vector:
+            dims = vec[: conjunct.n_vars]
+            divs = vec[conjunct.n_vars : -1]
+            constant = vec[-1]
+            if at_input:
+                return dims + (0,) * self.n_out + divs + (constant,)
+            return (0,) * self.n_in + dims + divs + (constant,)
+
+        return Conjunct(width, conjunct.n_div, [lift(v) for v in conjunct.eqs], [lift(v) for v in conjunct.ineqs])
+
+    def is_single_valued(self) -> bool:
+        """True when every input tuple is related to at most one output tuple."""
+        pairs = self.inverse().compose(self)
+        identity = Map.identity(self.out_names)
+        return pairs.is_subset(Map(identity.in_names, identity.out_names, identity.conjuncts, _clean_input=False))
+
+    def is_injective(self) -> bool:
+        """True when no two input tuples map to the same output tuple."""
+        return self.inverse().is_single_valued()
+
+    def is_bijection_on_domain(self) -> bool:
+        return self.is_single_valued() and self.is_injective()
+
+    def deltas(self) -> Set:
+        """The set of differences ``out - in`` (requires equal in/out arity)."""
+        if self.n_in != self.n_out:
+            raise SpaceMismatchError("deltas requires equal input and output arity")
+        delta_names = tuple(f"d{i}" for i in range(self.n_in))
+        # Build map (in, out) space extended with delta dims, then project.
+        width = self.n_in + self.n_out
+        pieces: List[Conjunct] = []
+        for conjunct in self.conjuncts:
+            extended = Conjunct(
+                width + self.n_in,
+                conjunct.n_div,
+                [v[:width] + (0,) * self.n_in + v[width:] for v in conjunct.eqs],
+                [v[:width] + (0,) * self.n_in + v[width:] for v in conjunct.ineqs],
+            )
+            delta_eqs = []
+            for index in range(self.n_in):
+                vector = [0] * (extended.n_cols)
+                vector[index] = 1  # in_i
+                vector[self.n_in + index] = -1  # -out_i
+                vector[width + index] = 1  # +d_i
+                delta_eqs.append(tuple(vector))
+            extended = extended.with_constraints(eqs=delta_eqs)
+            pieces.extend(omega.project_cols(extended, list(range(width))))
+        return Set(delta_names, pieces)
+
+    def rename(self, in_names: Sequence[str], out_names: Sequence[str]) -> "Map":
+        in_names, out_names = tuple(in_names), tuple(out_names)
+        if len(in_names) != self.n_in or len(out_names) != self.n_out:
+            raise SpaceMismatchError("renaming must preserve arities")
+        return Map(in_names, out_names, self.conjuncts, _clean_input=False)
+
+    def coalesce(self) -> "Map":
+        kept: List[Conjunct] = []
+        for index, conjunct in enumerate(self.conjuncts):
+            others = [c for j, c in enumerate(self.conjuncts) if j != index]
+            if others:
+                single = Map(self.in_names, self.out_names, [conjunct], _clean_input=False)
+                rest = Map(self.in_names, self.out_names, others, _clean_input=False)
+                if single.is_subset(rest):
+                    continue
+            kept.append(conjunct)
+        return Map(self.in_names, self.out_names, kept, _clean_input=False)
+
+    # ------------------------ point enumeration ----------------------- #
+    def pairs(self, limit: int = 1_000_000) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Iterate over (input, output) pairs of a bounded relation."""
+        for point in self.as_set().points(limit):
+            yield point[: self.n_in], point[self.n_in :]
+
+    # --------------------------- dunder api ---------------------------- #
+    def __and__(self, other: "Map") -> "Map":
+        return self.intersect(other)
+
+    def __or__(self, other: "Map") -> "Map":
+        return self.union(other)
+
+    def __sub__(self, other: "Map") -> "Map":
+        return self.subtract(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Map):
+            return NotImplemented
+        return self.is_equal(other)
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.in_names, self.out_names, tuple(sorted(c.normalized_key() for c in self.conjuncts)))
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "{ [" + ", ".join(self.in_names) + "] -> [" + ", ".join(self.out_names) + "] : false }"
+        pieces = []
+        for conjunct in self.conjuncts:
+            pieces.append(self._render_conjunct(conjunct))
+        return "{ " + "; ".join(pieces) + " }"
+
+    def _render_conjunct(self, conjunct: Conjunct) -> str:
+        """Render one conjunct, preferring the ``[in] -> [f(in)]`` image form."""
+        names = self._wrapped_names()
+        in_part = "[" + ", ".join(self.in_names) + "]"
+        out_exprs: List[str] = []
+        used_eqs: List[Tuple[str, int]] = []
+        for out_index in range(self.n_out):
+            col = self.n_in + out_index
+            expr_text = None
+            for eq_index, eq in enumerate(conjunct.eqs):
+                if abs(eq[col]) != 1:
+                    continue
+                if any(eq[self.n_in + j] != 0 for j in range(self.n_out) if j != out_index):
+                    continue
+                if any(eq[conjunct.n_vars + d] != 0 for d in range(conjunct.n_div)):
+                    continue
+                sign = -eq[col]
+                coeffs = {
+                    self.in_names[i]: sign * eq[i] for i in range(self.n_in) if eq[i] != 0
+                }
+                expr_text = str(LinExpr(coeffs, sign * eq[-1]))
+                used_eqs.append(("eq", eq_index))
+                break
+            if expr_text is None:
+                out_exprs = []
+                used_eqs = []
+                break
+            out_exprs.append(expr_text)
+        if out_exprs:
+            body = _render_conjunct_body(conjunct, names, skip=used_eqs)
+            head = f"{in_part} -> [{', '.join(out_exprs)}]"
+        else:
+            body = _render_conjunct_body(conjunct, names)
+            head = f"{in_part} -> [{', '.join(names[self.n_in:])}]"
+        return f"{head} : {body}" if body != "true" else head
+
+    def __repr__(self) -> str:
+        return f"Map({str(self)!r})"

@@ -1,0 +1,63 @@
+"""Source-to-source transformations: loop, data-flow, algebraic, and error injection."""
+
+from .algebraic import (
+    collect_chain,
+    commute_operands,
+    random_reassociation,
+    reassociate_chain,
+    rebuild_chain,
+    rotate_left,
+    rotate_right,
+)
+from .dataflow import forward_substitution, introduce_temporary
+from .errors import LocateError, TransformError
+from .loop import (
+    loop_fission,
+    loop_fusion,
+    loop_interchange,
+    loop_normalize_steps,
+    loop_reversal,
+    loop_shift,
+    loop_split,
+)
+from .mutate import (
+    Mutation,
+    change_operator,
+    perturb_read_index,
+    perturb_write_index,
+    random_mutation,
+    replace_read_array,
+    shrink_loop_bound,
+)
+from .pipeline import TransformStep, apply_pipeline, apply_random_transforms
+
+__all__ = [
+    "LocateError",
+    "Mutation",
+    "TransformError",
+    "TransformStep",
+    "apply_pipeline",
+    "apply_random_transforms",
+    "change_operator",
+    "collect_chain",
+    "commute_operands",
+    "forward_substitution",
+    "introduce_temporary",
+    "loop_fission",
+    "loop_fusion",
+    "loop_interchange",
+    "loop_normalize_steps",
+    "loop_reversal",
+    "loop_shift",
+    "loop_split",
+    "perturb_read_index",
+    "perturb_write_index",
+    "random_mutation",
+    "random_reassociation",
+    "reassociate_chain",
+    "rebuild_chain",
+    "replace_read_array",
+    "rotate_left",
+    "rotate_right",
+    "shrink_loop_bound",
+]

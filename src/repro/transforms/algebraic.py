@@ -1,0 +1,129 @@
+"""Global algebraic data-flow transformations (associativity / commutativity).
+
+These rewrites exploit the algebraic properties of operators — exactly the
+transformations whose verification is the headline contribution of the paper
+(Section 4, Fig. 3).  They operate purely syntactically on expression trees;
+combined with expression propagation they produce globally reorganised
+data-flow such as the paper's version (c).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang.ast import Assignment, BinOp, Expr, Program
+from .errors import TransformError
+from .locate import find_assignment, get_subexpr, replace_subexpr
+
+__all__ = [
+    "commute_operands",
+    "rotate_left",
+    "rotate_right",
+    "reassociate_chain",
+    "random_reassociation",
+    "collect_chain",
+    "rebuild_chain",
+]
+
+
+def commute_operands(program: Program, label: str, path: Sequence[int] = ()) -> Program:
+    """Swap the two operands of the binary operator at *path* in statement *label*."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+    node = get_subexpr(assignment.rhs, path)
+    if not isinstance(node, BinOp):
+        raise TransformError("commutation target is not a binary operation")
+    swapped = BinOp(node.op, node.rhs.clone(), node.lhs.clone())
+    assignment.rhs = replace_subexpr(assignment.rhs, path, swapped)
+    return result
+
+
+def rotate_left(program: Program, label: str, path: Sequence[int] = ()) -> Program:
+    """Associativity rewrite ``a op (b op c)  ->  (a op b) op c`` at *path*."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+    node = get_subexpr(assignment.rhs, path)
+    if not (isinstance(node, BinOp) and isinstance(node.rhs, BinOp) and node.rhs.op == node.op):
+        raise TransformError("rotate_left requires a right-nested chain of the same operator")
+    rotated = BinOp(node.op, BinOp(node.op, node.lhs.clone(), node.rhs.lhs.clone()), node.rhs.rhs.clone())
+    assignment.rhs = replace_subexpr(assignment.rhs, path, rotated)
+    return result
+
+
+def rotate_right(program: Program, label: str, path: Sequence[int] = ()) -> Program:
+    """Associativity rewrite ``(a op b) op c  ->  a op (b op c)`` at *path*."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+    node = get_subexpr(assignment.rhs, path)
+    if not (isinstance(node, BinOp) and isinstance(node.lhs, BinOp) and node.lhs.op == node.op):
+        raise TransformError("rotate_right requires a left-nested chain of the same operator")
+    rotated = BinOp(node.op, node.lhs.lhs.clone(), BinOp(node.op, node.lhs.rhs.clone(), node.rhs.clone()))
+    assignment.rhs = replace_subexpr(assignment.rhs, path, rotated)
+    return result
+
+
+def collect_chain(expr: Expr, op: str) -> List[Expr]:
+    """The operands of the maximal *op*-chain rooted at *expr*, left to right."""
+    if isinstance(expr, BinOp) and expr.op == op:
+        return collect_chain(expr.lhs, op) + collect_chain(expr.rhs, op)
+    return [expr]
+
+
+def rebuild_chain(operands: Sequence[Expr], op: str, left_assoc: bool = True) -> Expr:
+    """Rebuild an *op*-chain over *operands* with the requested association."""
+    if not operands:
+        raise TransformError("cannot rebuild an empty chain")
+    operands = [operand.clone() for operand in operands]
+    if len(operands) == 1:
+        return operands[0]
+    if left_assoc:
+        result = operands[0]
+        for operand in operands[1:]:
+            result = BinOp(op, result, operand)
+        return result
+    result = operands[-1]
+    for operand in reversed(operands[:-1]):
+        result = BinOp(op, operand, result)
+    return result
+
+
+def reassociate_chain(
+    program: Program,
+    label: str,
+    order: Optional[Sequence[int]] = None,
+    op: str = "+",
+    left_assoc: bool = True,
+    path: Sequence[int] = (),
+) -> Program:
+    """Reorder and re-associate the *op*-chain at *path* of statement *label*.
+
+    *order* is a permutation of the chain positions (identity if omitted).
+    Reordering uses commutativity, re-association uses associativity — the
+    checker must therefore be run with both properties declared to verify the
+    result (which is the point of the exercise).
+    """
+    result = program.clone()
+    assignment = find_assignment(result, label)
+    node = get_subexpr(assignment.rhs, path)
+    operands = collect_chain(node, op)
+    if len(operands) < 2:
+        raise TransformError(f"statement {label!r} has no {op!r}-chain to reassociate")
+    if order is None:
+        order = list(range(len(operands)))
+    if sorted(order) != list(range(len(operands))):
+        raise TransformError(f"order {order!r} is not a permutation of the {len(operands)} operand positions")
+    reordered = [operands[i] for i in order]
+    assignment.rhs = replace_subexpr(assignment.rhs, path, rebuild_chain(reordered, op, left_assoc))
+    return result
+
+
+def random_reassociation(program: Program, label: str, rng: random.Random, op: str = "+") -> Program:
+    """Apply a random commutation + re-association to the *op*-chain of statement *label*."""
+    assignment = find_assignment(program, label)
+    operands = collect_chain(assignment.rhs, op)
+    if len(operands) < 2:
+        raise TransformError(f"statement {label!r} has no {op!r}-chain to reassociate")
+    order = list(range(len(operands)))
+    rng.shuffle(order)
+    return reassociate_chain(program, label, order, op=op, left_assoc=bool(rng.getrandbits(1)))

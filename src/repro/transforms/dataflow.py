@@ -1,0 +1,188 @@
+"""Global data-flow transformations: expression propagation in both directions.
+
+Expression propagation either *eliminates* a temporary array by substituting
+its defining expression into its uses (forward substitution) or *introduces*
+a temporary array that holds an intermediate value (the reverse direction).
+These are the data-flow transformations of the paper's target set that do not
+rely on algebraic properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.ast import (
+    ArrayDecl,
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Expr,
+    ForLoop,
+    IntConst,
+    Program,
+    Statement,
+    UnaryOp,
+    VarRef,
+    map_expr,
+    substitute_vars,
+    walk_expr,
+)
+from .errors import TransformError
+from .locate import enclosing_loops, find_assignment, get_subexpr, replace_subexpr, statement_container
+
+__all__ = ["forward_substitution", "introduce_temporary"]
+
+
+def _invert_write_index(write_index: Expr, use_index: Expr, iterator: str) -> Optional[Expr]:
+    """Solve ``write_index(iterator) == use_index`` for the iterator.
+
+    Supports write indices of the form ``k``, ``k + c``, ``k - c`` and
+    ``-k + c`` (unit coefficient), which covers the overwhelmingly common
+    cases; returns ``None`` otherwise.
+    """
+    if isinstance(write_index, VarRef) and write_index.name == iterator:
+        return use_index.clone()
+    if isinstance(write_index, BinOp) and write_index.op in ("+", "-"):
+        lhs, rhs = write_index.lhs, write_index.rhs
+        if isinstance(lhs, VarRef) and lhs.name == iterator and isinstance(rhs, IntConst):
+            # k + c = u  ->  k = u - c     |   k - c = u  ->  k = u + c
+            op = "-" if write_index.op == "+" else "+"
+            return BinOp(op, use_index.clone(), IntConst(rhs.value))
+        if isinstance(rhs, VarRef) and rhs.name == iterator and isinstance(lhs, IntConst):
+            if write_index.op == "+":
+                # c + k = u  ->  k = u - c
+                return BinOp("-", use_index.clone(), IntConst(lhs.value))
+            # c - k = u  ->  k = c - u
+            return BinOp("-", IntConst(lhs.value), use_index.clone())
+    if isinstance(write_index, UnaryOp) and write_index.op == "-":
+        inner = write_index.operand
+        if isinstance(inner, VarRef) and inner.name == iterator:
+            return UnaryOp("-", use_index.clone())
+    return None
+
+
+def forward_substitution(program: Program, array: str) -> Program:
+    """Eliminate the intermediate *array* by substituting its definition into all uses.
+
+    Requirements (checked, :class:`TransformError` otherwise):
+
+    * *array* is a local (intermediate) array of the program;
+    * it is defined by exactly one assignment, nested in exactly one loop,
+      with a write index that is invertible in the loop iterator
+      (``tmp[k]``, ``tmp[k + c]``, ``tmp[c - k]``, ...);
+    * its defining expression only reads arrays that are not written between
+      the definition and the uses (not checked here — the equivalence checker
+      verifies the result, in the spirit of a-posteriori validation).
+    """
+    if array not in [decl.name for decl in program.locals if not decl.is_scalar]:
+        raise TransformError(f"{array!r} is not an intermediate array of the program")
+    definitions = [a for a in program.assignments() if a.target.name == array]
+    if len(definitions) != 1:
+        raise TransformError(
+            f"forward substitution requires exactly one definition of {array!r}, found {len(definitions)}"
+        )
+    definition = definitions[0]
+    if len(definition.target.indices) != 1:
+        raise TransformError("forward substitution currently supports one-dimensional temporaries")
+    loops = enclosing_loops(program, definition.label) if definition.label else []
+    if len(loops) != 1:
+        raise TransformError("the definition must be nested in exactly one loop")
+    iterator = loops[-1].var
+    write_index = definition.target.indices[0]
+
+    result = program.clone()
+    new_definition = find_assignment(result, definition.label)
+
+    def substitute_use(node: Expr) -> Expr:
+        if isinstance(node, ArrayRef) and node.name == array:
+            if len(node.indices) != 1:
+                raise TransformError(f"use of {array!r} has unexpected dimensionality")
+            solved = _invert_write_index(write_index, node.indices[0], iterator)
+            if solved is None:
+                raise TransformError(
+                    f"cannot invert the write index {write_index!r} of {array!r} for substitution"
+                )
+            return substitute_vars(new_definition.rhs.clone(), {iterator: solved})
+        return node
+
+    for assignment in result.assignments():
+        if assignment.target.name == array:
+            continue
+        assignment.rhs = map_expr(assignment.rhs, substitute_use)
+
+    # Remove the defining statement (and its loop if it becomes empty) and the declaration.
+    container, index = statement_container(result, new_definition)
+    del container[index]
+    _prune_empty_loops(result.body)
+    result.locals = [decl for decl in result.locals if decl.name != array]
+    return result
+
+
+def _prune_empty_loops(statements: List[Statement]) -> None:
+    index = 0
+    while index < len(statements):
+        statement = statements[index]
+        if isinstance(statement, ForLoop):
+            _prune_empty_loops(statement.body)
+            if not statement.body:
+                del statements[index]
+                continue
+        index += 1
+
+
+def introduce_temporary(
+    program: Program,
+    label: str,
+    path: Sequence[int],
+    temp_name: str,
+) -> Program:
+    """Introduce a temporary array holding the sub-expression at *path* of statement *label*.
+
+    A new loop nest (copying the headers of the loops enclosing the statement)
+    is inserted immediately before the outermost enclosing loop; it assigns
+    the sub-expression to ``temp_name[iterators...]`` and the original
+    statement reads the temporary instead.  This is the inverse of forward
+    substitution and is only applicable when the loop bounds are constants
+    (needed to size the temporary).
+    """
+    declared = {decl.name for decl in list(program.params) + list(program.locals)}
+    if temp_name in declared:
+        raise TransformError(f"array name {temp_name!r} is already declared")
+    assignment = find_assignment(program, label)
+    loops = enclosing_loops(program, label)
+    if not loops:
+        raise TransformError("the target statement must be nested in at least one loop")
+    subexpr = get_subexpr(assignment.rhs, path)
+    if isinstance(subexpr, IntConst):
+        raise TransformError("introducing a temporary for a constant is not useful")
+
+    sizes: List[int] = []
+    for loop in loops:
+        init = loop.init
+        bound = loop.bound
+        if not isinstance(init, IntConst) or not isinstance(bound, IntConst):
+            raise TransformError("introduce_temporary requires constant loop bounds")
+        extent = max(abs(bound.value), abs(init.value)) + 2
+        sizes.append(extent)
+
+    result = program.clone()
+    new_assignment = find_assignment(result, label)
+    iterators = [loop.var for loop in loops]
+    temp_ref = ArrayRef(temp_name, [VarRef(name) for name in iterators])
+
+    sub = get_subexpr(new_assignment.rhs, path)
+    temp_statement = Assignment(f"{label}_pre", ArrayRef(temp_name, [VarRef(n) for n in iterators]), sub.clone())
+    new_assignment.rhs = replace_subexpr(new_assignment.rhs, path, temp_ref)
+
+    # Build the new loop nest around the temporary's definition.
+    body: List[Statement] = [temp_statement]
+    for loop in reversed(loops):
+        body = [ForLoop(loop.var, loop.init.clone(), loop.cond_op, loop.bound.clone(), loop.step, body)]
+
+    # Insert the new loop nest immediately before the outermost loop that
+    # encloses the (cloned) target statement.
+    target_outer = enclosing_loops(result, label)[0]
+    container, index = statement_container(result, target_outer)
+    container[index:index] = body
+    result.locals.append(ArrayDecl(temp_name, sizes))
+    return result

@@ -1,0 +1,9 @@
+"""Exceptions raised by the source-to-source transformation engine."""
+
+
+class TransformError(Exception):
+    """Raised when a transformation cannot be applied to the given program."""
+
+
+class LocateError(TransformError):
+    """Raised when the statement / loop / expression a transformation targets cannot be found."""

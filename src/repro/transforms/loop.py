@@ -1,0 +1,383 @@
+"""Global loop transformations (fission, fusion, reversal, interchange, splitting, shifting).
+
+These are the loop transformations of the paper's target transformation set:
+they reorder and restructure the ``for`` loops of the program to improve the
+temporal / spatial locality of array accesses.  The functions here are
+*syntactic rewrites*: they do not verify legality — that is precisely the job
+of the equivalence checker (the paper's a-posteriori verification philosophy).
+All functions return a new program and leave the input untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang.ast import (
+    Assignment,
+    BinOp,
+    Expr,
+    ForLoop,
+    IfThenElse,
+    IntConst,
+    Program,
+    Statement,
+    VarRef,
+    substitute_vars,
+)
+from .errors import TransformError
+from .locate import enclosing_loops, loop_of_label, statement_container
+
+__all__ = [
+    "loop_fission",
+    "loop_fusion",
+    "loop_reversal",
+    "loop_interchange",
+    "loop_split",
+    "loop_shift",
+    "loop_normalize_steps",
+]
+
+
+def _constant_value(expr: Expr) -> Optional[int]:
+    if isinstance(expr, IntConst):
+        return expr.value
+    return None
+
+
+def _find_loop_like(program: Program, template: ForLoop) -> ForLoop:
+    """Find the loop in *program* equal to *template* (used after cloning)."""
+    for statement in program.statements():
+        if isinstance(statement, ForLoop) and statement == template:
+            return statement
+    raise TransformError("loop not found in cloned program")
+
+
+def loop_fission(program: Program, label: str, depth: int = -1) -> Program:
+    """Distribute the loop enclosing *label* over its top-level body statements.
+
+    ``for (k) { S1; S2; ... }`` becomes ``for (k) S1; for (k) S2; ...``.
+    """
+    target = loop_of_label(program, label, depth)
+    result = program.clone()
+    loop = _find_loop_like(result, target)
+    if len(loop.body) < 2:
+        raise TransformError("loop fission requires a loop body with at least two statements")
+    replacements: List[Statement] = []
+    for statement in loop.body:
+        replacements.append(
+            ForLoop(loop.var, loop.init.clone(), loop.cond_op, loop.bound.clone(), loop.step, [statement.clone()], loop.line)
+        )
+    container, index = statement_container(result, loop)
+    container[index : index + 1] = replacements
+    return result
+
+
+def loop_fusion(program: Program, first_label: str, second_label: str) -> Program:
+    """Fuse the loops enclosing the two labels into a single loop.
+
+    The two loops must be adjacent siblings with identical bounds and step.
+    """
+    first_target = loop_of_label(program, first_label, 0)
+    second_target = loop_of_label(program, second_label, 0)
+    result = program.clone()
+    first = _find_loop_like(result, first_target)
+    second = _find_loop_like(result, second_target)
+    container, index = statement_container(result, first)
+    container2, index2 = statement_container(result, second)
+    if container is not container2 or index2 != index + 1:
+        raise TransformError("loop fusion requires two adjacent sibling loops")
+    if (
+        first.init != second.init
+        or first.bound != second.bound
+        or first.cond_op != second.cond_op
+        or first.step != second.step
+    ):
+        raise TransformError("loop fusion requires identical loop headers")
+    renamed_body = [
+        _rename_iterator(statement, second.var, first.var) for statement in second.body
+    ]
+    fused = ForLoop(
+        first.var,
+        first.init.clone(),
+        first.cond_op,
+        first.bound.clone(),
+        first.step,
+        [s.clone() for s in first.body] + renamed_body,
+        first.line,
+    )
+    container[index : index + 2] = [fused]
+    return result
+
+
+def _rename_iterator(statement: Statement, old: str, new: str) -> Statement:
+    if old == new:
+        return statement.clone()
+    binding = {old: VarRef(new)}
+    if isinstance(statement, Assignment):
+        target = substitute_vars(statement.target, binding)
+        return Assignment(statement.label, target, substitute_vars(statement.rhs, binding), statement.line)
+    if isinstance(statement, ForLoop):
+        return ForLoop(
+            statement.var,
+            substitute_vars(statement.init, binding),
+            statement.cond_op,
+            substitute_vars(statement.bound, binding),
+            statement.step,
+            [_rename_iterator(child, old, new) for child in statement.body],
+            statement.line,
+        )
+    if isinstance(statement, IfThenElse):
+        condition = statement.condition.clone()
+        from ..lang.ast import And, Comparison
+
+        def rename_condition(cond):
+            if isinstance(cond, Comparison):
+                return Comparison(cond.op, substitute_vars(cond.lhs, binding), substitute_vars(cond.rhs, binding))
+            if isinstance(cond, And):
+                return And([rename_condition(part) for part in cond.parts])
+            raise TransformError("unsupported condition")
+
+        return IfThenElse(
+            rename_condition(statement.condition),
+            [_rename_iterator(child, old, new) for child in statement.then_body],
+            [_rename_iterator(child, old, new) for child in statement.else_body],
+            statement.line,
+        )
+    raise TransformError(f"cannot rename iterator in {type(statement).__name__}")
+
+
+def loop_reversal(program: Program, label: str, depth: int = -1) -> Program:
+    """Reverse the iteration order of the loop enclosing *label*.
+
+    Requires constant loop bounds (the common case after preprocessing).
+    """
+    target = loop_of_label(program, label, depth)
+    result = program.clone()
+    loop = _find_loop_like(result, target)
+    init = _constant_value(loop.init)
+    bound = _constant_value(loop.bound)
+    if init is None or bound is None:
+        raise TransformError("loop reversal requires constant loop bounds")
+    step = loop.step
+    values = _iteration_values(init, loop.cond_op, bound, step)
+    if not values:
+        raise TransformError("cannot reverse a loop with an empty iteration range")
+    first, last = values[0], values[-1]
+    new_loop = ForLoop(
+        loop.var,
+        IntConst(last),
+        ">=" if step > 0 else "<=",
+        IntConst(first),
+        -step,
+        [statement.clone() for statement in loop.body],
+        loop.line,
+    )
+    container, index = statement_container(result, loop)
+    container[index] = new_loop
+    return result
+
+
+def _iteration_values(init: int, cond_op: str, bound: int, step: int) -> List[int]:
+    values = []
+    current = init
+    comparator = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }[cond_op]
+    guard = 0
+    while comparator(current, bound):
+        values.append(current)
+        current += step
+        guard += 1
+        if guard > 10_000_000:
+            raise TransformError("loop range too large to reverse")
+    return values
+
+
+def loop_interchange(program: Program, label: str) -> Program:
+    """Interchange the two innermost loops enclosing *label* (must be perfectly nested)."""
+    loops = enclosing_loops(program, label)
+    if len(loops) < 2:
+        raise TransformError("loop interchange requires a loop nest of depth at least two")
+    outer_target, inner_target = loops[-2], loops[-1]
+    result = program.clone()
+    outer = _find_loop_like(result, outer_target)
+    if len(outer.body) != 1 or not isinstance(outer.body[0], ForLoop):
+        raise TransformError("loop interchange requires perfectly nested loops")
+    inner = outer.body[0]
+    if _depends_on(inner.init, outer.var) or _depends_on(inner.bound, outer.var):
+        raise TransformError("loop interchange requires rectangular (non-triangular) loop nests")
+    new_inner = ForLoop(
+        outer.var,
+        outer.init.clone(),
+        outer.cond_op,
+        outer.bound.clone(),
+        outer.step,
+        [statement.clone() for statement in inner.body],
+        outer.line,
+    )
+    new_outer = ForLoop(
+        inner.var,
+        inner.init.clone(),
+        inner.cond_op,
+        inner.bound.clone(),
+        inner.step,
+        [new_inner],
+        inner.line,
+    )
+    container, index = statement_container(result, outer)
+    container[index] = new_outer
+    return result
+
+
+def _depends_on(expr: Expr, var: str) -> bool:
+    from ..lang.ast import walk_expr
+
+    return any(isinstance(node, VarRef) and node.name == var for node in walk_expr(expr))
+
+
+def loop_split(program: Program, label: str, at: int, depth: int = -1) -> Program:
+    """Split the iteration range of the loop enclosing *label* at value *at*.
+
+    ``for (k = lo; k < hi; k++) S`` becomes two consecutive loops over
+    ``[lo, at)`` and ``[at, hi)`` (adjusted analogously for other condition
+    operators and for negative steps).
+    """
+    target = loop_of_label(program, label, depth)
+    result = program.clone()
+    loop = _find_loop_like(result, target)
+    existing_labels = {a.label for a in result.assignments() if a.label}
+    second_body = [_relabel(s.clone(), existing_labels) for s in loop.body]
+    if loop.step > 0:
+        first = ForLoop(
+            loop.var, loop.init.clone(), "<", IntConst(at), loop.step,
+            [s.clone() for s in loop.body], loop.line,
+        )
+        second = ForLoop(
+            loop.var, IntConst(at), loop.cond_op, loop.bound.clone(), loop.step,
+            second_body, loop.line,
+        )
+    else:
+        first = ForLoop(
+            loop.var, loop.init.clone(), ">=", IntConst(at), loop.step,
+            [s.clone() for s in loop.body], loop.line,
+        )
+        second = ForLoop(
+            loop.var, IntConst(at - 1), loop.cond_op, loop.bound.clone(), loop.step,
+            second_body, loop.line,
+        )
+    container, index = statement_container(result, loop)
+    container[index : index + 1] = [first, second]
+    return result
+
+
+def _relabel(statement: Statement, existing_labels: set) -> Statement:
+    """Give duplicated assignments fresh labels (keeping labels unique program-wide)."""
+    if isinstance(statement, Assignment):
+        if statement.label:
+            candidate = statement.label + "b"
+            while candidate in existing_labels:
+                candidate += "b"
+            existing_labels.add(candidate)
+            return Assignment(candidate, statement.target, statement.rhs, statement.line)
+        return statement
+    if isinstance(statement, ForLoop):
+        statement.body = [_relabel(child, existing_labels) for child in statement.body]
+        return statement
+    if isinstance(statement, IfThenElse):
+        statement.then_body = [_relabel(child, existing_labels) for child in statement.then_body]
+        statement.else_body = [_relabel(child, existing_labels) for child in statement.else_body]
+        return statement
+    return statement
+
+
+def loop_shift(program: Program, label: str, offset: int, depth: int = -1) -> Program:
+    """Shift the iteration variable of the loop enclosing *label* by *offset*.
+
+    The loop ``for (k = lo; k < hi; k += s) S(k)`` becomes
+    ``for (k = lo + offset; k < hi + offset; k += s) S(k - offset)``.
+    """
+    target = loop_of_label(program, label, depth)
+    result = program.clone()
+    loop = _find_loop_like(result, target)
+    shifted_body = [
+        _substitute_in_statement(statement, loop.var, BinOp("-", VarRef(loop.var), IntConst(offset)))
+        for statement in loop.body
+    ]
+    new_loop = ForLoop(
+        loop.var,
+        BinOp("+", loop.init.clone(), IntConst(offset)),
+        loop.cond_op,
+        BinOp("+", loop.bound.clone(), IntConst(offset)),
+        loop.step,
+        shifted_body,
+        loop.line,
+    )
+    container, index = statement_container(result, loop)
+    container[index] = new_loop
+    return result
+
+
+def _substitute_in_statement(statement: Statement, var: str, replacement: Expr) -> Statement:
+    binding = {var: replacement}
+    if isinstance(statement, Assignment):
+        return Assignment(
+            statement.label,
+            substitute_vars(statement.target, binding),
+            substitute_vars(statement.rhs, binding),
+            statement.line,
+        )
+    if isinstance(statement, ForLoop):
+        return ForLoop(
+            statement.var,
+            substitute_vars(statement.init, binding),
+            statement.cond_op,
+            substitute_vars(statement.bound, binding),
+            statement.step,
+            [_substitute_in_statement(child, var, replacement) for child in statement.body],
+            statement.line,
+        )
+    if isinstance(statement, IfThenElse):
+        from ..lang.ast import And, Comparison
+
+        def substitute_condition(cond):
+            if isinstance(cond, Comparison):
+                return Comparison(cond.op, substitute_vars(cond.lhs, binding), substitute_vars(cond.rhs, binding))
+            if isinstance(cond, And):
+                return And([substitute_condition(part) for part in cond.parts])
+            raise TransformError("unsupported condition")
+
+        return IfThenElse(
+            substitute_condition(statement.condition),
+            [_substitute_in_statement(child, var, replacement) for child in statement.then_body],
+            [_substitute_in_statement(child, var, replacement) for child in statement.else_body],
+            statement.line,
+        )
+    raise TransformError(f"cannot substitute in {type(statement).__name__}")
+
+
+def loop_normalize_steps(program: Program, label: str, depth: int = -1) -> Program:
+    """Rewrite a strided loop ``for (k = lo; k < hi; k += s)`` into a unit-step loop.
+
+    The body accesses ``lo + s*k`` where it used to access ``k``; this is the
+    classical loop-normalisation preprocessing transformation.
+    """
+    target = loop_of_label(program, label, depth)
+    result = program.clone()
+    loop = _find_loop_like(result, target)
+    init = _constant_value(loop.init)
+    bound = _constant_value(loop.bound)
+    if init is None or bound is None:
+        raise TransformError("loop normalisation requires constant loop bounds")
+    values = _iteration_values(init, loop.cond_op, bound, loop.step)
+    count = len(values)
+    replacement = BinOp(
+        "+", IntConst(init), BinOp("*", IntConst(loop.step), VarRef(loop.var))
+    )
+    new_body = [_substitute_in_statement(statement, loop.var, replacement) for statement in loop.body]
+    new_loop = ForLoop(loop.var, IntConst(0), "<", IntConst(count), 1, new_body, loop.line)
+    container, index = statement_container(result, loop)
+    container[index] = new_loop
+    return result

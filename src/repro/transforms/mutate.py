@@ -1,0 +1,193 @@
+"""Error injection (mutation) for evaluating the checker's diagnostics.
+
+The paper motivates the tool by the error-proneness of manual index-expression
+manipulation.  This module injects exactly those kinds of errors into a
+(correctly) transformed program so that the test-suite and the benchmarks can
+measure that the checker (i) detects the inequivalence and (ii) points at the
+mutated statements / arrays.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang.ast import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Expr,
+    ForLoop,
+    IntConst,
+    Program,
+    map_expr,
+)
+from .errors import TransformError
+from .locate import find_assignment, statement_container
+from .loop import _constant_value, _find_loop_like, loop_of_label
+
+__all__ = [
+    "Mutation",
+    "perturb_read_index",
+    "perturb_write_index",
+    "replace_read_array",
+    "change_operator",
+    "shrink_loop_bound",
+    "random_mutation",
+]
+
+
+class Mutation:
+    """A description of one injected error (used to evaluate diagnostics)."""
+
+    def __init__(self, kind: str, label: str, description: str, arrays: Tuple[str, ...] = ()):
+        self.kind = kind
+        self.label = label
+        self.description = description
+        self.arrays = arrays
+
+    def __repr__(self) -> str:
+        return f"Mutation({self.kind!r}, statement={self.label!r}: {self.description})"
+
+
+def _mutate_nth_read(expr: Expr, array: Optional[str], occurrence: int, transform) -> Tuple[Expr, bool]:
+    """Apply *transform* to the *occurrence*-th read (optionally of *array*) in *expr*."""
+    counter = [0]
+    hit = [False]
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, ArrayRef) and (array is None or node.name == array):
+            if counter[0] == occurrence and not hit[0]:
+                hit[0] = True
+                counter[0] += 1
+                return transform(node)
+            counter[0] += 1
+        return node
+
+    rebuilt = map_expr(expr, visit)
+    return rebuilt, hit[0]
+
+
+def perturb_read_index(
+    program: Program, label: str, occurrence: int = 0, delta: int = 1, array: Optional[str] = None
+) -> Tuple[Program, Mutation]:
+    """Add *delta* to an index expression of a read in statement *label*."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+
+    def transform(node: ArrayRef) -> ArrayRef:
+        indices = [BinOp("+", node.indices[0].clone(), IntConst(delta))] + [
+            index.clone() for index in node.indices[1:]
+        ]
+        return ArrayRef(node.name, indices)
+
+    assignment.rhs, hit = _mutate_nth_read(assignment.rhs, array, occurrence, transform)
+    if not hit:
+        raise TransformError(f"statement {label!r} has no matching array read to perturb")
+    mutation = Mutation(
+        "read-index", label, f"read index of occurrence {occurrence} offset by {delta}",
+        arrays=(array,) if array else (),
+    )
+    return result, mutation
+
+
+def perturb_write_index(program: Program, label: str, delta: int = 1) -> Tuple[Program, Mutation]:
+    """Add *delta* to the write index of statement *label* (breaks the access pattern)."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+    indices = [BinOp("+", assignment.target.indices[0].clone(), IntConst(delta))] + [
+        index.clone() for index in assignment.target.indices[1:]
+    ]
+    assignment.target = ArrayRef(assignment.target.name, indices)
+    mutation = Mutation("write-index", label, f"write index offset by {delta}", arrays=(assignment.target.name,))
+    return result, mutation
+
+
+def replace_read_array(
+    program: Program, label: str, old_array: str, new_array: str, occurrence: int = 0
+) -> Tuple[Program, Mutation]:
+    """Replace a read of *old_array* by a read of *new_array* (same indices)."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+
+    def transform(node: ArrayRef) -> ArrayRef:
+        return ArrayRef(new_array, [index.clone() for index in node.indices])
+
+    assignment.rhs, hit = _mutate_nth_read(assignment.rhs, old_array, occurrence, transform)
+    if not hit:
+        raise TransformError(f"statement {label!r} does not read {old_array!r}")
+    mutation = Mutation(
+        "wrong-array", label, f"read of {old_array!r} replaced by {new_array!r}", arrays=(old_array, new_array)
+    )
+    return result, mutation
+
+
+def change_operator(program: Program, label: str, old_op: str, new_op: str) -> Tuple[Program, Mutation]:
+    """Change the first occurrence of *old_op* in statement *label* to *new_op*."""
+    result = program.clone()
+    assignment = find_assignment(result, label)
+    changed = [False]
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, BinOp) and node.op == old_op and not changed[0]:
+            changed[0] = True
+            return BinOp(new_op, node.lhs, node.rhs)
+        return node
+
+    assignment.rhs = map_expr(assignment.rhs, transform)
+    if not changed[0]:
+        raise TransformError(f"statement {label!r} has no {old_op!r} operator")
+    mutation = Mutation("operator", label, f"operator {old_op!r} changed to {new_op!r}")
+    return result, mutation
+
+
+def shrink_loop_bound(program: Program, label: str, delta: int = 1) -> Tuple[Program, Mutation]:
+    """Shrink the iteration range of the loop enclosing *label* (drops output elements)."""
+    target = loop_of_label(program, label, -1)
+    result = program.clone()
+    loop = _find_loop_like(result, target)
+    bound = _constant_value(loop.bound)
+    if bound is None:
+        raise TransformError("shrink_loop_bound requires a constant loop bound")
+    loop.bound = IntConst(bound - delta if loop.step > 0 else bound + delta)
+    mutation = Mutation("loop-bound", label, f"loop bound changed by {delta}")
+    return result, mutation
+
+
+def random_mutation(program: Program, rng: random.Random) -> Tuple[Program, Mutation]:
+    """Inject one random error into *program* (raising if no mutation applies)."""
+    assignments = [a for a in program.assignments() if a.label]
+    rng.shuffle(assignments)
+    for assignment in assignments:
+        label = assignment.label or ""
+        candidates = []
+        reads = [n for n in _walk_reads(assignment.rhs)]
+        if reads:
+            candidates.append(lambda l=label: perturb_read_index(program, l, rng.randrange(len(reads)), rng.choice([1, -1, 2])))
+        candidates.append(lambda l=label: perturb_write_index(program, l, rng.choice([1, -1])))
+        inputs = list(program.input_arrays())
+        read_names = {r.name for r in reads}
+        swappable = [name for name in read_names if name in inputs]
+        if swappable and len(inputs) > 1:
+            old = rng.choice(swappable)
+            new = rng.choice([n for n in inputs if n != old])
+            candidates.append(lambda l=label, o=old, n=new: replace_read_array(program, l, o, n))
+        if any(isinstance(n, BinOp) and n.op == "+" for n in _walk(assignment.rhs)):
+            candidates.append(lambda l=label: change_operator(program, l, "+", "-"))
+        rng.shuffle(candidates)
+        for candidate in candidates:
+            try:
+                return candidate()
+            except TransformError:
+                continue
+    raise TransformError("no mutation is applicable to this program")
+
+
+def _walk(expr: Expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)
+
+
+def _walk_reads(expr: Expr) -> List[ArrayRef]:
+    return [node for node in _walk(expr) if isinstance(node, ArrayRef)]

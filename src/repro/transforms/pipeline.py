@@ -1,0 +1,195 @@
+"""Composing transformations into pipelines and random equivalent variants.
+
+The scaling benchmarks (EXPERIMENTS E7–E9) need many (original, transformed)
+pairs whose transformed member is obtained by a *random but
+equivalence-preserving* sequence of the paper's transformations.  This module
+provides that: :func:`apply_random_transforms` draws loop transformations,
+expression propagations and algebraic rewrites until the requested number of
+steps have been applied, skipping steps that are not applicable to the
+current program.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..lang.ast import Assignment, ForLoop, IntConst, Program
+from .algebraic import collect_chain, random_reassociation
+from .dataflow import forward_substitution
+from .errors import TransformError
+from .locate import enclosing_loops, loop_of_label
+from .loop import (
+    loop_fission,
+    loop_fusion,
+    loop_reversal,
+    loop_shift,
+    loop_split,
+)
+
+__all__ = ["TransformStep", "apply_random_transforms", "apply_pipeline"]
+
+
+class TransformStep:
+    """A record of one applied transformation (for reporting / debugging)."""
+
+    def __init__(self, name: str, detail: str):
+        self.name = name
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"TransformStep({self.name}: {self.detail})"
+
+
+def _labelled_assignments(program: Program) -> List[Assignment]:
+    return [a for a in program.assignments() if a.label]
+
+
+def _try_loop_reversal(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    assignment = rng.choice(_labelled_assignments(program))
+    result = loop_reversal(program, assignment.label or "")
+    return result, TransformStep("loop-reversal", f"loop of statement {assignment.label}")
+
+
+def _try_loop_fission(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    assignment = rng.choice(_labelled_assignments(program))
+    result = loop_fission(program, assignment.label or "")
+    return result, TransformStep("loop-fission", f"loop of statement {assignment.label}")
+
+
+def _try_loop_split(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    assignment = rng.choice(_labelled_assignments(program))
+    label = assignment.label or ""
+    loop = loop_of_label(program, label)
+    if not isinstance(loop.init, IntConst) or not isinstance(loop.bound, IntConst):
+        raise TransformError("loop split needs constant bounds")
+    low, high = loop.init.value, loop.bound.value
+    if abs(high - low) < 4:
+        raise TransformError("loop too small to split")
+    at = (low + high) // 2
+    result = loop_split(program, label, at)
+    return result, TransformStep("loop-split", f"loop of statement {label} at {at}")
+
+
+def _try_loop_shift(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    assignment = rng.choice(_labelled_assignments(program))
+    label = assignment.label or ""
+    offset = rng.choice([1, 2, 3, -1])
+    result = loop_shift(program, label, offset)
+    return result, TransformStep("loop-shift", f"loop of statement {label} by {offset}")
+
+
+def _try_loop_fusion(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    # Find two adjacent top-level loops with identical headers.
+    body = program.body
+    for index in range(len(body) - 1):
+        first, second = body[index], body[index + 1]
+        if (
+            isinstance(first, ForLoop)
+            and isinstance(second, ForLoop)
+            and first.init == second.init
+            and first.bound == second.bound
+            and first.cond_op == second.cond_op
+            and first.step == second.step
+        ):
+            first_label = _first_label(first)
+            second_label = _first_label(second)
+            if first_label and second_label:
+                result = loop_fusion(program, first_label, second_label)
+                return result, TransformStep("loop-fusion", f"loops of {first_label} and {second_label}")
+    raise TransformError("no fusable adjacent loops")
+
+
+def _first_label(loop: ForLoop) -> Optional[str]:
+    for statement in loop.body:
+        if isinstance(statement, Assignment) and statement.label:
+            return statement.label
+        if isinstance(statement, ForLoop):
+            inner = _first_label(statement)
+            if inner:
+                return inner
+    return None
+
+
+def _try_forward_substitution(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    intermediates = list(program.intermediate_arrays())
+    rng.shuffle(intermediates)
+    for array in intermediates:
+        try:
+            result = forward_substitution(program, array)
+            return result, TransformStep("forward-substitution", f"eliminated {array}")
+        except TransformError:
+            continue
+    raise TransformError("no intermediate array can be forward substituted")
+
+
+def _try_reassociation(program: Program, rng: random.Random) -> Tuple[Program, TransformStep]:
+    assignments = _labelled_assignments(program)
+    rng.shuffle(assignments)
+    for assignment in assignments:
+        if len(collect_chain(assignment.rhs, "+")) >= 2:
+            result = random_reassociation(program, assignment.label or "", rng, op="+")
+            return result, TransformStep("algebraic-reassociation", f"statement {assignment.label}")
+    raise TransformError("no +-chain to reassociate")
+
+
+_EQUIVALENCE_PRESERVING: List[Tuple[str, Callable[[Program, random.Random], Tuple[Program, TransformStep]]]] = [
+    ("loop-reversal", _try_loop_reversal),
+    ("loop-fission", _try_loop_fission),
+    ("loop-split", _try_loop_split),
+    ("loop-shift", _try_loop_shift),
+    ("loop-fusion", _try_loop_fusion),
+    ("forward-substitution", _try_forward_substitution),
+    ("algebraic-reassociation", _try_reassociation),
+]
+
+
+def apply_random_transforms(
+    program: Program,
+    rng: random.Random,
+    steps: int = 3,
+    allow_algebraic: bool = True,
+    allowed: Optional[Sequence[str]] = None,
+) -> Tuple[Program, List[TransformStep]]:
+    """Apply *steps* random equivalence-preserving transformations.
+
+    ``allow_algebraic=False`` restricts the pipeline to expression propagation
+    and loop transformations only (producing pairs that the *basic* method can
+    verify); ``allowed`` restricts the pipeline to a subset of transformation
+    names.
+    """
+    from ..analysis import check_dataflow
+
+    current = program
+    applied: List[TransformStep] = []
+    attempts = 0
+    while len(applied) < steps and attempts < steps * 12:
+        attempts += 1
+        name, transform = rng.choice(_EQUIVALENCE_PRESERVING)
+        if not allow_algebraic and name == "algebraic-reassociation":
+            continue
+        if allowed is not None and name not in allowed:
+            continue
+        try:
+            candidate, step = transform(current, rng)
+        except TransformError:
+            continue
+        # Some structural rewrites (e.g. fusing loops whose second half reads
+        # values produced by later iterations of the first half) are not legal
+        # for every program; keep only candidates that still satisfy the
+        # def-use prerequisites, so the produced variant is really equivalent.
+        if name in ("loop-fusion", "loop-shift") and check_dataflow(candidate):
+            continue
+        current = candidate
+        applied.append(step)
+    return current, applied
+
+
+def apply_pipeline(
+    program: Program, steps: Sequence[Tuple[Callable[..., Program], dict]]
+) -> Program:
+    """Apply an explicit list of ``(transformation, kwargs)`` steps in order."""
+    current = program
+    for transform, kwargs in steps:
+        current = transform(current, **kwargs)
+    return current

@@ -1,0 +1,27 @@
+"""Workloads: the paper's Fig. 1 example, DSP kernels, and a random generator."""
+
+from .fig1 import (
+    FIG1_SOURCES,
+    fig1_program,
+    fig1_original,
+    fig1_ver1,
+    fig1_ver2,
+    fig1_ver3_erroneous,
+)
+from .generator import GeneratedPair, RandomProgramGenerator
+from .kernels import KERNEL_REGISTRY, KernelPair, kernel_names, kernel_pair
+
+__all__ = [
+    "FIG1_SOURCES",
+    "GeneratedPair",
+    "KERNEL_REGISTRY",
+    "KernelPair",
+    "RandomProgramGenerator",
+    "fig1_original",
+    "fig1_program",
+    "fig1_ver1",
+    "fig1_ver2",
+    "fig1_ver3_erroneous",
+    "kernel_names",
+    "kernel_pair",
+]

@@ -1,0 +1,140 @@
+"""The four program versions of Fig. 1 of the paper.
+
+All four functions take input arrays ``A`` and ``B`` and produce the output
+array ``C``.  Versions (a), (b) and (c) are input–output equivalent and
+compute ``C[k] = B[2k] + B[k] + A[2k] + A[k]`` for all ``k in [0, N)``;
+version (d) was obtained by an erroneous transformation and is inequivalent
+to the others on every even ``k`` (where it computes
+``A[k] + B[k] + A[k] + B[k]``) but equivalent on every odd ``k``.
+
+The sources are kept verbatim (modulo whitespace) from the paper so that the
+integration tests exercise exactly the published example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang import Program, parse_program
+
+__all__ = [
+    "FIG1_SOURCES",
+    "fig1_program",
+    "fig1_original",
+    "fig1_ver1",
+    "fig1_ver2",
+    "fig1_ver3_erroneous",
+]
+
+N = 1024
+
+_ORIGINAL = """
+/* Original function */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, tmp[N], buf[2*N];
+    for(k=0; k<N; k++)
+s1:     tmp[k] = B[2*k] + B[k];
+    for(k=N; k>=1; k--)
+s2:     buf[2*k-2] = A[2*k-2] + A[k-1];
+    for(k=0; k<N; k++)
+s3:     C[k] = tmp[k] + buf[2*k];
+}
+"""
+
+_VER1 = """
+/* Transformed function ver 1 */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, tmp[N], buf[N];
+    for(k=0; k<512; k++)
+t1:     tmp[k] = B[2*k] + B[k];
+    for(k=0; k<N; k++){
+t2:     buf[k] = A[2*k] + A[k];
+        if (k < 512)
+t3:         C[k] = tmp[k] + buf[k];
+        else
+t4:         C[k] = (B[2*k] + B[k]) + buf[k];
+    }
+}
+"""
+
+_VER2 = """
+/* Transformed function ver 2 */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, buf[2*N];
+    for(k=0; k<N; k++)
+u1:     buf[k] = A[k] + B[k];
+    for(k=N; k<=2*N-2; k+=2)
+u2:     buf[k] = A[k] + B[k];
+    for(k=0; k<N; k++)
+u3:     C[k] = buf[k] + buf[2*k];
+}
+"""
+
+_VER3_ERRONEOUS = """
+/* Transformed function ver 3 (erroneously obtained) */
+#define N 1024
+foo(int A[], int B[], int C[])
+{
+    int k, tmp[N], buf[2*N];
+    for(k=0; k<=2*N-2; k+=2)
+v1:     buf[k] = A[k] + B[k];
+    for(k=1; k<N; k+=2)
+v2:     tmp[k] = A[k] + B[k];
+    for(k=0; k<N-1; k+=2){
+v3:     C[k] = buf[k] + buf[k];
+v4:     C[k+1] = tmp[k+1] + buf[2*k+2];
+    }
+}
+"""
+
+#: The mini-C sources of the four versions, keyed "a" .. "d" as in the paper.
+FIG1_SOURCES: Dict[str, str] = {
+    "a": _ORIGINAL,
+    "b": _VER1,
+    "c": _VER2,
+    "d": _VER3_ERRONEOUS,
+}
+
+
+def fig1_program(version: str, n: int = N) -> Program:
+    """Parse and return one of the Fig. 1 programs ("a", "b", "c" or "d").
+
+    The problem size defaults to the paper's ``N = 1024`` but can be reduced
+    (e.g. for interpreter-based cross-checks); ``n`` must be even and at
+    least 4 so the even/odd and first/second-half splits stay meaningful.
+    """
+    if version not in FIG1_SOURCES:
+        raise KeyError(f"unknown Fig. 1 version {version!r} (expected 'a'..'d')")
+    if n % 2 != 0 or n < 4:
+        raise ValueError("the Fig. 1 problem size must be an even number >= 4")
+    source = FIG1_SOURCES[version]
+    if n != N:
+        source = source.replace("#define N 1024", f"#define N {n}")
+        source = source.replace("k<512", f"k<{n // 2}").replace("k < 512", f"k < {n // 2}")
+    return parse_program(source)
+
+
+def fig1_original(n: int = N) -> Program:
+    """The original function (a)."""
+    return fig1_program("a", n)
+
+
+def fig1_ver1(n: int = N) -> Program:
+    """Transformed version 1 (b): expression propagation + loop transformations."""
+    return fig1_program("b", n)
+
+
+def fig1_ver2(n: int = N) -> Program:
+    """Transformed version 2 (c): additionally algebraic transformations."""
+    return fig1_program("c", n)
+
+
+def fig1_ver3_erroneous(n: int = N) -> Program:
+    """Transformed version 3 (d): erroneous — inequivalent on even output indices."""
+    return fig1_program("d", n)

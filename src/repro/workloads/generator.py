@@ -1,0 +1,160 @@
+"""Random generation of programs in the allowed class and of transformed variants.
+
+The scaling experiments of the paper (Section 6.2) report verification times
+on codes "whose control complexity and ADDG sizes were comparable to real-life
+application kernels".  To sweep ADDG sizes systematically, this module
+generates random multi-stage array programs in the allowed class, then derives
+
+* *equivalent* variants by applying random equivalence-preserving
+  transformations (loop transformations, expression propagation, algebraic
+  reassociation) with :mod:`repro.transforms`, and
+* *inequivalent* variants by additionally injecting one random error with
+  :mod:`repro.transforms.mutate`.
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang import Program, ProgramBuilder
+from ..lang.ast import ArrayRef, BinOp, Expr, IntConst, VarRef
+from ..transforms import Mutation, TransformStep, apply_random_transforms, random_mutation
+from ..transforms.errors import TransformError
+
+__all__ = ["GeneratedPair", "RandomProgramGenerator"]
+
+
+@dataclass
+class GeneratedPair:
+    """A generated (original, transformed) pair with its provenance."""
+
+    original: Program
+    transformed: Program
+    steps: List[TransformStep] = field(default_factory=list)
+    mutation: Optional[Mutation] = None
+    seed: int = 0
+
+    @property
+    def expected_equivalent(self) -> bool:
+        return self.mutation is None
+
+
+class RandomProgramGenerator:
+    """Generates random multi-stage array programs in the allowed class.
+
+    Each *stage* defines a fresh intermediate array over the full problem
+    domain ``[0, size)`` from affine reads of the inputs and of previously
+    defined stages; the final stage defines the output array.  The index
+    patterns used for intermediate reads are bijections of the domain
+    (``k`` and ``size-1-k``) so that the generated programs always satisfy
+    the single-assignment and def-use prerequisites by construction.
+    """
+
+    INPUT_NAMES = ("in0", "in1")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        stages: int = 4,
+        size: int = 64,
+        operands_per_stage: Tuple[int, int] = (2, 3),
+        multiply_probability: float = 0.25,
+    ):
+        self.seed = seed
+        self.stages = max(1, stages)
+        self.size = size
+        self.operands_per_stage = operands_per_stage
+        self.multiply_probability = multiply_probability
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Program:
+        """Generate the original program."""
+        rng = random.Random(self.seed)
+        size = self.size
+        builder = ProgramBuilder(
+            f"gen{self.seed}",
+            params=[(name, [2 * size + 4]) for name in self.INPUT_NAMES] + [("out", [size])],
+        )
+        available: List[str] = list(self.INPUT_NAMES)
+        stage_arrays: List[str] = []
+        for stage in range(self.stages):
+            is_last = stage == self.stages - 1
+            array = "out" if is_last else f"tmp{stage}"
+            if not is_last:
+                builder.add_local(array, [size])
+            iterator = "k"
+            with builder.loop(iterator, 0, size):
+                rhs = self._stage_expression(rng, available, iterator, size)
+                builder.assign(f"g{stage}", builder.at(array, builder.v(iterator)), rhs)
+            available.append(array)
+            stage_arrays.append(array)
+        return builder.build()
+
+    def _stage_expression(
+        self, rng: random.Random, available: Sequence[str], iterator: str, size: int
+    ) -> Expr:
+        low, high = self.operands_per_stage
+        count = rng.randint(low, high)
+        operands = [self._operand(rng, available, iterator, size) for _ in range(count)]
+        # Always read the most recently defined array so that every stage
+        # contributes to the output (keeps injected errors observable and the
+        # data-flow chain non-trivial).
+        if available[-1] not in self.INPUT_NAMES:
+            operands[0] = self._operand(rng, [available[-1]], iterator, size)
+        expression = operands[0]
+        for operand in operands[1:]:
+            op = "*" if rng.random() < self.multiply_probability else "+"
+            if rng.getrandbits(1):
+                expression = BinOp(op, expression, operand)
+            else:
+                expression = BinOp(op, operand, expression)
+        return expression
+
+    def _operand(
+        self, rng: random.Random, available: Sequence[str], iterator: str, size: int
+    ) -> Expr:
+        source = rng.choice(list(available))
+        k = VarRef(iterator)
+        if source in self.INPUT_NAMES:
+            pattern = rng.choice(["k", "2k", "k+c", "rev"])
+        else:
+            pattern = rng.choice(["k", "rev"])
+        if pattern == "k":
+            index: Expr = k
+        elif pattern == "2k":
+            index = BinOp("*", IntConst(2), k)
+        elif pattern == "k+c":
+            index = BinOp("+", k, IntConst(rng.randint(1, 4)))
+        else:  # rev
+            index = BinOp("-", IntConst(size - 1), k)
+        return ArrayRef(source, [index])
+
+    # ------------------------------------------------------------------ #
+    def generate_pair(
+        self,
+        transform_steps: int = 3,
+        allow_algebraic: bool = True,
+        inject_error: bool = False,
+    ) -> GeneratedPair:
+        """Generate an (original, transformed) pair.
+
+        With ``inject_error=True`` the transformed program additionally
+        receives one random mutation, making the pair inequivalent.
+        """
+        rng = random.Random(self.seed * 7919 + 13)
+        original = self.generate()
+        transformed, steps = apply_random_transforms(
+            original, rng, steps=transform_steps, allow_algebraic=allow_algebraic
+        )
+        mutation = None
+        if inject_error:
+            try:
+                transformed, mutation = random_mutation(transformed, rng)
+            except TransformError:
+                # Extremely unlikely; fall back to mutating the original copy.
+                transformed, mutation = random_mutation(original, rng)
+        return GeneratedPair(original, transformed, steps, mutation, self.seed)

@@ -1,0 +1,105 @@
+"""Integration test E10: the effect of algebraic transformations on an ADDG (Fig. 3).
+
+Fig. 3 describes three cases: (a) associativity regroups the end nodes of an
+operator chain while keeping their order, (b) commutativity permutes the
+operand positions of a node, and (c) their combination allows any tree of the
+operator over the same end nodes.  These tests build such variants — both by
+hand and with the transformation engine — and check that the extended method
+proves every variant equivalent while the basic method accepts only the
+identity-shaped ones.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.lang import outputs_equal, parse_program, random_input_provider, run_program
+from repro.transforms import reassociate_chain
+
+TEMPLATE = """
+f(int A[], int B[], int C[])
+{{
+    int k;
+    for (k = 0; k < 32; k++)
+s1:     C[k] = {expr};
+}}
+"""
+
+#: The four end nodes of the chain, in the order used by the "original".
+END_NODES = ["A[k]", "A[2*k]", "B[k]", "B[k + 1]"]
+
+
+def chain_program(order, shape):
+    """Build the program whose s1 sums END_NODES[order] with the given tree *shape*.
+
+    ``shape`` is one of "left", "right", "balanced" — three different trees of
+    +-nodes over the same end nodes (Fig. 3(c)).
+    """
+    leaves = [END_NODES[i] for i in order]
+    if shape == "left":
+        expr = f"(({leaves[0]} + {leaves[1]}) + {leaves[2]}) + {leaves[3]}"
+    elif shape == "right":
+        expr = f"{leaves[0]} + ({leaves[1]} + ({leaves[2]} + {leaves[3]}))"
+    else:
+        expr = f"({leaves[0]} + {leaves[1]}) + ({leaves[2]} + {leaves[3]})"
+    return parse_program(TEMPLATE.format(expr=expr))
+
+
+ORIGINAL = chain_program([0, 1, 2, 3], "left")
+
+
+class TestAssociativityOnly:
+    """Fig. 3(a): regrouping without reordering."""
+
+    @pytest.mark.parametrize("shape", ["right", "balanced"])
+    def test_regrouped_chains_are_equivalent(self, shape):
+        variant = chain_program([0, 1, 2, 3], shape)
+        assert check_equivalence(ORIGINAL, variant).equivalent
+        assert not check_equivalence(ORIGINAL, variant, method="basic").equivalent
+
+    def test_identical_shape_is_fine_for_the_basic_method(self):
+        variant = chain_program([0, 1, 2, 3], "left")
+        assert check_equivalence(ORIGINAL, variant, method="basic").equivalent
+
+
+class TestCommutativity:
+    """Fig. 3(b): permuting operands."""
+
+    @pytest.mark.parametrize("order", list(itertools.permutations(range(4)))[1::7])
+    def test_permuted_operands_are_equivalent(self, order):
+        variant = chain_program(list(order), "left")
+        result = check_equivalence(ORIGINAL, variant)
+        assert result.equivalent, result.summary()
+
+
+class TestCombination:
+    """Fig. 3(c): any tree over the same end nodes."""
+
+    @pytest.mark.parametrize(
+        "order,shape",
+        [((3, 1, 0, 2), "right"), ((2, 0, 3, 1), "balanced"), ((1, 3, 2, 0), "right")],
+    )
+    def test_arbitrary_trees_are_equivalent(self, order, shape):
+        variant = chain_program(list(order), shape)
+        assert check_equivalence(ORIGINAL, variant).equivalent
+
+    def test_different_multiset_of_end_nodes_is_rejected(self):
+        wrong = parse_program(
+            TEMPLATE.format(expr="(A[k] + A[2*k]) + (B[k] + B[k + 2])")
+        )
+        assert not check_equivalence(ORIGINAL, wrong).equivalent
+
+    def test_engine_generated_reassociations(self):
+        rng = random.Random(5)
+        provider = random_input_provider(0)
+        reference = run_program(ORIGINAL, provider)
+        for _ in range(4):
+            order = list(range(4))
+            rng.shuffle(order)
+            variant = reassociate_chain(
+                ORIGINAL, "s1", order, left_assoc=bool(rng.getrandbits(1))
+            )
+            assert outputs_equal(reference, run_program(variant, provider))
+            assert check_equivalence(ORIGINAL, variant).equivalent

@@ -1,0 +1,117 @@
+"""Integration test E6: error diagnostics (Section 6.1).
+
+For (a) vs (d) the checker must report mapping mismatches on the paths through
+``buf`` (statements v1 / v3), show the conflicting output-input mappings
+``{[x] -> [2x]}`` vs ``{[x] -> [x]}``, restrict the mismatch to even output
+indices, and blame ``buf`` as the suspect variable.  Additional cases cover
+mismatched operators / leaves and errors injected into kernels.
+"""
+
+import pytest
+
+from repro.checker import DiagnosticKind, check_equivalence
+from repro.presburger import parse_map, parse_set
+from repro.transforms import change_operator, perturb_read_index, replace_read_array
+from repro.workloads import fig1_program, kernel_pair
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return check_equivalence(fig1_program("a", 1024), fig1_program("d", 1024))
+
+
+class TestPaperDiagnostics:
+    def test_verdict_and_kind(self, fig1_result):
+        assert not fig1_result.equivalent
+        mismatches = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+        assert len(mismatches) >= 2  # one per failing path pair {(p,z), (r,y)}
+
+    def test_failing_paths_involve_both_inputs(self, fig1_result):
+        mismatches = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+        arrays = {d.original_arrays[0] for d in mismatches if d.original_arrays}
+        assert arrays == {"A", "B"}
+
+    def test_statements_v1_v3_are_reported(self, fig1_result):
+        mismatches = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+        for diagnostic in mismatches:
+            assert "v3" in diagnostic.transformed_statements
+            assert "v1" in diagnostic.transformed_statements
+
+    def test_conflicting_mappings_match_the_paper(self, fig1_result):
+        mismatches = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+        diagnostic = mismatches[0]
+        original = parse_map(diagnostic.original_mapping)
+        transformed = parse_map(diagnostic.transformed_mapping)
+        # On their common domain (even x), the original maps x -> 2x and the
+        # erroneous program maps x -> x.
+        assert original.is_subset(parse_map("{ [x] -> [2x] }"))
+        assert transformed.is_subset(parse_map("{ [x] -> [x] }"))
+
+    def test_mismatch_domain_is_the_even_indices(self, fig1_result):
+        diagnostic = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)[0]
+        domain = parse_set(diagnostic.mismatch_domain)
+        evens = parse_set("{ [x] : exists j : x = 2j and 0 <= x < 1023 }")
+        odds = parse_set("{ [x] : exists j : x = 2j + 1 and 0 <= x < 1023 }")
+        assert domain.is_subset(evens)
+        assert domain.is_disjoint(odds)
+        # the mismatch covers (at least) every even index from 2 upwards
+        assert domain.contains([2]) and domain.contains([1000])
+
+    def test_suspect_heuristic_blames_buf(self, fig1_result):
+        mismatches = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+        for diagnostic in mismatches:
+            assert diagnostic.suspect_arrays == ("buf",)
+            assert set(diagnostic.suspect_statements) >= {"v1", "v3"}
+
+    def test_paths_are_recorded_for_both_sides(self, fig1_result):
+        diagnostic = fig1_result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)[0]
+        assert diagnostic.original_path[0] == "C"
+        assert diagnostic.transformed_path[0] == "C"
+        assert "buf" in diagnostic.transformed_path
+
+    def test_per_output_report(self, fig1_result):
+        report = fig1_result.outputs[0]
+        assert report.array == "C"
+        assert not report.equivalent
+        assert report.failing_domain
+
+
+class TestInjectedErrorDiagnostics:
+    def test_wrong_array_is_reported_as_leaf_mismatch(self):
+        pair = kernel_pair("downsample", n=32)
+        broken, _ = replace_read_array(pair.transformed, "k2", "x", "y")
+        result = check_equivalence(pair.original, broken, check_preconditions=False)
+        assert not result.equivalent
+
+    def test_wrong_operator_is_reported(self):
+        pair = kernel_pair("wavelet_lift", n=32)
+        broken, _ = change_operator(pair.transformed, "m3", "+", "-")
+        result = check_equivalence(pair.original, broken)
+        assert not result.equivalent
+        assert result.diagnostics_of_kind(DiagnosticKind.OPERATOR_MISMATCH)
+
+    def test_index_error_produces_mapping_mismatch_with_suspects(self):
+        pair = kernel_pair("downsample", n=32)
+        broken, mutation = perturb_read_index(pair.transformed, "k3", occurrence=0, delta=1)
+        result = check_equivalence(pair.original, broken)
+        assert not result.equivalent
+        mismatches = result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)
+        assert mismatches
+        # the mutated statement must show up among the reported / suspect statements
+        suspects = set()
+        for diagnostic in mismatches:
+            suspects.update(diagnostic.suspect_statements)
+            suspects.update(diagnostic.transformed_statements)
+        assert mutation.label in suspects
+        # and the diagnostics single out the temporary read by the mutated statement
+        arrays = set()
+        for diagnostic in mismatches:
+            arrays.update(diagnostic.suspect_arrays)
+            arrays.update(diagnostic.transformed_path)
+        assert {"even", "odd"} & arrays
+
+    def test_diagnostics_render_as_text(self):
+        result = check_equivalence(fig1_program("a", 64), fig1_program("d", 64))
+        text = result.summary()
+        assert "mapping-mismatch" in text
+        assert "suspect" in text

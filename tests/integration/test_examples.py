@@ -1,0 +1,55 @@
+"""Integration tests: every shipped example script must run successfully."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = {
+    "quickstart.py": [],
+    "verify_fig1.py": ["64"],  # reduced problem size keeps the test fast
+    "transform_and_verify.py": ["3"],
+    "error_diagnosis.py": [],
+    "focused_checking.py": [],
+}
+
+
+@pytest.mark.parametrize("script,args", sorted(EXAMPLES.items()))
+def test_example_runs(tmp_path, script, args):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, path, *args],
+        cwd=tmp_path,  # examples may write .dot files; keep them out of the repo
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_both_verdicts(tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    completed = subprocess.run(
+        [sys.executable, path], cwd=tmp_path, capture_output=True, text=True, timeout=600
+    )
+    assert completed.returncode == 0
+    assert "EQUIVALENT" in completed.stdout
+    assert "NOT PROVEN EQUIVALENT" in completed.stdout
+
+
+def test_verify_fig1_reports_paper_diagnostics(tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "verify_fig1.py"))
+    completed = subprocess.run(
+        [sys.executable, path, "64"], cwd=tmp_path, capture_output=True, text=True, timeout=600
+    )
+    assert completed.returncode == 0
+    out = completed.stdout
+    assert "UNEXPECTED" not in out
+    assert "buf" in out  # the suspect variable of Section 6.1
+    assert (tmp_path / "fig1_a.dot").exists()
+    assert (tmp_path / "fig1_d.dot").exists()

@@ -1,0 +1,49 @@
+"""Integration tests: the checker on the DSP kernel suite (correct and mutated variants)."""
+
+import random
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.transforms import random_mutation
+from repro.workloads import kernel_names, kernel_pair
+
+# Sizes chosen so the whole suite runs in a couple of minutes.
+CHECK_SIZES = {
+    "fir": dict(n=32, taps=5),
+    "conv2d": dict(rows=8, cols=8),
+    "matvec": dict(rows=10, cols=6),
+    "wavelet_lift": dict(n=64),
+    "sad": dict(blocks=8, width=4),
+    "prefix_sum": dict(n=64),
+    "downsample": dict(n=64),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CHECK_SIZES))
+class TestKernelEquivalence:
+    def test_transformed_kernel_is_proven_equivalent(self, name):
+        pair = kernel_pair(name, **CHECK_SIZES[name])
+        result = check_equivalence(pair.original, pair.transformed)
+        assert result.equivalent, f"{name}:\n{result.summary()}"
+
+    def test_algebraic_kernels_need_the_extended_method(self, name):
+        pair = kernel_pair(name, **CHECK_SIZES[name])
+        result = check_equivalence(pair.original, pair.transformed, method="basic")
+        if pair.uses_algebraic:
+            assert not result.equivalent, f"{name} unexpectedly verified by the basic method"
+        else:
+            assert result.equivalent, f"{name}:\n{result.summary()}"
+
+
+@pytest.mark.parametrize("name", ["downsample", "wavelet_lift", "fir", "matvec"])
+def test_mutated_kernels_are_rejected(name):
+    pair = kernel_pair(name, **CHECK_SIZES[name])
+    rng = random.Random(hash(name) % 1000)
+    mutated, mutation = random_mutation(pair.transformed, rng)
+    result = check_equivalence(pair.original, mutated, check_preconditions=False)
+    assert not result.equivalent, f"{name}: mutation {mutation} was not detected"
+
+
+def test_all_registered_kernels_are_covered():
+    assert set(CHECK_SIZES) == set(kernel_names())

@@ -1,0 +1,128 @@
+"""Integration test E12: cycles in the ADDG (recurrences).
+
+The paper handles cycles through the transitive closure of the cycle's
+dependence mapping; this reproduction certifies the same well-foundedness with
+the transitive closure (no element depends on itself) and discharges the cycle
+during traversal with an inductive assumption.  These tests check both halves
+and the end-to-end behaviour on recurrence kernels.
+"""
+
+import pytest
+
+from repro.addg import build_addg
+from repro.analysis import dependency_map, statement_contexts
+from repro.checker import check_equivalence
+from repro.lang import parse_program
+from repro.lang.ast import array_reads
+from repro.presburger import Map, transitive_closure
+from repro.workloads import kernel_pair
+
+
+class TestCycleDetectionAndClosure:
+    def test_cyclic_arrays_of_recurrence_kernels(self):
+        for name in ("prefix_sum", "fir", "matvec", "sad"):
+            pair = kernel_pair(name)
+            addg = build_addg(pair.original)
+            assert "acc" in addg.cyclic_arrays(), name
+
+    def test_self_dependence_closure_is_irreflexive(self):
+        """The paper's computability condition: the closure exists and is acyclic at the element level."""
+        pair = kernel_pair("prefix_sum", n=32)
+        contexts = {c.label: c for c in statement_contexts(pair.original)}
+        recurrence = contexts["p2"]
+        self_read = [r for r in array_reads(recurrence.assignment.rhs) if r.name == "acc"][0]
+        dependence = dependency_map(recurrence, self_read)
+        closure, exact = transitive_closure(dependence)
+        assert exact
+        identity = Map.identity(closure.in_names, domain=dependence.domain())
+        assert closure.intersect(identity).is_empty()
+
+    def test_two_dimensional_recurrence_closure(self):
+        pair = kernel_pair("fir", n=16, taps=4)
+        contexts = {c.label: c for c in statement_contexts(pair.original)}
+        recurrence = contexts["f2"]
+        self_read = [r for r in array_reads(recurrence.assignment.rhs) if r.name == "acc"][0]
+        dependence = dependency_map(recurrence, self_read)
+        closure, exact = transitive_closure(dependence)
+        assert exact
+        assert closure.contains([3, 3], [3, 0])
+        assert not closure.contains([3, 3], [2, 0])
+
+
+class TestRecurrenceEquivalence:
+    def test_prefix_sum_is_proven_with_constant_work(self):
+        small = check_equivalence(*_pair("prefix_sum", n=16))
+        large = check_equivalence(*_pair("prefix_sum", n=512))
+        assert small.equivalent and large.equivalent
+        assert large.stats.assumption_uses >= 1
+        # The traversal must not unroll the recurrence: the amount of work is
+        # independent of the number of iterations.
+        assert large.stats.compare_calls == small.stats.compare_calls
+
+    def test_fir_accumulation_is_proven(self):
+        result = check_equivalence(*_pair("fir", n=24, taps=5))
+        assert result.equivalent
+
+    def test_matvec_accumulation_is_proven(self):
+        result = check_equivalence(*_pair("matvec", rows=8, cols=5))
+        assert result.equivalent
+
+    def test_misaligned_recurrence_is_rejected(self):
+        original = parse_program(
+            """
+            #define N 32
+            f(int x[], int y[]) {
+                int i, acc[N];
+                for (i = 0; i < N; i++) {
+                    if (i == 0)
+            p1:         acc[i] = x[0];
+                    else
+            p2:         acc[i] = acc[i-1] + x[i];
+            p3:     y[i] = acc[i];
+                }
+            }
+            """
+        )
+        broken = parse_program(
+            """
+            #define N 32
+            f(int x[], int y[]) {
+                int i, acc[N];
+                for (i = 0; i < N; i++) {
+                    if (i == 0)
+            q1:         acc[i] = x[0];
+                    else
+            q2:         acc[i] = acc[i-1] + x[i-1];
+            q3:     y[i] = acc[i];
+                }
+            }
+            """
+        )
+        result = check_equivalence(original, broken)
+        assert not result.equivalent
+
+    def test_recurrence_with_different_base_case_is_rejected(self):
+        good = kernel_pair("prefix_sum", n=32)
+        broken = parse_program(
+            """
+            #define N 32
+            prefix(int x[], int y[]) {
+                int i, acc[N];
+                for (i = 0; i < N; i++) {
+                    if (i == 0)
+            q1:         acc[i] = x[1];
+                    else
+            q2:         acc[i] = x[i] + acc[i-1];
+                }
+                for (i = 0; i < N; i++)
+            q3:     y[i] = acc[i];
+            }
+            """
+        )
+        result = check_equivalence(good.original, broken)
+        assert not result.equivalent
+
+
+def _pair(name, **params):
+    pair = kernel_pair(name, **params)
+    return pair.original, pair.transformed

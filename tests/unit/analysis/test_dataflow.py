@@ -1,0 +1,176 @@
+"""Unit tests for the data-flow prerequisites (single assignment, coverage, def-use order)."""
+
+import pytest
+
+from repro.analysis import (
+    check_coverage,
+    check_dataflow,
+    check_def_use_order,
+    check_single_assignment,
+    written_set_by_array,
+    statement_contexts,
+)
+from repro.lang import parse_program
+from repro.workloads import FIG1_SOURCES, fig1_program, kernel_pair
+
+
+class TestSingleAssignment:
+    def test_fig1_versions_are_single_assignment(self):
+        for version in "abcd":
+            assert check_single_assignment(fig1_program(version, 64)) == []
+
+    def test_same_statement_overwrite_detected(self):
+        program = parse_program(
+            "f(int A[], int C[]) { int k; for(k=0;k<8;k++) s1: C[0] = A[k]; }"
+        )
+        issues = check_single_assignment(program)
+        assert any("single-assignment" in issue for issue in issues)
+
+    def test_two_statements_overlapping_writes_detected(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k;
+                for (k = 0; k < 8; k++)
+            s1:     C[k] = A[k];
+                for (k = 4; k < 12; k++)
+            s2:     C[k] = A[k + 1];
+            }
+            """
+        )
+        issues = check_single_assignment(program)
+        assert any("s1" in issue and "s2" in issue for issue in issues)
+
+    def test_disjoint_piecewise_writes_accepted(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k;
+                for (k = 0; k < 4; k++)
+            s1:     C[k] = A[k];
+                for (k = 4; k < 8; k++)
+            s2:     C[k] = A[k];
+            }
+            """
+        )
+        assert check_single_assignment(program) == []
+
+
+class TestCoverage:
+    def test_reading_written_elements_is_fine(self):
+        assert check_coverage(fig1_program("a", 64)) == []
+
+    def test_reading_never_written_array(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k, t[8];
+                for (k = 0; k < 8; k++)
+            s2:     C[k] = t[k];
+            }
+            """
+        )
+        issues = check_coverage(program)
+        assert any("never written" in issue for issue in issues)
+
+    def test_reading_beyond_written_range(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k, t[16];
+                for (k = 0; k < 4; k++)
+            s1:     t[k] = A[k];
+                for (k = 0; k < 8; k++)
+            s2:     C[k] = t[k];
+            }
+            """
+        )
+        issues = check_coverage(program)
+        assert any("undefined elements" in issue for issue in issues)
+
+    def test_inputs_never_flagged(self):
+        program = parse_program(
+            "f(int A[], int C[]) { int k; for(k=0;k<4;k++) s1: C[k] = A[k + 100]; }"
+        )
+        assert check_coverage(program) == []
+
+
+class TestDefUseOrder:
+    def test_fig1_versions_pass(self):
+        for version in "abcd":
+            assert check_def_use_order(fig1_program(version, 64)) == []
+
+    def test_recurrence_kernels_pass(self):
+        pair = kernel_pair("prefix_sum", n=16)
+        assert check_def_use_order(pair.original) == []
+        assert check_def_use_order(pair.transformed) == []
+
+    def test_use_before_def_across_loops(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k, t[8];
+                for (k = 0; k < 8; k++)
+            s1:     C[k] = t[k];
+                for (k = 0; k < 8; k++)
+            s2:     t[k] = A[k];
+            }
+            """
+        )
+        issues = check_def_use_order(program)
+        assert any("before" in issue for issue in issues)
+
+    def test_forward_recurrence_reading_future_value(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k, t[10];
+                for (k = 0; k < 8; k++)
+            s1:     t[k] = t[k + 1] + A[k];
+                for (k = 0; k < 8; k++)
+            s2:     C[k] = t[k];
+            }
+            """
+        )
+        issues = check_def_use_order(program)
+        assert issues
+
+    def test_same_iteration_write_then_read_is_fine(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k, t[8];
+                for (k = 0; k < 8; k++) {
+            s1:     t[k] = A[k];
+            s2:     C[k] = t[k];
+                }
+            }
+            """
+        )
+        assert check_def_use_order(program) == []
+
+    def test_same_iteration_read_then_write_is_flagged(self):
+        program = parse_program(
+            """
+            f(int A[], int C[]) {
+                int k, t[8];
+                for (k = 0; k < 8; k++) {
+            s1:     C[k] = t[k];
+            s2:     t[k] = A[k];
+                }
+            }
+            """
+        )
+        assert check_def_use_order(program)
+
+
+class TestDataflowDriver:
+    def test_all_fig1_versions_pass_all_checks(self):
+        for version in "abcd":
+            assert check_dataflow(fig1_program(version, 64)) == []
+
+    def test_written_set_by_array(self):
+        contexts = statement_contexts(fig1_program("a", 64))
+        written = written_set_by_array(contexts)
+        assert set(written) == {"tmp", "buf", "C"}
+        assert written["C"].count() == 64

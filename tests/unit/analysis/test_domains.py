@@ -1,0 +1,114 @@
+"""Unit tests for iteration-domain and schedule extraction."""
+
+import pytest
+
+from repro.analysis import statement_contexts
+from repro.lang import parse_program
+from repro.presburger import parse_set
+from repro.workloads import fig1_program
+
+
+def contexts_of(source):
+    return {c.label: c for c in statement_contexts(parse_program(source))}
+
+
+class TestIterationDomains:
+    def test_fig1_original_domains(self):
+        contexts = {c.label: c for c in statement_contexts(fig1_program("a", 1024))}
+        assert contexts["s1"].domain.is_equal(parse_set("{ [k] : 0 <= k < 1024 }"))
+        assert contexts["s2"].domain.is_equal(parse_set("{ [k] : 1 <= k <= 1024 }"))
+        assert contexts["s3"].domain.is_equal(parse_set("{ [k] : 0 <= k < 1024 }"))
+
+    def test_strided_loop_domain(self):
+        contexts = contexts_of(
+            "f(int A[], int C[]) { int k; for(k=0;k<16;k+=4) s1: C[k] = A[k]; }"
+        )
+        domain = contexts["s1"].domain
+        assert sorted(domain.points()) == [(0,), (4,), (8,), (12,)]
+
+    def test_decrementing_loop_domain(self):
+        contexts = contexts_of(
+            "f(int A[], int C[]) { int k; for(k=9;k>=3;k--) s1: C[k] = A[k]; }"
+        )
+        assert sorted(contexts["s1"].domain.points()) == [(k,) for k in range(3, 10)]
+
+    def test_if_condition_refines_domain(self):
+        contexts = contexts_of(
+            """
+            f(int A[], int C[]) {
+                int k;
+                for (k = 0; k < 10; k++) {
+                    if (k < 4)
+            s1:         C[k] = A[k];
+                    else
+            s2:         C[k] = A[k + 1];
+                }
+            }
+            """
+        )
+        assert sorted(contexts["s1"].domain.points()) == [(k,) for k in range(4)]
+        assert sorted(contexts["s2"].domain.points()) == [(k,) for k in range(4, 10)]
+
+    def test_nested_loops_and_triangular_bounds(self):
+        contexts = contexts_of(
+            """
+            f(int A[], int C[]) {
+                int i, j, t[6][6];
+                for (i = 0; i < 4; i++)
+                    for (j = 0; j <= i; j++)
+            s1:         t[i][j] = A[j];
+                for (i = 0; i < 4; i++)
+            s2:     C[i] = t[i][0];
+            }
+            """
+        )
+        domain = contexts["s1"].domain
+        assert set(domain.points()) == {(i, j) for i in range(4) for j in range(i + 1)}
+        assert contexts["s1"].iterators == ("i", "j")
+
+    def test_statement_outside_loops(self):
+        contexts = contexts_of("f(int A[], int C[]) { s1: C[0] = A[0]; }")
+        assert contexts["s1"].iterators == ()
+        assert not contexts["s1"].domain.is_empty()
+
+    def test_unlabelled_statements_get_fresh_labels(self):
+        contexts = statement_contexts(
+            parse_program("f(int A[], int C[]) { int k; for(k=0;k<4;k++) C[k] = A[k]; }")
+        )
+        assert len(contexts) == 1
+        assert contexts[0].label.startswith("__stmt")
+
+
+class TestSchedules:
+    def test_textual_order_is_reflected(self):
+        contexts = {c.label: c for c in statement_contexts(fig1_program("a", 16))}
+        # s1, s2, s3 are three successive top-level loops: their first static
+        # schedule dimension must be strictly increasing.
+        first_dims = [contexts[label].schedule[0].const for label in ("s1", "s2", "s3")]
+        assert first_dims == sorted(first_dims)
+        assert len(set(first_dims)) == 3
+
+    def test_schedule_length_matches_depth(self):
+        contexts = contexts_of(
+            """
+            f(int A[], int C[]) {
+                int i, j, t[4][4];
+                for (i = 0; i < 4; i++)
+                    for (j = 0; j < 4; j++)
+            s1:         t[i][j] = A[i];
+                for (i = 0; i < 4; i++)
+            s2:     C[i] = t[i][0];
+            }
+            """
+        )
+        # 2d+1 encoding: depth-2 statement has 5 schedule dims, depth-1 has 3.
+        assert len(contexts["s1"].schedule) == 5
+        assert len(contexts["s2"].schedule) == 3
+
+    def test_negative_step_schedule_uses_loop_time(self):
+        contexts = contexts_of(
+            "f(int A[], int C[]) { int k; for(k=9;k>=0;k--) s1: C[k] = A[k]; }"
+        )
+        time_expr = contexts["s1"].schedule[1]
+        # time = (init - k) for a downward loop: increasing over execution.
+        assert time_expr.coeff("k") == -1

@@ -1,0 +1,58 @@
+"""Unit tests for operator property declarations."""
+
+import pytest
+
+from repro.checker import OperatorProperties, OperatorRegistry, default_registry, empty_registry
+
+
+class TestOperatorProperties:
+    def test_defaults(self):
+        props = OperatorProperties()
+        assert not props.associative and not props.commutative
+        assert not props.is_algebraic
+
+    def test_algebraic_flag(self):
+        assert OperatorProperties(associative=True).is_algebraic
+        assert OperatorProperties(commutative=True).is_algebraic
+        assert OperatorProperties(True, True).is_algebraic
+
+
+class TestRegistry:
+    def test_default_registry_declares_plus_and_times(self):
+        registry = default_registry()
+        for op in ("+", "*"):
+            assert registry.get(op).associative
+            assert registry.get(op).commutative
+
+    def test_default_registry_leaves_minus_uninterpreted(self):
+        registry = default_registry()
+        assert not registry.get("-").is_algebraic
+        assert not registry.get("/").is_algebraic
+        assert not registry.get("anything").is_algebraic
+
+    def test_empty_registry(self):
+        registry = empty_registry()
+        assert not registry.get("+").is_algebraic
+
+    def test_declare_custom_function(self):
+        registry = default_registry()
+        registry.declare("min", associative=True, commutative=True)
+        assert registry.get("min").is_algebraic
+        assert "min" in registry
+
+    def test_declare_overwrites(self):
+        registry = default_registry()
+        registry.declare("+", associative=False, commutative=False)
+        assert not registry.get("+").is_algebraic
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        copy = registry.copy()
+        copy.declare("+", associative=False, commutative=False)
+        assert registry.get("+").is_algebraic
+        assert not copy.get("+").is_algebraic
+
+    def test_items_and_repr(self):
+        registry = default_registry()
+        assert dict(registry.items())["+"].commutative
+        assert "+" in repr(registry)

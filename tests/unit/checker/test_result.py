@@ -1,0 +1,80 @@
+"""Unit tests for checker verdicts, statistics and diagnostics objects."""
+
+import pytest
+
+from repro.checker import CheckStats, Diagnostic, DiagnosticKind, EquivalenceResult, OutputReport
+
+
+class TestDiagnostic:
+    def test_format_contains_all_sections(self):
+        diagnostic = Diagnostic(
+            DiagnosticKind.MAPPING_MISMATCH,
+            "mappings differ",
+            output_array="C",
+            original_statements=("s1",),
+            transformed_statements=("v3", "v1"),
+            original_mapping="{ [x] -> [2x] }",
+            transformed_mapping="{ [x] -> [x] }",
+            mismatch_domain="{ [x] : x even }",
+            original_path=("C", "s3", "B"),
+            transformed_path=("C", "v3", "B"),
+            suspect_statements=("v1", "v3"),
+            suspect_arrays=("buf",),
+        )
+        text = diagnostic.format()
+        assert "[mapping-mismatch]" in text
+        assert "v3, v1" in text
+        assert "{ [x] -> [2x] }" in text
+        assert "buf" in text
+        assert "C -> v3 -> B" in text
+
+    def test_str_is_format(self):
+        diagnostic = Diagnostic(DiagnosticKind.LEAF_MISMATCH, "leaf")
+        assert str(diagnostic) == diagnostic.format()
+
+    def test_all_kinds_listed(self):
+        assert DiagnosticKind.MAPPING_MISMATCH in DiagnosticKind.ALL
+        assert len(set(DiagnosticKind.ALL)) == len(DiagnosticKind.ALL)
+
+
+class TestStatsAndResult:
+    def test_stats_as_dict(self):
+        stats = CheckStats(elapsed_seconds=1.5, compare_calls=10)
+        data = stats.as_dict()
+        assert data["elapsed_seconds"] == 1.5
+        assert data["compare_calls"] == 10
+
+    def test_result_bool_and_summary(self):
+        result = EquivalenceResult(
+            equivalent=True,
+            outputs=[OutputReport("C", True, checked_domain="{ [k] : 0 <= k < 4 }")],
+            diagnostics=[],
+            stats=CheckStats(paths_checked=4),
+            method="extended",
+        )
+        assert result
+        assert "EQUIVALENT" in result.summary()
+        assert "output C: ok" in result.summary()
+
+    def test_failing_result_summary_lists_diagnostics(self):
+        diagnostic = Diagnostic(DiagnosticKind.OPERATOR_MISMATCH, "ops differ")
+        result = EquivalenceResult(
+            equivalent=False,
+            outputs=[OutputReport("C", False, failing_domain="{ [k] : k = 0 }")],
+            diagnostics=[diagnostic],
+            stats=CheckStats(),
+        )
+        assert not result
+        text = result.summary()
+        assert "NOT PROVEN EQUIVALENT" in text
+        assert "ops differ" in text
+        assert "failing on" in text
+
+    def test_diagnostics_of_kind(self):
+        diagnostics = [
+            Diagnostic(DiagnosticKind.OPERATOR_MISMATCH, "a"),
+            Diagnostic(DiagnosticKind.MAPPING_MISMATCH, "b"),
+        ]
+        result = EquivalenceResult(False, [], diagnostics, CheckStats())
+        assert len(result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)) == 1
+        assert len(result.failures()) == 2

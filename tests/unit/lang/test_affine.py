@@ -1,0 +1,128 @@
+"""Unit tests for lowering AST expressions / conditions to affine constraints."""
+
+import pytest
+
+from repro.lang import (
+    And,
+    ArrayRef,
+    BinOp,
+    Call,
+    Comparison,
+    IntConst,
+    NotAffineError,
+    UnaryOp,
+    VarRef,
+)
+from repro.lang.affine import (
+    condition_to_pieces,
+    expr_to_affine,
+    loop_constraints,
+    negated_condition_pieces,
+)
+from repro.presburger import LinExpr, Set
+
+
+def k(value=None):
+    return VarRef("k") if value is None else IntConst(value)
+
+
+class TestExprToAffine:
+    def test_constant_and_variable(self):
+        assert expr_to_affine(IntConst(5)) == LinExpr.constant(5)
+        assert expr_to_affine(VarRef("k")) == LinExpr.var("k")
+
+    def test_linear_combination(self):
+        expr = BinOp("-", BinOp("*", IntConst(2), VarRef("k")), IntConst(2))
+        assert expr_to_affine(expr) == 2 * LinExpr.var("k") - 2
+
+    def test_constant_on_the_right(self):
+        expr = BinOp("*", VarRef("k"), IntConst(3))
+        assert expr_to_affine(expr) == 3 * LinExpr.var("k")
+
+    def test_unary_minus(self):
+        assert expr_to_affine(UnaryOp("-", VarRef("k"))) == -LinExpr.var("k")
+
+    def test_constants_dictionary(self):
+        assert expr_to_affine(VarRef("N"), {"N": 64}) == LinExpr.constant(64)
+
+    def test_array_read_rejected(self):
+        with pytest.raises(NotAffineError):
+            expr_to_affine(ArrayRef("A", [VarRef("k")]))
+
+    def test_call_rejected(self):
+        with pytest.raises(NotAffineError):
+            expr_to_affine(Call("f", [VarRef("k")]))
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(NotAffineError):
+            expr_to_affine(BinOp("*", VarRef("i"), VarRef("j")))
+
+    def test_division_rejected(self):
+        with pytest.raises(NotAffineError):
+            expr_to_affine(BinOp("/", VarRef("i"), IntConst(2)))
+
+
+def domain_of(pieces, names=("k",), box=range(-10, 30)):
+    """Enumerate the integer points satisfying a DNF piece list."""
+    result = set()
+    for piece in pieces:
+        s = Set.build(list(names), piece)
+        for x in box:
+            if s.contains([x]):
+                result.add(x)
+    return result
+
+
+class TestConditions:
+    def test_simple_comparison(self):
+        pieces = condition_to_pieces(Comparison("<", VarRef("k"), IntConst(4)))
+        assert domain_of(pieces) == {x for x in range(-10, 30) if x < 4}
+
+    def test_not_equal_produces_two_pieces(self):
+        pieces = condition_to_pieces(Comparison("!=", VarRef("k"), IntConst(3)))
+        assert len(pieces) == 2
+        assert 3 not in domain_of(pieces)
+
+    def test_conjunction(self):
+        cond = And([Comparison(">=", VarRef("k"), IntConst(2)), Comparison("<", VarRef("k"), IntConst(6))])
+        assert domain_of(condition_to_pieces(cond)) == {2, 3, 4, 5}
+
+    def test_negation_of_comparison(self):
+        pieces = negated_condition_pieces(Comparison("<", VarRef("k"), IntConst(4)))
+        assert domain_of(pieces) == {x for x in range(-10, 30) if x >= 4}
+
+    def test_negation_of_conjunction_covers_complement(self):
+        cond = And([Comparison(">=", VarRef("k"), IntConst(2)), Comparison("<", VarRef("k"), IntConst(6))])
+        positive = domain_of(condition_to_pieces(cond))
+        negative = domain_of(negated_condition_pieces(cond))
+        box = set(range(-10, 30))
+        assert positive | negative == box
+        assert positive & negative == set()
+
+    def test_negation_of_equality(self):
+        pieces = negated_condition_pieces(Comparison("==", VarRef("k"), IntConst(0)))
+        assert 0 not in domain_of(pieces)
+        assert 1 in domain_of(pieces)
+
+
+class TestLoopConstraints:
+    def check(self, init, cond_op, bound, step, expected):
+        constraints, exists = loop_constraints("k", IntConst(init), cond_op, IntConst(bound), step)
+        s = Set.build(["k"], constraints, exists=exists)
+        values = {x for x in range(-20, 40) if s.contains([x])}
+        assert values == set(expected)
+
+    def test_up_counting_loop(self):
+        self.check(0, "<", 8, 1, range(0, 8))
+
+    def test_down_counting_loop(self):
+        self.check(10, ">=", 1, -1, range(1, 11))
+
+    def test_strided_loop(self):
+        self.check(0, "<", 10, 2, [0, 2, 4, 6, 8])
+
+    def test_strided_down_loop(self):
+        self.check(9, ">", 0, -3, [9, 6, 3])
+
+    def test_inclusive_upper_bound(self):
+        self.check(0, "<=", 5, 1, range(0, 6))

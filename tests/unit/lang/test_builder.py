@@ -1,0 +1,86 @@
+"""Unit tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.lang import ProgramBuilder, check_program_class, program_to_text, run_program
+from repro.lang.ast import Comparison, ForLoop, IfThenElse
+
+
+class TestBuilder:
+    def test_simple_program(self):
+        b = ProgramBuilder("scale", params=[("A", [8]), ("C", [8])])
+        with b.loop("i", 0, 8):
+            b.assign("s1", b.at("C", b.v("i")), b.mul(2, b.at("A", b.v("i"))))
+        program = b.build()
+        assert program.name == "scale"
+        assert check_program_class(program) == []
+        outputs = run_program(program, {"A": list(range(8))})
+        assert outputs["C"][(3,)] == 6
+
+    def test_nested_loops_and_locals(self):
+        b = ProgramBuilder("sum2d", params=[("A", [4, 4]), ("C", [4])], locals_=[("t", [4, 4])])
+        with b.loop("i", 0, 4):
+            with b.loop("j", 0, 4):
+                b.assign("s1", b.at("t", b.v("i"), b.v("j")), b.add(b.at("A", b.v("i"), b.v("j")), 1))
+        with b.loop("i", 0, 4):
+            b.assign("s2", b.at("C", b.v("i")), b.at("t", b.v("i"), 0))
+        program = b.build()
+        assert check_program_class(program) == []
+        assert len(program.assignments()) == 2
+
+    def test_negative_step_loop(self):
+        b = ProgramBuilder("rev", params=[("A", [8]), ("C", [8])])
+        with b.loop("i", 7, 0, step=-1):
+            b.assign("s1", b.at("C", b.v("i")), b.at("A", b.v("i")))
+        loop = b.build().body[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.step == -1
+        assert loop.cond_op == ">="
+
+    def test_if_scope(self):
+        b = ProgramBuilder("cond", params=[("A", [8]), ("C", [8])])
+        with b.loop("i", 0, 8):
+            with b.if_(b.cmp("<", b.v("i"), 4)):
+                b.assign("s1", b.at("C", b.v("i")), b.at("A", b.v("i")))
+        statement = b.build().body[0].body[0]
+        assert isinstance(statement, IfThenElse)
+        assert isinstance(statement.condition, Comparison)
+
+    def test_if_stmt_with_then_and_else_scopes(self):
+        b = ProgramBuilder("cond", params=[("A", [8]), ("C", [8])])
+        with b.loop("i", 0, 8):
+            conditional = b.if_stmt(b.cmp("<", b.v("i"), 4))
+            with b.then_scope(conditional):
+                b.assign("s1", b.at("C", b.v("i")), b.at("A", b.v("i")))
+            with b.else_scope(conditional):
+                b.assign("s2", b.at("C", b.v("i")), b.neg(b.at("A", b.v("i"))))
+        program = b.build()
+        assert check_program_class(program) == []
+        outputs = run_program(program, {"A": list(range(8))})
+        assert outputs["C"][(6,)] == -6
+
+    def test_auto_labels_are_unique(self):
+        b = ProgramBuilder("auto", params=[("A", [4]), ("C", [4])], locals_=[("t", [4])])
+        with b.loop("i", 0, 4):
+            b.assign(None, b.at("t", b.v("i")), b.at("A", b.v("i")))
+            b.assign(None, b.at("C", b.v("i")), b.at("t", b.v("i")))
+        labels = [a.label for a in b.build().assignments()]
+        assert len(labels) == len(set(labels)) == 2
+
+    def test_call_and_expression_helpers(self):
+        b = ProgramBuilder("calls", params=[("A", [4]), ("C", [4])])
+        with b.loop("i", 0, 4):
+            b.assign("s1", b.at("C", b.v("i")), b.call("max", b.at("A", b.v("i")), b.c(0)))
+        text = program_to_text(b.build())
+        assert "max(A[i], 0)" in text
+
+    def test_build_returns_independent_copy(self):
+        b = ProgramBuilder("copytest", params=[("A", [4]), ("C", [4])])
+        with b.loop("i", 0, 4):
+            b.assign("s1", b.at("C", b.v("i")), b.at("A", b.v("i")))
+        first = b.build()
+        second = b.build()
+        assert first == second
+        assert first is not second
+        first.body.clear()
+        assert second.body

@@ -1,0 +1,160 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.lang import (
+    InterpreterError,
+    outputs_equal,
+    parse_program,
+    random_input_provider,
+    run_program,
+)
+
+
+def program(source):
+    return parse_program(source)
+
+
+class TestExecution:
+    def test_simple_copy(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<4;k++) s: C[k] = A[k]; }")
+        outputs = run_program(p, {"A": [10, 20, 30, 40]})
+        assert outputs == {"C": {(0,): 10, (1,): 20, (2,): 30, (3,): 40}}
+
+    def test_arithmetic_operators(self):
+        p = program(
+            "f(int A[], int B[], int C[]) { int k; for(k=0;k<3;k++) s: C[k] = A[k]*2 + B[k] - 1; }"
+        )
+        outputs = run_program(p, {"A": [1, 2, 3], "B": [10, 20, 30]})
+        assert [outputs["C"][(k,)] for k in range(3)] == [11, 23, 35]
+
+    def test_division_truncates_toward_zero(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<2;k++) s: C[k] = A[k] / 2; }")
+        outputs = run_program(p, {"A": [-3, 3]})
+        assert outputs["C"][(0,)] == -1  # C semantics, not floor
+        assert outputs["C"][(1,)] == 1
+
+    def test_decrementing_and_strided_loops(self):
+        p = program(
+            """
+            f(int A[], int C[]) {
+                int k;
+                for (k = 6; k >= 0; k -= 2)
+            s1:     C[k] = A[k];
+            }
+            """
+        )
+        outputs = run_program(p, {"A": list(range(10, 20))})
+        assert sorted(outputs["C"]) == [(0,), (2,), (4,), (6,)]
+
+    def test_if_else(self):
+        p = program(
+            """
+            f(int A[], int C[]) {
+                int k;
+                for (k = 0; k < 4; k++) {
+                    if (k < 2)
+            s1:         C[k] = A[k];
+                    else
+            s2:         C[k] = 0 - A[k];
+                }
+            }
+            """
+        )
+        outputs = run_program(p, {"A": [1, 2, 3, 4]})
+        assert [outputs["C"][(k,)] for k in range(4)] == [1, 2, -3, -4]
+
+    def test_intermediate_arrays_and_multidim(self):
+        p = program(
+            """
+            f(int A[], int C[]) {
+                int i, j, t[2][3];
+                for (i = 0; i < 2; i++)
+                    for (j = 0; j < 3; j++)
+            s1:         t[i][j] = A[3*i + j];
+                for (i = 0; i < 2; i++)
+            s2:     C[i] = t[i][0] + t[i][2];
+            }
+            """
+        )
+        outputs = run_program(p, {"A": [1, 2, 3, 4, 5, 6]})
+        assert outputs["C"] == {(0,): 4, (1,): 10}
+
+    def test_builtin_function_calls(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<3;k++) s: C[k] = abs(A[k]); }")
+        outputs = run_program(p, {"A": [-5, 0, 7]})
+        assert [outputs["C"][(k,)] for k in range(3)] == [5, 0, 7]
+
+    def test_custom_function_table(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<2;k++) s: C[k] = twice(A[k]); }")
+        outputs = run_program(p, {"A": [3, 4]}, functions={"twice": lambda v: 2 * v})
+        assert [outputs["C"][(k,)] for k in range(2)] == [6, 8]
+
+    def test_loop_bound_depending_on_outer_iterator(self):
+        p = program(
+            """
+            f(int A[], int C[]) {
+                int i, j, t[4][4];
+                for (i = 0; i < 4; i++)
+                    for (j = 0; j < i; j++)
+            s1:         t[i][j] = A[j];
+                for (i = 1; i < 4; i++)
+            s2:     C[i] = t[i][0];
+            }
+            """
+        )
+        outputs = run_program(p, {"A": [7, 8, 9, 10]})
+        assert outputs["C"] == {(1,): 7, (2,): 7, (3,): 7}
+
+
+class TestErrorsAndProviders:
+    def test_unknown_function_raises(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<2;k++) s: C[k] = mystery(A[k]); }")
+        with pytest.raises(InterpreterError):
+            run_program(p, {"A": [1, 2]})
+
+    def test_read_of_undefined_intermediate_raises(self):
+        p = program(
+            """
+            f(int A[], int C[]) {
+                int k, t[4];
+                for (k = 0; k < 2; k++)
+            s1:     t[k] = A[k];
+                for (k = 0; k < 4; k++)
+            s2:     C[k] = t[k];
+            }
+            """
+        )
+        with pytest.raises(InterpreterError):
+            run_program(p, {"A": [1, 2, 3, 4]})
+
+    def test_division_by_zero_raises(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<1;k++) s: C[k] = A[k] / 0; }")
+        with pytest.raises(InterpreterError):
+            run_program(p, {"A": [1]})
+
+    def test_single_assignment_check(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<4;k++) s: C[0] = A[k]; }")
+        with pytest.raises(InterpreterError):
+            run_program(p, {"A": [1, 2, 3, 4]}, check_single_assignment=True)
+        # without the check the last write wins
+        outputs = run_program(p, {"A": [1, 2, 3, 4]})
+        assert outputs["C"][(0,)] == 4
+
+    def test_random_provider_is_deterministic(self):
+        provider_a = random_input_provider(seed=5)
+        provider_b = random_input_provider(seed=5)
+        assert provider_a("A", (3,)) == provider_b("A", (3,))
+        assert provider_a("A", (3,)) != random_input_provider(seed=6)("A", (3,))
+
+    def test_provider_backed_execution(self):
+        p = program("f(int A[], int C[]) { int k; for(k=0;k<4;k++) s: C[k] = A[k] + A[k+1]; }")
+        provider = random_input_provider(seed=1)
+        outputs = run_program(p, provider)
+        expected = {(k,): provider("A", (k,)) + provider("A", (k + 1,)) for k in range(4)}
+        assert outputs["C"] == expected
+
+    def test_outputs_equal_helper(self):
+        assert outputs_equal({"C": {(0,): 1}}, {"C": {(0,): 1}})
+        assert not outputs_equal({"C": {(0,): 1}}, {"C": {(0,): 2}})
+        assert not outputs_equal({"C": {(0,): 1}}, {"D": {(0,): 1}})

@@ -1,0 +1,101 @@
+"""Unit tests for the mini-C pretty-printer (round-trips with the parser)."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Call,
+    Comparison,
+    IntConst,
+    UnaryOp,
+    VarRef,
+    condition_to_text,
+    expr_to_text,
+    parse_program,
+    program_to_text,
+    statement_to_text,
+)
+from repro.workloads import FIG1_SOURCES
+
+
+class TestExprPrinting:
+    def test_simple_terms(self):
+        assert expr_to_text(IntConst(42)) == "42"
+        assert expr_to_text(VarRef("k")) == "k"
+        assert expr_to_text(ArrayRef("A", [VarRef("k")])) == "A[k]"
+
+    def test_nested_array_indices(self):
+        expr = ArrayRef("A", [BinOp("-", BinOp("*", IntConst(2), VarRef("k")), IntConst(2))])
+        assert expr_to_text(expr) == "A[2 * k - 2]"
+
+    def test_precedence_parentheses(self):
+        # (a + b) * 2 must keep its parentheses
+        expr = BinOp("*", BinOp("+", VarRef("a"), VarRef("b")), IntConst(2))
+        assert expr_to_text(expr) == "(a + b) * 2"
+
+    def test_no_spurious_parentheses(self):
+        expr = BinOp("+", BinOp("*", VarRef("a"), IntConst(2)), VarRef("b"))
+        assert expr_to_text(expr) == "a * 2 + b"
+
+    def test_unary_and_call(self):
+        assert expr_to_text(UnaryOp("-", VarRef("x"))) == "-x"
+        assert expr_to_text(Call("max", [VarRef("a"), IntConst(0)])) == "max(a, 0)"
+
+    def test_condition_text(self):
+        cond = Comparison("<", VarRef("k"), IntConst(512))
+        assert condition_to_text(cond) == "k < 512"
+
+
+class TestStatementPrinting:
+    def test_assignment_with_label(self):
+        statement = Assignment("s1", ArrayRef("C", [VarRef("k")]), VarRef("k"))
+        assert statement_to_text(statement).strip() == "s1: C[k] = k;"
+
+    def test_loop_increments(self):
+        source = "f(int A[], int C[]) { int k; for (k = 8; k >= 0; k -= 2) s: C[k] = A[k]; }"
+        text = program_to_text(parse_program(source))
+        assert "k -= 2" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("version", sorted(FIG1_SOURCES))
+    def test_fig1_roundtrip(self, version):
+        program = parse_program(FIG1_SOURCES[version])
+        reparsed = parse_program(program_to_text(program))
+        assert reparsed == program
+
+    def test_roundtrip_with_if_else_and_calls(self):
+        source = """
+        #define N 32
+        f(int A[], int B[], int C[])
+        {
+            int k, t[N];
+            for (k = 0; k < N; k++) {
+                if (k < 16 && k >= 2)
+        s1:         t[k] = max(A[k], B[k]);
+                else
+        s2:         t[k] = A[k] - B[k];
+            }
+            for (k = 0; k < N; k++)
+        s3:     C[k] = t[k] + 1;
+        }
+        """
+        program = parse_program(source)
+        assert parse_program(program_to_text(program)) == program
+
+    def test_roundtrip_multidimensional(self):
+        source = """
+        f(int A[], int C[])
+        {
+            int i, j, t[4][6];
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 6; j++)
+        s1:         t[i][j] = A[6*i + j];
+            for (i = 0; i < 4; i++)
+        s2:     C[i] = t[i][0];
+        }
+        """
+        program = parse_program(source)
+        assert parse_program(program_to_text(program)) == program

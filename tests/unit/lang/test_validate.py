@@ -1,0 +1,89 @@
+"""Unit tests for the allowed-program-class validator."""
+
+import pytest
+
+from repro.lang import ProgramClassError, check_program_class, parse_program, require_program_class
+from repro.workloads import FIG1_SOURCES
+
+
+def issues_of(source):
+    return check_program_class(parse_program(source))
+
+
+class TestAcceptedPrograms:
+    @pytest.mark.parametrize("version", sorted(FIG1_SOURCES))
+    def test_fig1_programs_are_in_class(self, version):
+        assert issues_of(FIG1_SOURCES[version]) == []
+
+    def test_multidimensional_and_calls_allowed(self):
+        source = """
+        f(int A[4][4], int C[]) {
+            int i, j, t[4][4];
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++)
+        s1:         t[i][j] = max(A[i][j], 0);
+            for (i = 0; i < 4; i++)
+        s2:     C[i] = t[i][i];
+        }
+        """
+        assert issues_of(source) == []
+
+    def test_require_program_class_passes_silently(self):
+        require_program_class(parse_program(FIG1_SOURCES["a"]))
+
+
+class TestRejectedPrograms:
+    def test_undeclared_array(self):
+        source = "f(int A[], int C[]) { int k; for(k=0;k<4;k++) s: C[k] = undeclared[k]; }"
+        assert any("undeclared" in issue for issue in issues_of(source))
+
+    def test_data_dependent_index(self):
+        source = "f(int A[], int B[], int C[]) { int k; for(k=0;k<4;k++) s: C[k] = A[B[k]]; }"
+        assert any("not affine" in issue for issue in issues_of(source))
+
+    def test_nonlinear_index(self):
+        source = "f(int A[], int C[]) { int i, j, t[4][4]; for(i=0;i<4;i++) for(j=0;j<4;j++) s: t[i][j] = A[i*j]; }"
+        assert any("not affine" in issue for issue in issues_of(source))
+
+    def test_unknown_scalar_in_index(self):
+        source = "f(int A[], int C[]) { int k, m; for(k=0;k<4;k++) s: C[k] = A[m]; }"
+        assert issues_of(source)
+
+    def test_scalar_read_as_data(self):
+        source = "f(int A[], int C[]) { int k, x; for(k=0;k<4;k++) s: C[k] = A[k] + x; }"
+        assert issues_of(source)
+
+    def test_dimension_mismatch(self):
+        source = "f(int A[4][4], int C[]) { int k; for(k=0;k<4;k++) s: C[k] = A[k]; }"
+        assert any("dimensional" in issue for issue in issues_of(source))
+
+    def test_duplicate_labels(self):
+        source = """
+        f(int A[], int C[]) {
+            int k, t[4];
+            for(k=0;k<4;k++) s1: t[k] = A[k];
+            for(k=0;k<4;k++) s1: C[k] = t[k];
+        }
+        """
+        assert any("duplicate" in issue for issue in issues_of(source))
+
+    def test_loop_variable_shadowing(self):
+        source = """
+        f(int A[], int C[]) {
+            int k;
+            for (k = 0; k < 4; k++)
+                for (k = 0; k < 4; k++)
+        s1:         C[k] = A[k];
+        }
+        """
+        assert any("shadows" in issue for issue in issues_of(source))
+
+    def test_data_dependent_loop_bound(self):
+        source = "f(int A[], int C[]) { int k; for(k=0;k<4;k++) s: C[A[k]] = A[k]; }"
+        assert issues_of(source)
+
+    def test_require_program_class_raises_with_details(self):
+        source = "f(int A[], int C[]) { int k; for(k=0;k<4;k++) s: C[k] = undeclared[k]; }"
+        with pytest.raises(ProgramClassError) as excinfo:
+            require_program_class(parse_program(source))
+        assert "undeclared" in str(excinfo.value)

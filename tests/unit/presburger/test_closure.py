@@ -1,0 +1,65 @@
+"""Unit tests for transitive closure of dependence relations."""
+
+import pytest
+
+from repro.presburger import Map, parse_map, power_closure_exactness, transitive_closure
+
+
+class TestUniformClosure:
+    def test_backward_chain(self):
+        relation = parse_map("{ [k] -> [k - 1] : 1 <= k < 8 }")
+        closure, exact = transitive_closure(relation)
+        assert exact
+        expected = {((i,), (j,)) for i in range(1, 8) for j in range(0, i)}
+        assert set(closure.pairs()) == expected
+
+    def test_forward_chain(self):
+        relation = parse_map("{ [k] -> [k + 2] : 0 <= k < 6 }")
+        closure, exact = transitive_closure(relation)
+        assert exact
+        # k -> k + 2t for t >= 1, staying within the range constraints
+        assert closure.contains([0], [2])
+        assert closure.contains([0], [6])
+        assert not closure.contains([0], [1])
+        assert not closure.contains([0], [0])
+
+    def test_two_dimensional_translation(self):
+        relation = parse_map("{ [i, j] -> [i, j - 1] : 0 <= i < 3 and 1 <= j < 4 }")
+        closure, exact = transitive_closure(relation)
+        assert exact
+        assert closure.contains([1, 3], [1, 0])
+        assert not closure.contains([1, 3], [2, 0])
+
+    def test_closure_of_empty_relation(self):
+        empty = Map.empty(["k"], ["k'"])
+        closure, exact = transitive_closure(empty)
+        assert exact
+        assert closure.is_empty()
+
+    def test_exactness_certificate_rejects_wrong_candidate(self):
+        relation = parse_map("{ [k] -> [k - 1] : 1 <= k < 8 }")
+        wrong = parse_map("{ [k] -> [j] : 0 <= j < k < 8 and 0 <= j }").union(
+            parse_map("{ [k] -> [k] : 0 <= k < 8 }")
+        )
+        assert not power_closure_exactness(relation, wrong)
+
+    def test_exactness_certificate_accepts_true_closure(self):
+        relation = parse_map("{ [k] -> [k - 1] : 1 <= k < 6 }")
+        closure, exact = transitive_closure(relation)
+        assert exact
+        assert power_closure_exactness(relation, closure)
+
+    def test_non_uniform_relation_is_overapproximated(self):
+        relation = parse_map("{ [k] -> [2k] : 1 <= k < 5 }")
+        closure, exact = transitive_closure(relation)
+        assert not exact
+        # the over-approximation must still contain the real closure
+        assert closure.contains([1], [2])
+        assert closure.contains([1], [4])  # 1 -> 2 -> 4
+
+    def test_irreflexive_for_acyclic_dependence(self):
+        relation = parse_map("{ [k] -> [k - 1] : 1 <= k < 10 }")
+        closure, exact = transitive_closure(relation)
+        assert exact
+        identity = parse_map("{ [k] -> [k] : 0 <= k < 10 }")
+        assert closure.intersect(identity).is_empty()

@@ -1,0 +1,69 @@
+"""Unit tests for the symbolic constraint helpers (eq_, ge_, le_, ...)."""
+
+import pytest
+
+from repro.presburger import AffineConstraint, LinExpr, Set, all_of, eq_, ge_, gt_, le_, lt_
+
+
+k = LinExpr.var("k")
+
+
+class TestHelpers:
+    def test_eq(self):
+        constraint = eq_(k, 3)
+        assert constraint.is_equality
+        assert constraint.expr == k - 3
+
+    def test_ge(self):
+        constraint = ge_(k, 2)
+        assert not constraint.is_equality
+        assert constraint.expr == k - 2
+
+    def test_le(self):
+        constraint = le_(k, 5)
+        assert constraint.expr == 5 - k
+
+    def test_lt_is_integer_strict(self):
+        constraint = lt_(k, 5)
+        # k < 5  <=>  4 - k >= 0
+        assert constraint.expr == 4 - k
+
+    def test_gt_is_integer_strict(self):
+        constraint = gt_(k, 5)
+        assert constraint.expr == k - 6
+
+    def test_default_rhs_is_zero(self):
+        assert ge_(k).expr == k
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AffineConstraint(k, "<=")
+
+    def test_variables_and_rename(self):
+        constraint = eq_(LinExpr.var("x"), 2 * LinExpr.var("y"))
+        assert constraint.variables() == ("x", "y")
+        renamed = constraint.rename({"y": "z"})
+        assert renamed.variables() == ("x", "z")
+
+    def test_substitute(self):
+        constraint = ge_(LinExpr.var("x"), 0).substitute({"x": k + 1})
+        assert constraint.expr == k + 1
+
+    def test_all_of_flattens(self):
+        constraints = all_of(ge_(k, 0), [le_(k, 5), [eq_(k, 2)]])
+        assert len(constraints) == 3
+
+    def test_equality_and_hash(self):
+        assert eq_(k, 3) == eq_(k, 3)
+        assert hash(eq_(k, 3)) == hash(eq_(k, 3))
+        assert eq_(k, 3) != ge_(k, 3)
+
+
+class TestIntegrationWithSets:
+    def test_build_set_semantics(self):
+        box = Set.build(["k"], [ge_(k, 0), lt_(k, 3)])
+        assert sorted(box.points()) == [(0,), (1,), (2,)]
+
+    def test_strict_bounds_match_integer_semantics(self):
+        a = Set.build(["k"], [gt_(k, 0), lt_(k, 4)])
+        assert sorted(a.points()) == [(1,), (2,), (3,)]

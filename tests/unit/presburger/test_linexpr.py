@@ -1,0 +1,117 @@
+"""Unit tests for affine expressions (LinExpr)."""
+
+import pytest
+
+from repro.presburger import LinExpr
+
+
+class TestConstruction:
+    def test_var_has_unit_coefficient(self):
+        k = LinExpr.var("k")
+        assert k.coeff("k") == 1
+        assert k.const == 0
+
+    def test_constant(self):
+        c = LinExpr.constant(7)
+        assert c.is_constant()
+        assert c.const == 7
+
+    def test_zero_coefficients_are_dropped(self):
+        expr = LinExpr({"a": 0, "b": 3}, 1)
+        assert expr.variables() == ("b",)
+
+    def test_coerce_int_str_expr(self):
+        assert LinExpr.coerce(5) == LinExpr.constant(5)
+        assert LinExpr.coerce("x") == LinExpr.var("x")
+        e = LinExpr.var("y")
+        assert LinExpr.coerce(e) is e
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(TypeError):
+            LinExpr.coerce(1.5)
+
+    def test_non_integer_coefficient_rejected(self):
+        with pytest.raises(TypeError):
+            LinExpr({"x": 1.5}, 0)
+
+
+class TestArithmetic:
+    def test_addition_merges_coefficients(self):
+        e = LinExpr.var("x") + LinExpr.var("x") + 3
+        assert e.coeff("x") == 2
+        assert e.const == 3
+
+    def test_subtraction_cancels(self):
+        e = LinExpr.var("x") - LinExpr.var("x")
+        assert e.is_constant()
+        assert e.const == 0
+
+    def test_negation(self):
+        e = -(2 * LinExpr.var("x") + 1)
+        assert e.coeff("x") == -2
+        assert e.const == -1
+
+    def test_scalar_multiplication(self):
+        e = 3 * (LinExpr.var("x") + 2)
+        assert e.coeff("x") == 3
+        assert e.const == 6
+
+    def test_right_subtraction(self):
+        e = 10 - LinExpr.var("x")
+        assert e.coeff("x") == -1
+        assert e.const == 10
+
+    def test_product_of_two_non_constants_rejected(self):
+        with pytest.raises(TypeError):
+            LinExpr.var("x") * LinExpr.var("y")
+
+    def test_product_with_constant_expr(self):
+        e = LinExpr.var("x") * LinExpr.constant(4)
+        assert e.coeff("x") == 4
+
+
+class TestOperations:
+    def test_substitute(self):
+        e = 2 * LinExpr.var("x") + LinExpr.var("y")
+        result = e.substitute({"x": LinExpr.var("k") + 1})
+        assert result.coeff("k") == 2
+        assert result.coeff("y") == 1
+        assert result.const == 2
+
+    def test_evaluate(self):
+        e = 2 * LinExpr.var("x") - 3 * LinExpr.var("y") + 5
+        assert e.evaluate({"x": 4, "y": 1}) == 10
+
+    def test_evaluate_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            LinExpr.var("x").evaluate({})
+
+    def test_rename(self):
+        e = LinExpr.var("x") + 2 * LinExpr.var("y")
+        renamed = e.rename({"x": "a"})
+        assert renamed.coeff("a") == 1
+        assert renamed.coeff("y") == 2
+
+    def test_to_vector_ordering(self):
+        e = 2 * LinExpr.var("j") + LinExpr.var("i") - 4
+        assert e.to_vector(["i", "j"]) == (1, 2, -4)
+
+    def test_to_vector_unknown_variable_raises(self):
+        with pytest.raises(KeyError):
+            LinExpr.var("z").to_vector(["i", "j"])
+
+    def test_equality_and_hash(self):
+        a = LinExpr.var("x") + 1
+        b = 1 + LinExpr.var("x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_rendering(self):
+        assert str(2 * LinExpr.var("k") - 2) == "2*k - 2"
+        assert str(LinExpr.constant(0)) == "0"
+        assert str(-LinExpr.var("k")) == "-k"
+
+    def test_bool(self):
+        assert not LinExpr.constant(0)
+        assert LinExpr.constant(1)
+        assert LinExpr.var("x")

@@ -1,0 +1,132 @@
+"""Unit tests for the textual set/map notation parser."""
+
+import pytest
+
+from repro.presburger import Map, ParseError, Set, parse_map, parse_set
+
+
+class TestSetParsing:
+    def test_simple_interval(self):
+        s = parse_set("{ [k] : 0 <= k < 4 }")
+        assert sorted(s.points()) == [(0,), (1,), (2,), (3,)]
+
+    def test_chained_comparison(self):
+        s = parse_set("{ [k] : 0 <= k <= 3 }")
+        assert s.count() == 4
+
+    def test_two_dimensional(self):
+        s = parse_set("{ [i, j] : 0 <= i < 2 and 0 <= j < 3 }")
+        assert s.count() == 6
+
+    def test_conjunct_union_with_semicolon(self):
+        s = parse_set("{ [k] : 0 <= k < 2 ; [k] : 10 <= k < 12 }")
+        assert sorted(s.points()) == [(0,), (1,), (10,), (11,)]
+
+    def test_conjunct_union_with_or(self):
+        s = parse_set("{ [k] : k = 1 or k = 5 }")
+        assert sorted(s.points()) == [(1,), (5,)]
+
+    def test_explicit_exists(self):
+        s = parse_set("{ [k] : exists j : k = 2j and 0 <= k < 10 }")
+        assert sorted(s.points()) == [(0,), (2,), (4,), (6,), (8,)]
+
+    def test_implicit_existential(self):
+        s = parse_set("{ [k] : k = 3j and 0 <= k < 10 }")
+        assert sorted(s.points()) == [(0,), (3,), (6,), (9,)]
+
+    def test_modulo_syntax(self):
+        s = parse_set("{ [k] : k % 4 = 1 and 0 <= k < 12 }")
+        assert sorted(s.points()) == [(1,), (5,), (9,)]
+
+    def test_mod_keyword(self):
+        s = parse_set("{ [k] : k mod 3 = 0 and 0 <= k < 7 }")
+        assert sorted(s.points()) == [(0,), (3,), (6,)]
+
+    def test_implicit_multiplication(self):
+        a = parse_set("{ [k] : 2k < 10 and k >= 0 }")
+        b = parse_set("{ [k] : 2*k < 10 and k >= 0 }")
+        assert a.is_equal(b)
+
+    def test_expression_tuple_entry(self):
+        s = parse_set("{ [2k] : 0 <= k < 3 }")
+        assert sorted(s.points()) == [(0,), (2,), (4,)]
+
+    def test_negative_constants(self):
+        s = parse_set("{ [k] : -2 <= k <= -1 }")
+        assert sorted(s.points()) == [(-2,), (-1,)]
+
+    def test_unconstrained_set(self):
+        s = parse_set("{ [k] }")
+        assert s.is_universe()
+
+    def test_empty_by_contradiction(self):
+        s = parse_set("{ [k] : k > 3 and k < 2 }")
+        assert s.is_empty()
+
+
+class TestMapParsing:
+    def test_simple_map(self):
+        m = parse_map("{ [k] -> [2k] : 0 <= k < 4 }")
+        assert sorted(m.pairs()) == [((0,), (0,)), ((1,), (2,)), ((2,), (4,)), ((3,), (6,))]
+
+    def test_paper_dependency_mapping(self):
+        # Section 3.2: M_buf,A2 = {[x] -> [y] : x = 2k-2 and y = k-1 and 1 <= k <= 1024}
+        m = parse_map("{ [x] -> [y] : x = 2k - 2 and y = k - 1 and 1 <= k <= 1024 }")
+        assert m.contains([0], [0])
+        assert m.contains([2046], [1023])
+        assert not m.contains([1], [0])
+
+    def test_multi_dimensional_map(self):
+        m = parse_map("{ [i, j] -> [j, i] : 0 <= i < 2 and 0 <= j < 2 }")
+        assert m.contains([0, 1], [1, 0])
+        assert not m.contains([0, 1], [0, 1])
+
+    def test_map_with_same_dim_name(self):
+        m = parse_map("{ [k] -> [k] : 0 <= k < 4 }")
+        assert m.is_equal(Map.identity(["k"]).restrict_domain(parse_set("{ [k] : 0 <= k < 4 }")))
+
+    def test_map_union(self):
+        m = parse_map("{ [k] -> [k] : 0 <= k < 2 ; [k] -> [k + 1] : 2 <= k < 4 }")
+        assert sorted(m.pairs()) == [((0,), (0,)), ((1,), (1,)), ((2,), (3,)), ((3,), (4,))]
+
+    def test_unconstrained_map_is_not_empty(self):
+        m = parse_map("{ [k] -> [k] }")
+        assert not m.is_empty()
+
+
+class TestErrors:
+    def test_set_when_map_expected(self):
+        with pytest.raises(ParseError):
+            parse_map("{ [k] : k >= 0 }")
+
+    def test_map_when_set_expected(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] -> [k] }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k >= 0 } extra")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k >= 0")
+
+    def test_nonlinear_product(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k * k < 5 }")
+
+    def test_missing_comparison(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k }")
+
+    def test_mixed_set_and_map_conjuncts(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k >= 0 ; [k] -> [k] }")
+
+    def test_arity_mismatch_between_conjuncts(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k >= 0 ; [i, j] : i >= j }")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_set("{ [k] : k >= $ }")

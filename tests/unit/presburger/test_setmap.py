@@ -1,0 +1,212 @@
+"""Unit tests for Set and Map (the user-facing Presburger API)."""
+
+import pytest
+
+from repro.presburger import (
+    LinExpr,
+    Map,
+    Set,
+    SpaceMismatchError,
+    UnboundedSetError,
+    eq_,
+    ge_,
+    le_,
+    lt_,
+    parse_map,
+    parse_set,
+)
+
+
+def interval(name, low, high):
+    return Set.build([name], [ge_(LinExpr.var(name), low), le_(LinExpr.var(name), high)])
+
+
+class TestSetBasics:
+    def test_universe_and_empty(self):
+        assert Set.universe(["x"]).is_universe()
+        assert Set.empty(["x"]).is_empty()
+
+    def test_build_and_contains(self):
+        s = interval("x", 0, 9)
+        assert s.contains([0]) and s.contains([9])
+        assert not s.contains([10]) and not s.contains([-1])
+
+    def test_from_points_roundtrip(self):
+        s = Set.from_points(["x", "y"], [(1, 2), (3, 4)])
+        assert sorted(s.points()) == [(1, 2), (3, 4)]
+
+    def test_points_and_count(self):
+        s = interval("x", 2, 6)
+        assert sorted(s.points()) == [(2,), (3,), (4,), (5,), (6,)]
+        assert s.count() == 5
+
+    def test_points_of_empty_set(self):
+        assert list(Set.empty(["x"]).points()) == []
+
+    def test_unbounded_enumeration_raises(self):
+        s = Set.build(["x"], [ge_(LinExpr.var("x"), 0)])
+        with pytest.raises(UnboundedSetError):
+            list(s.points())
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SpaceMismatchError):
+            interval("x", 0, 3).intersect(Set.universe(["a", "b"]))
+
+    def test_zero_dimensional_set(self):
+        s = Set.universe([])
+        assert not s.is_empty()
+        assert list(s.points()) == [()]
+
+
+class TestSetAlgebra:
+    def test_intersection(self):
+        a = interval("x", 0, 10)
+        b = interval("x", 5, 15)
+        assert sorted(a.intersect(b).points()) == [(x,) for x in range(5, 11)]
+
+    def test_union(self):
+        a = interval("x", 0, 2)
+        b = interval("x", 5, 6)
+        union = a.union(b)
+        assert sorted(union.points()) == [(0,), (1,), (2,), (5,), (6,)]
+
+    def test_subtract(self):
+        a = interval("x", 0, 9)
+        b = interval("x", 3, 5)
+        assert sorted(a.subtract(b).points()) == [(0,), (1,), (2,), (6,), (7,), (8,), (9,)]
+
+    def test_subset_and_equality(self):
+        a = interval("x", 0, 4)
+        b = interval("x", 0, 9)
+        assert a.is_subset(b)
+        assert not b.is_subset(a)
+        assert a.is_equal(interval("x", 0, 4))
+        assert a != b
+
+    def test_disjoint(self):
+        assert interval("x", 0, 3).is_disjoint(interval("x", 5, 8))
+        assert not interval("x", 0, 5).is_disjoint(interval("x", 5, 8))
+
+    def test_subtract_with_divisibility(self):
+        full = parse_set("{ [k] : 0 <= k < 12 }")
+        even = parse_set("{ [k] : exists j : k = 2j and 0 <= k < 12 }")
+        odd = full.subtract(even)
+        assert sorted(odd.points()) == [(k,) for k in range(1, 12, 2)]
+        assert even.union(odd).is_equal(full)
+
+    def test_project_out(self):
+        square = Set.build(
+            ["x", "y"],
+            [ge_(LinExpr.var("x"), 0), le_(LinExpr.var("x"), 3), ge_(LinExpr.var("y"), 0), le_(LinExpr.var("y"), 2)],
+        )
+        projected = square.project_out(["y"])
+        assert sorted(projected.points()) == [(0,), (1,), (2,), (3,)]
+
+    def test_coalesce_drops_contained_conjuncts(self):
+        a = interval("x", 0, 9)
+        b = interval("x", 2, 4)
+        union = a.union(b)
+        coalesced = union.coalesce()
+        assert coalesced.is_equal(a)
+        assert len(coalesced.conjuncts) == 1
+
+    def test_operators(self):
+        a, b = interval("x", 0, 5), interval("x", 3, 8)
+        assert (a & b).is_equal(interval("x", 3, 5))
+        assert ((a | b)).is_equal(interval("x", 0, 8))
+        assert (a - b).is_equal(interval("x", 0, 2))
+
+
+class TestMapBasics:
+    def test_identity(self):
+        ident = Map.identity(["x"])
+        assert ident.contains([4], [4])
+        assert not ident.contains([4], [5])
+
+    def test_from_exprs(self):
+        m = Map.from_exprs(["k"], [2 * LinExpr.var("k")], [ge_(LinExpr.var("k"), 0), lt_(LinExpr.var("k"), 4)])
+        assert sorted(m.pairs()) == [((0,), (0,)), ((1,), (2,)), ((2,), (4,)), ((3,), (6,))]
+
+    def test_domain_and_range(self):
+        m = parse_map("{ [k] -> [2k] : 0 <= k < 4 }")
+        assert sorted(m.domain().points()) == [(0,), (1,), (2,), (3,)]
+        assert sorted(m.range().points()) == [(0,), (2,), (4,), (6,)]
+
+    def test_inverse(self):
+        m = parse_map("{ [k] -> [k + 3] : 0 <= k < 3 }")
+        assert sorted(m.inverse().pairs()) == [((3,), (0,)), ((4,), (1,)), ((5,), (2,))]
+
+    def test_compose_paper_example(self):
+        # Section 3.2: M_C,tmp . M_tmp,B1  =  {[k] -> [2k]}
+        c_tmp = parse_map("{ [k] -> [k] : 0 <= k < 1024 }")
+        tmp_b = parse_map("{ [k] -> [2k] : 0 <= k < 1024 }")
+        composed = c_tmp.compose(tmp_b)
+        assert composed.is_equal(parse_map("{ [k] -> [2k] : 0 <= k < 1024 }"))
+
+    def test_compose_strided(self):
+        first = parse_map("{ [k] -> [2k] : 0 <= k < 8 }")
+        second = parse_map("{ [x] -> [x + 1] : exists j : x = 2j }")
+        composed = first.compose(second)
+        assert sorted(composed.pairs()) == [((k,), (2 * k + 1,)) for k in range(8)]
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(SpaceMismatchError):
+            Map.identity(["x"]).compose(Map.identity(["a", "b"]))
+
+    def test_apply_and_preimage(self):
+        m = parse_map("{ [k] -> [2k] : 0 <= k < 8 }")
+        image = m.apply(parse_set("{ [k] : 2 <= k <= 3 }"))
+        assert sorted(image.points()) == [(4,), (6,)]
+        pre = m.preimage(parse_set("{ [x] : 4 <= x <= 6 }"))
+        assert sorted(pre.points()) == [(2,), (3,)]
+
+    def test_restrict_domain_and_range(self):
+        m = parse_map("{ [k] -> [k] : 0 <= k < 10 }")
+        restricted = m.restrict_domain(parse_set("{ [k] : k >= 5 }"))
+        assert sorted(restricted.domain().points()) == [(k,) for k in range(5, 10)]
+        restricted = m.restrict_range(parse_set("{ [k] : k <= 2 }"))
+        assert sorted(restricted.range().points()) == [(0,), (1,), (2,)]
+
+
+class TestMapProperties:
+    def test_single_valued_and_injective(self):
+        doubling = parse_map("{ [k] -> [2k] : 0 <= k < 16 }")
+        assert doubling.is_single_valued()
+        assert doubling.is_injective()
+        constant = parse_map("{ [k] -> [0] : 0 <= k < 16 }")
+        assert constant.is_single_valued()
+        assert not constant.is_injective()
+        relation = parse_map("{ [k] -> [j] : 0 <= k < 4 and 0 <= j < 2 }")
+        assert not relation.is_single_valued()
+
+    def test_deltas(self):
+        shift = parse_map("{ [k] -> [k - 1] : 1 <= k < 8 }")
+        deltas = shift.deltas()
+        assert sorted(deltas.points()) == [(-1,)]
+
+    def test_equality_of_piecewise_maps(self):
+        split = parse_map("{ [k] -> [k] : 0 <= k < 4 ; [k] -> [k] : 4 <= k < 8 }")
+        whole = parse_map("{ [k] -> [k] : 0 <= k < 8 }")
+        assert split.is_equal(whole)
+
+    def test_subtract_detects_difference_domain(self):
+        double = parse_map("{ [x] -> [2x] : 0 <= x < 8 }")
+        ident = parse_map("{ [x] -> [x] : 0 <= x < 8 }")
+        difference = double.subtract(ident)
+        # they agree only at x = 0
+        assert sorted(difference.domain().points()) == [(x,) for x in range(1, 8)]
+
+    def test_union_and_is_empty(self):
+        m = Map.empty(["a"], ["b"])
+        assert m.is_empty()
+        assert not m.union(Map.identity(["a"])).is_empty()
+
+    def test_rename_preserves_meaning(self):
+        m = parse_map("{ [k] -> [2k] : 0 <= k < 4 }")
+        renamed = m.rename(["i"], ["o"])
+        assert renamed.is_equal(m)
+        assert renamed.in_names == ("i",)
+
+    def test_str_shows_image_form(self):
+        m = parse_map("{ [k] -> [2k] : 0 <= k < 4 }")
+        assert "2*k" in str(m)

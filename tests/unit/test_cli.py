@@ -1,0 +1,88 @@
+"""Unit tests for the command-line driver."""
+
+import os
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+from repro.workloads import FIG1_SOURCES
+
+
+@pytest.fixture
+def fig1_files(tmp_path):
+    paths = {}
+    for version, source in FIG1_SOURCES.items():
+        # shrink N to keep the CLI tests fast
+        text = (
+            source.replace("#define N 1024", "#define N 32")
+            .replace("k<512", "k<16")
+            .replace("k < 512", "k < 16")
+        )
+        path = tmp_path / f"fig1_{version}.c"
+        path.write_text(text)
+        paths[version] = str(path)
+    return paths
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["orig.c", "trans.c"])
+        assert args.method == "extended"
+        assert not args.quiet
+
+    def test_method_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["a.c", "b.c", "--method", "wrong"])
+
+
+class TestMain:
+    def test_equivalent_pair_exits_zero(self, fig1_files, capsys):
+        status = main([fig1_files["a"], fig1_files["c"]])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+
+    def test_inequivalent_pair_exits_one(self, fig1_files, capsys):
+        status = main([fig1_files["a"], fig1_files["d"]])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "NOT PROVEN EQUIVALENT" in out
+        assert "mapping" in out
+
+    def test_quiet_mode(self, fig1_files, capsys):
+        status = main(["--quiet", fig1_files["a"], fig1_files["b"]])
+        assert status == 0
+        assert capsys.readouterr().out.strip() == "Equivalent"
+
+    def test_basic_method_fails_on_algebraic_pair(self, fig1_files):
+        assert main(["--quiet", "--method", "basic", fig1_files["a"], fig1_files["c"]]) == 1
+        assert main(["--quiet", "--method", "basic", fig1_files["a"], fig1_files["b"]]) == 0
+
+    def test_focused_output_option(self, fig1_files):
+        assert main(["--quiet", "--output", "C", fig1_files["a"], fig1_files["b"]]) == 0
+
+    def test_dump_addg(self, fig1_files, tmp_path):
+        orig_dot = str(tmp_path / "orig.dot")
+        trans_dot = str(tmp_path / "trans.dot")
+        status = main(["--quiet", "--dump-addg", orig_dot, trans_dot, fig1_files["a"], fig1_files["b"]])
+        assert status == 0
+        assert os.path.exists(orig_dot) and os.path.exists(trans_dot)
+        assert "digraph" in open(orig_dot).read()
+
+    def test_missing_file_reports_error(self, capsys):
+        status = main(["/nonexistent/a.c", "/nonexistent/b.c"])
+        assert status == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_declare_op_and_correspond_options(self, fig1_files):
+        status = main([
+            "--quiet",
+            "--declare-op", "foo:AC",
+            "--correspond", "tmp=tmp",
+            fig1_files["a"], fig1_files["b"],
+        ])
+        assert status == 0
+
+    def test_bad_correspond_syntax(self, fig1_files):
+        with pytest.raises(SystemExit):
+            main(["--correspond", "broken", fig1_files["a"], fig1_files["b"]])

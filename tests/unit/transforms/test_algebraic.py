@@ -1,0 +1,110 @@
+"""Unit tests for the algebraic rewrites (commutation, rotation, reassociation)."""
+
+import random
+
+import pytest
+
+from repro.lang import outputs_equal, parse_program, random_input_provider, run_program
+from repro.lang.ast import BinOp
+from repro.transforms import (
+    TransformError,
+    collect_chain,
+    commute_operands,
+    random_reassociation,
+    reassociate_chain,
+    rebuild_chain,
+    rotate_left,
+    rotate_right,
+)
+
+SOURCE = "f(int A[], int C[]) { int k; for(k=0;k<8;k++) s1: C[k] = (A[k] + A[k+1]) + A[k+2]; }"
+
+
+def rhs_of(program, label="s1"):
+    return program.assignment_by_label(label).rhs
+
+
+def behaves_like(a, b, seed=2):
+    provider = random_input_provider(seed)
+    return outputs_equal(run_program(a, provider), run_program(b, provider))
+
+
+class TestChainHelpers:
+    def test_collect_chain(self):
+        program = parse_program(SOURCE)
+        chain = collect_chain(rhs_of(program), "+")
+        assert len(chain) == 3
+
+    def test_collect_chain_stops_at_other_operators(self):
+        program = parse_program(
+            "f(int A[], int C[]) { int k; for(k=0;k<8;k++) s1: C[k] = (A[k] * A[k+1]) + A[k+2]; }"
+        )
+        chain = collect_chain(rhs_of(program), "+")
+        assert len(chain) == 2
+
+    def test_rebuild_chain_left_and_right(self):
+        program = parse_program(SOURCE)
+        chain = collect_chain(rhs_of(program), "+")
+        left = rebuild_chain(chain, "+", left_assoc=True)
+        right = rebuild_chain(chain, "+", left_assoc=False)
+        assert isinstance(left.lhs, BinOp)
+        assert isinstance(right.rhs, BinOp)
+
+    def test_rebuild_empty_chain_rejected(self):
+        with pytest.raises(TransformError):
+            rebuild_chain([], "+")
+
+
+class TestRewrites:
+    def test_commute(self):
+        program = parse_program(SOURCE)
+        transformed = commute_operands(program, "s1")
+        assert behaves_like(program, transformed)
+        assert rhs_of(transformed) != rhs_of(program)
+
+    def test_commute_requires_binop(self):
+        source = "f(int A[], int C[]) { int k; for(k=0;k<8;k++) s1: C[k] = A[k]; }"
+        with pytest.raises(TransformError):
+            commute_operands(parse_program(source), "s1")
+
+    def test_rotate_right_then_left_is_identity(self):
+        program = parse_program(SOURCE)
+        rotated = rotate_right(program, "s1")
+        restored = rotate_left(rotated, "s1")
+        assert rhs_of(restored) == rhs_of(program)
+        assert behaves_like(program, rotated)
+
+    def test_rotate_left_requires_right_nested_chain(self):
+        program = parse_program(SOURCE)  # left-nested
+        with pytest.raises(TransformError):
+            rotate_left(program, "s1")
+
+    def test_reassociate_with_permutation(self):
+        program = parse_program(SOURCE)
+        transformed = reassociate_chain(program, "s1", order=[2, 0, 1], left_assoc=False)
+        assert behaves_like(program, transformed)
+        assert len(collect_chain(rhs_of(transformed), "+")) == 3
+
+    def test_reassociate_rejects_bad_permutation(self):
+        with pytest.raises(TransformError):
+            reassociate_chain(parse_program(SOURCE), "s1", order=[0, 0, 1])
+
+    def test_reassociate_requires_chain(self):
+        source = "f(int A[], int C[]) { int k; for(k=0;k<8;k++) s1: C[k] = A[k]; }"
+        with pytest.raises(TransformError):
+            reassociate_chain(parse_program(source), "s1")
+
+    def test_random_reassociation_is_behaviour_preserving(self):
+        program = parse_program(SOURCE)
+        rng = random.Random(17)
+        for _ in range(5):
+            transformed = random_reassociation(program, "s1", rng)
+            assert behaves_like(program, transformed)
+
+    def test_checker_validates_reassociation(self):
+        from repro.checker import check_equivalence
+
+        program = parse_program(SOURCE)
+        transformed = reassociate_chain(program, "s1", order=[1, 2, 0], left_assoc=False)
+        assert check_equivalence(program, transformed).equivalent
+        assert not check_equivalence(program, transformed, method="basic").equivalent

@@ -1,0 +1,127 @@
+"""Unit tests for expression propagation (forward substitution / temporary introduction)."""
+
+import pytest
+
+from repro.lang import outputs_equal, parse_program, random_input_provider, run_program
+from repro.transforms import TransformError, forward_substitution, introduce_temporary
+
+
+WITH_TEMP = """
+f(int A[], int B[], int C[]) {
+    int k, t[16];
+    for (k = 0; k < 16; k++)
+s1:     t[k] = A[k] + B[2*k];
+    for (k = 0; k < 16; k++)
+s2:     C[k] = t[k] + B[k];
+}
+"""
+
+
+def behaves_like(original, transformed, seed=3):
+    provider = random_input_provider(seed)
+    return outputs_equal(run_program(original, provider), run_program(transformed, provider))
+
+
+class TestForwardSubstitution:
+    def test_eliminates_temporary(self):
+        original = parse_program(WITH_TEMP)
+        transformed = forward_substitution(original, "t")
+        assert "t" not in [d.name for d in transformed.locals]
+        assert len(transformed.assignments()) == 1
+        assert behaves_like(original, transformed)
+
+    def test_shifted_write_index(self):
+        source = """
+        f(int A[], int C[]) {
+            int k, t[20];
+            for (k = 0; k < 16; k++)
+        s1:     t[k + 2] = A[k] + 1;
+            for (k = 0; k < 16; k++)
+        s2:     C[k] = t[k + 2];
+        }
+        """
+        original = parse_program(source)
+        transformed = forward_substitution(original, "t")
+        assert behaves_like(original, transformed)
+
+    def test_reversed_write_index(self):
+        source = """
+        f(int A[], int C[]) {
+            int k, t[16];
+            for (k = 0; k < 16; k++)
+        s1:     t[15 - k] = A[k];
+            for (k = 0; k < 16; k++)
+        s2:     C[k] = t[k];
+        }
+        """
+        original = parse_program(source)
+        transformed = forward_substitution(original, "t")
+        assert behaves_like(original, transformed)
+
+    def test_rejects_output_arrays(self):
+        original = parse_program(WITH_TEMP)
+        with pytest.raises(TransformError):
+            forward_substitution(original, "C")
+
+    def test_rejects_multiple_definitions(self):
+        source = """
+        f(int A[], int C[]) {
+            int k, t[16];
+            for (k = 0; k < 8; k++)  s1: t[k] = A[k];
+            for (k = 8; k < 16; k++) s2: t[k] = A[k + 1];
+            for (k = 0; k < 16; k++) s3: C[k] = t[k];
+        }
+        """
+        with pytest.raises(TransformError):
+            forward_substitution(parse_program(source), "t")
+
+    def test_rejects_scaled_write_index(self):
+        source = """
+        f(int A[], int C[]) {
+            int k, t[32];
+            for (k = 0; k < 16; k++) s1: t[2*k] = A[k];
+            for (k = 0; k < 16; k++) s2: C[k] = t[2*k];
+        }
+        """
+        with pytest.raises(TransformError):
+            forward_substitution(parse_program(source), "t")
+
+
+class TestIntroduceTemporary:
+    def test_introduces_temporary_for_subexpression(self):
+        source = "f(int A[], int B[], int C[]) { int k; for(k=0;k<16;k++) s1: C[k] = (A[k] + B[k]) + B[2*k]; }"
+        original = parse_program(source)
+        transformed = introduce_temporary(original, "s1", (1,), "pre")
+        assert "pre" in [d.name for d in transformed.locals]
+        assert len(transformed.assignments()) == 2
+        assert behaves_like(original, transformed)
+
+    def test_roundtrip_with_forward_substitution(self):
+        source = "f(int A[], int B[], int C[]) { int k; for(k=0;k<16;k++) s1: C[k] = (A[k] + B[k]) + B[2*k]; }"
+        original = parse_program(source)
+        expanded = introduce_temporary(original, "s1", (1,), "pre")
+        collapsed = forward_substitution(expanded, "pre")
+        assert behaves_like(original, collapsed)
+
+    def test_rejects_existing_name(self):
+        original = parse_program(WITH_TEMP)
+        with pytest.raises(TransformError):
+            introduce_temporary(original, "s2", (1,), "t")
+
+    def test_rejects_constants(self):
+        source = "f(int A[], int C[]) { int k; for(k=0;k<16;k++) s1: C[k] = A[k] + 3; }"
+        with pytest.raises(TransformError):
+            introduce_temporary(parse_program(source), "s1", (2,), "pre")
+
+    def test_nested_loop_temporary(self):
+        source = """
+        f(int A[4][4], int C[4][4]) {
+            int i, j;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++)
+        s1:         C[i][j] = (A[i][j] + A[j][i]) + 1;
+        }
+        """
+        original = parse_program(source)
+        transformed = introduce_temporary(original, "s1", (1,), "pre")
+        assert behaves_like(original, transformed)

@@ -1,0 +1,187 @@
+"""Unit tests for the loop transformations (semantics preserved, structure changed)."""
+
+import pytest
+
+from repro.lang import outputs_equal, parse_program, random_input_provider, run_program
+from repro.lang.ast import ForLoop
+from repro.transforms import (
+    TransformError,
+    loop_fission,
+    loop_fusion,
+    loop_interchange,
+    loop_normalize_steps,
+    loop_reversal,
+    loop_shift,
+    loop_split,
+)
+
+
+TWO_STMT = """
+f(int A[], int B[], int C[], int D[]) {
+    int k, t[16];
+    for (k = 0; k < 16; k++) {
+s1:     C[k] = A[k] + B[k];
+s2:     D[k] = A[k] - B[k];
+    }
+}
+"""
+
+SINGLE = """
+f(int A[], int C[]) {
+    int k;
+    for (k = 0; k < 16; k++)
+s1:     C[k] = A[k] + A[k + 1];
+}
+"""
+
+NESTED = """
+f(int A[4][6], int C[4][6]) {
+    int i, j;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 6; j++)
+s1:         C[i][j] = A[i][j] + 1;
+}
+"""
+
+
+def same_behaviour(original_src_or_prog, transformed, seed=11):
+    original = parse_program(original_src_or_prog) if isinstance(original_src_or_prog, str) else original_src_or_prog
+    provider = random_input_provider(seed)
+    return outputs_equal(run_program(original, provider), run_program(transformed, provider))
+
+
+class TestFission:
+    def test_fission_splits_loop(self):
+        original = parse_program(TWO_STMT)
+        transformed = loop_fission(original, "s1")
+        loops = [s for s in transformed.body if isinstance(s, ForLoop)]
+        assert len(loops) == 2
+        assert same_behaviour(original, transformed)
+
+    def test_fission_requires_multiple_statements(self):
+        with pytest.raises(TransformError):
+            loop_fission(parse_program(SINGLE), "s1")
+
+    def test_original_program_untouched(self):
+        original = parse_program(TWO_STMT)
+        before = len(original.body)
+        loop_fission(original, "s1")
+        assert len(original.body) == before
+
+
+class TestFusion:
+    def test_fusion_of_adjacent_loops(self):
+        original = parse_program(TWO_STMT)
+        fissioned = loop_fission(original, "s1")
+        fused = loop_fusion(fissioned, "s1", "s2")
+        loops = [s for s in fused.body if isinstance(s, ForLoop)]
+        assert len(loops) == 1
+        assert len(loops[0].body) == 2
+        assert same_behaviour(original, fused)
+
+    def test_fusion_requires_identical_headers(self):
+        program = parse_program(
+            """
+            f(int A[], int C[], int D[]) {
+                int k;
+                for (k = 0; k < 16; k++) s1: C[k] = A[k];
+                for (k = 0; k < 8; k++)  s2: D[k] = A[k];
+            }
+            """
+        )
+        with pytest.raises(TransformError):
+            loop_fusion(program, "s1", "s2")
+
+    def test_fusion_renames_different_iterators(self):
+        program = parse_program(
+            """
+            f(int A[], int C[], int D[]) {
+                int k, j;
+                for (k = 0; k < 16; k++) s1: C[k] = A[k];
+                for (j = 0; j < 16; j++) s2: D[j] = A[j + 1];
+            }
+            """
+        )
+        fused = loop_fusion(program, "s1", "s2")
+        assert same_behaviour(program, fused)
+
+
+class TestReversal:
+    def test_reversal_preserves_behaviour(self):
+        original = parse_program(SINGLE)
+        transformed = loop_reversal(original, "s1")
+        loop = transformed.body[0]
+        assert loop.step == -1
+        assert same_behaviour(original, transformed)
+
+    def test_reversal_of_strided_loop(self):
+        source = "f(int A[], int C[]) { int k; for(k=1;k<16;k+=3) s1: C[k] = A[k]; }"
+        original = parse_program(source)
+        transformed = loop_reversal(original, "s1")
+        assert same_behaviour(original, transformed)
+        assert transformed.body[0].step == -3
+
+    def test_reversal_requires_constant_bounds(self):
+        # A loop whose bound depends on an outer iterator cannot be reversed.
+        triangular = parse_program(
+            """
+            f(int A[], int C[]) {
+                int i, j, t[8][8];
+                for (i = 0; i < 8; i++)
+                    for (j = 0; j < i; j++)
+            s1:         t[i][j] = A[j];
+                for (i = 1; i < 8; i++)
+            s2:     C[i] = t[i][0];
+            }
+            """
+        )
+        with pytest.raises(TransformError):
+            loop_reversal(triangular, "s1", depth=-1)
+
+
+class TestInterchange:
+    def test_interchange_swaps_loop_order(self):
+        original = parse_program(NESTED)
+        transformed = loop_interchange(original, "s1")
+        outer = transformed.body[0]
+        assert outer.var == "j"
+        assert outer.body[0].var == "i"
+        assert same_behaviour(original, transformed)
+
+    def test_interchange_requires_nest(self):
+        with pytest.raises(TransformError):
+            loop_interchange(parse_program(SINGLE), "s1")
+
+
+class TestSplitShiftNormalize:
+    def test_split_preserves_behaviour_and_relabels(self):
+        original = parse_program(SINGLE)
+        transformed = loop_split(original, "s1", 6)
+        labels = [a.label for a in transformed.assignments()]
+        assert len(labels) == len(set(labels)) == 2
+        assert same_behaviour(original, transformed)
+
+    def test_split_of_downward_loop(self):
+        source = "f(int A[], int C[]) { int k; for(k=15;k>=0;k--) s1: C[k] = A[k]; }"
+        original = parse_program(source)
+        transformed = loop_split(original, "s1", 8)
+        assert same_behaviour(original, transformed)
+
+    def test_shift_preserves_behaviour(self):
+        original = parse_program(SINGLE)
+        transformed = loop_shift(original, "s1", 3)
+        loop = transformed.body[0]
+        assert same_behaviour(original, transformed)
+
+    def test_normalize_strided_loop(self):
+        source = "f(int A[], int C[]) { int k; for(k=2;k<20;k+=3) s1: C[k] = A[k]; }"
+        original = parse_program(source)
+        transformed = loop_normalize_steps(original, "s1")
+        assert transformed.body[0].step == 1
+        assert same_behaviour(original, transformed)
+
+    def test_normalize_downward_loop(self):
+        source = "f(int A[], int C[]) { int k; for(k=19;k>=1;k-=2) s1: C[k] = A[k]; }"
+        original = parse_program(source)
+        transformed = loop_normalize_steps(original, "s1")
+        assert same_behaviour(original, transformed)

@@ -1,0 +1,107 @@
+"""Unit tests for the error-injection (mutation) engine."""
+
+import random
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.lang import outputs_equal, parse_program, random_input_provider, run_program
+from repro.transforms import (
+    Mutation,
+    TransformError,
+    change_operator,
+    perturb_read_index,
+    perturb_write_index,
+    random_mutation,
+    replace_read_array,
+    shrink_loop_bound,
+)
+
+SOURCE = """
+f(int A[], int B[], int C[]) {
+    int k, t[16];
+    for (k = 0; k < 16; k++)
+s1:     t[k] = A[k] + B[2*k];
+    for (k = 0; k < 16; k++)
+s2:     C[k] = t[k] + B[k];
+}
+"""
+
+
+def changes_behaviour(original, mutated, seed=9):
+    provider = random_input_provider(seed)
+    try:
+        return not outputs_equal(run_program(original, provider), run_program(mutated, provider))
+    except Exception:
+        # e.g. reads of undefined elements after a write-index mutation
+        return True
+
+
+class TestIndividualMutations:
+    def setup_method(self):
+        self.program = parse_program(SOURCE)
+
+    def test_perturb_read_index(self):
+        mutated, mutation = perturb_read_index(self.program, "s1", occurrence=0, delta=2)
+        assert isinstance(mutation, Mutation)
+        assert mutation.kind == "read-index"
+        assert changes_behaviour(self.program, mutated)
+
+    def test_perturb_read_index_of_specific_array(self):
+        mutated, mutation = perturb_read_index(self.program, "s1", occurrence=0, delta=1, array="B")
+        assert "B" in mutation.arrays
+        assert changes_behaviour(self.program, mutated)
+
+    def test_perturb_read_index_missing_target(self):
+        with pytest.raises(TransformError):
+            perturb_read_index(self.program, "s1", occurrence=7)
+
+    def test_perturb_write_index(self):
+        mutated, mutation = perturb_write_index(self.program, "s2", delta=1)
+        assert mutation.kind == "write-index"
+        assert changes_behaviour(self.program, mutated)
+
+    def test_replace_read_array(self):
+        mutated, mutation = replace_read_array(self.program, "s2", "B", "A")
+        assert mutation.kind == "wrong-array"
+        assert changes_behaviour(self.program, mutated)
+
+    def test_replace_read_array_missing(self):
+        with pytest.raises(TransformError):
+            replace_read_array(self.program, "s2", "nonexistent", "A")
+
+    def test_change_operator(self):
+        mutated, mutation = change_operator(self.program, "s1", "+", "-")
+        assert mutation.kind == "operator"
+        assert changes_behaviour(self.program, mutated)
+
+    def test_change_operator_missing(self):
+        with pytest.raises(TransformError):
+            change_operator(self.program, "s1", "/", "*")
+
+    def test_shrink_loop_bound(self):
+        mutated, mutation = shrink_loop_bound(self.program, "s2", delta=2)
+        assert mutation.kind == "loop-bound"
+        assert changes_behaviour(self.program, mutated)
+
+    def test_mutations_detected_by_checker(self):
+        mutated, _ = perturb_read_index(self.program, "s1", occurrence=0, delta=1)
+        assert not check_equivalence(self.program, mutated).equivalent
+        mutated, _ = change_operator(self.program, "s2", "+", "-")
+        assert not check_equivalence(self.program, mutated).equivalent
+
+
+class TestRandomMutation:
+    def test_random_mutations_are_reported_and_break_equivalence(self):
+        program = parse_program(SOURCE)
+        for seed in range(6):
+            mutated, mutation = random_mutation(program, random.Random(seed))
+            assert isinstance(mutation, Mutation)
+            result = check_equivalence(program, mutated, check_preconditions=False)
+            assert not result.equivalent, f"mutation {mutation} was not detected"
+
+    def test_random_mutation_deterministic_for_seed(self):
+        program = parse_program(SOURCE)
+        first = random_mutation(program, random.Random(42))[1]
+        second = random_mutation(program, random.Random(42))[1]
+        assert first.kind == second.kind and first.label == second.label

@@ -1,0 +1,59 @@
+"""Unit tests for the random transformation pipeline."""
+
+import random
+
+import pytest
+
+from repro.lang import outputs_equal, random_input_provider, run_program
+from repro.transforms import apply_pipeline, apply_random_transforms, loop_reversal, loop_split
+from repro.workloads import RandomProgramGenerator, fig1_program
+
+
+class TestApplyRandomTransforms:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_pipeline_preserves_behaviour(self, seed):
+        generator = RandomProgramGenerator(seed=seed, stages=3, size=24)
+        original = generator.generate()
+        transformed, steps = apply_random_transforms(original, random.Random(seed), steps=4)
+        assert steps, "expected at least one applicable transformation"
+        provider = random_input_provider(seed)
+        assert outputs_equal(run_program(original, provider), run_program(transformed, provider))
+
+    def test_disallowing_algebraic_steps(self):
+        generator = RandomProgramGenerator(seed=5, stages=3, size=24)
+        original = generator.generate()
+        _, steps = apply_random_transforms(
+            original, random.Random(5), steps=6, allow_algebraic=False
+        )
+        assert all(step.name != "algebraic-reassociation" for step in steps)
+
+    def test_allowed_subset(self):
+        generator = RandomProgramGenerator(seed=6, stages=3, size=24)
+        original = generator.generate()
+        _, steps = apply_random_transforms(
+            original, random.Random(6), steps=5, allowed=["loop-reversal"]
+        )
+        assert all(step.name == "loop-reversal" for step in steps)
+
+    def test_step_records_have_details(self):
+        generator = RandomProgramGenerator(seed=7, stages=2, size=16)
+        original = generator.generate()
+        _, steps = apply_random_transforms(original, random.Random(7), steps=2)
+        for step in steps:
+            assert step.name and step.detail
+            assert step.name in repr(step)
+
+
+class TestApplyPipeline:
+    def test_explicit_pipeline(self):
+        program = fig1_program("a", 32)
+        transformed = apply_pipeline(
+            program,
+            [
+                (loop_reversal, {"label": "s1"}),
+                (loop_split, {"label": "s3", "at": 16}),
+            ],
+        )
+        provider = random_input_provider(1)
+        assert outputs_equal(run_program(program, provider), run_program(transformed, provider))
+        assert transformed != program

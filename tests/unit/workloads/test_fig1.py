@@ -1,0 +1,64 @@
+"""Unit tests for the Fig. 1 workload module."""
+
+import pytest
+
+from repro.lang import check_program_class, outputs_equal, random_input_provider, run_program
+from repro.workloads import FIG1_SOURCES, fig1_original, fig1_program, fig1_ver3_erroneous
+
+
+class TestFig1Programs:
+    def test_all_versions_available(self):
+        assert set(FIG1_SOURCES) == {"a", "b", "c", "d"}
+
+    @pytest.mark.parametrize("version", "abcd")
+    def test_versions_parse_and_are_in_class(self, version):
+        program = fig1_program(version)
+        assert program.name == "foo"
+        assert check_program_class(program) == []
+        assert program.param_names() == ("A", "B", "C")
+
+    def test_default_size_is_paper_size(self):
+        program = fig1_original()
+        assert program.defines["N"] == 1024
+
+    def test_resizing(self):
+        program = fig1_program("b", 32)
+        assert program.defines["N"] == 32
+        # the k < 512 split must scale with N
+        from repro.lang import program_to_text
+
+        assert "512" not in program_to_text(program)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            fig1_program("a", 7)
+        with pytest.raises(ValueError):
+            fig1_program("a", 2)
+        with pytest.raises(KeyError):
+            fig1_program("e")
+
+    def test_specification_of_equivalent_versions(self):
+        """Versions (a), (b), (c) compute C[k] = B[2k] + B[k] + A[2k] + A[k]."""
+        n = 16
+        provider = random_input_provider(seed=0)
+        reference = {
+            (k,): provider("B", (2 * k,)) + provider("B", (k,)) + provider("A", (2 * k,)) + provider("A", (k,))
+            for k in range(n)
+        }
+        for version in "abc":
+            outputs = run_program(fig1_program(version, n), provider)
+            assert outputs["C"] == reference, f"version {version} deviates from the specification"
+
+    def test_erroneous_version_differs_exactly_on_even_indices(self):
+        """Version (d) computes A[k]+B[k]+A[k]+B[k] on even k and the correct value on odd k."""
+        n = 16
+        provider = random_input_provider(seed=1)
+        good = run_program(fig1_program("a", n), provider)["C"]
+        bad = run_program(fig1_ver3_erroneous(n), provider)["C"]
+        for k in range(n):
+            expected_bad = (
+                provider("A", (k,)) + provider("B", (k,)) + provider("A", (k,)) + provider("B", (k,))
+                if k % 2 == 0
+                else good[(k,)]
+            )
+            assert bad[(k,)] == expected_bad
