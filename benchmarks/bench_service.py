@@ -1,0 +1,111 @@
+"""Experiment E10: batch service throughput, cold versus warm (cached).
+
+The batch layer's value proposition is that re-verifying an already-seen
+corpus is near-free: the content-addressed cache replaces every check with a
+fingerprint computation plus one JSON read.  This harness runs the same
+generated corpus cold (empty cache) and warm (fully populated cache) through
+:class:`repro.service.BatchExecutor` and asserts that the warm run (i) hits
+the cache for every job and (ii) is measurably faster than the cold run.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.service import (
+    BatchExecutor,
+    CorpusSpec,
+    JobStatus,
+    ResultCache,
+    aggregate_results,
+    build_corpus,
+)
+
+from conftest import run_once
+
+CORPUS = CorpusSpec(generated=12, buggy=4, size=24, transform_steps=3, seed=42)
+
+
+@pytest.fixture(scope="module")
+def corpus_jobs():
+    return build_corpus(CORPUS)
+
+
+@pytest.fixture()
+def cache_dir():
+    directory = tempfile.mkdtemp(prefix="eqcheck-bench-cache-")
+    yield directory
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def bench_e10_cold_batch(benchmark, corpus_jobs, cache_dir):
+    """Cold run: every job is a cache miss and runs the full checker."""
+
+    def cold():
+        cache = ResultCache(cache_dir)
+        cache.clear()
+        return BatchExecutor(cache=cache).run(corpus_jobs), cache
+
+    results, cache = run_once(benchmark, cold, rounds=2)
+    assert all(outcome.status == JobStatus.OK for outcome in results)
+    assert not any(outcome.cache_hit for outcome in results)
+    summary = aggregate_results(results, cache.stats)
+    benchmark.extra_info["jobs"] = summary["total_jobs"]
+    benchmark.extra_info["check_seconds_total"] = summary["timing"]["total_seconds"]
+
+
+def bench_e10_warm_batch(benchmark, corpus_jobs, cache_dir):
+    """Warm run: the populated cache answers every job without checking."""
+    cache = ResultCache(cache_dir)
+    cold_results = BatchExecutor(cache=cache).run(corpus_jobs)
+
+    def warm():
+        # A fresh cache instance drops the in-memory LRU, so the disk tier
+        # (the persistent part of the claim) is what gets exercised.
+        return BatchExecutor(cache=ResultCache(cache_dir)).run(corpus_jobs)
+
+    warm_results = run_once(benchmark, warm, rounds=3)
+    assert all(outcome.cache_hit for outcome in warm_results)
+    for cold_outcome, warm_outcome in zip(cold_results, warm_results):
+        assert warm_outcome.equivalent == cold_outcome.equivalent
+    benchmark.extra_info["jobs"] = len(warm_results)
+
+
+def bench_e10_warm_memory_front(benchmark, corpus_jobs, cache_dir):
+    """Second lookup through the same instance: served by the in-memory LRU."""
+    cache = ResultCache(cache_dir)
+    executor = BatchExecutor(cache=cache)
+    executor.run(corpus_jobs)
+    executor.run(corpus_jobs)  # promote everything into the LRU front
+
+    memory_hits_before = cache.stats.memory_hits
+    results = run_once(benchmark, executor.run, corpus_jobs, rounds=3)
+    assert all(outcome.cache_hit for outcome in results)
+    assert cache.stats.memory_hits > memory_hits_before
+
+
+def test_warm_batch_is_faster_than_cold(cache_dir, corpus_jobs):
+    """The acceptance claim, as a plain assertion (no benchmark fixture).
+
+    Cold minus warm is dominated by the actual equivalence checks, so the
+    margin is wide; a 2x factor keeps the assertion robust on loaded CI
+    machines while still catching a cache that silently stopped working.
+    """
+    import time
+
+    cache = ResultCache(cache_dir)
+    executor = BatchExecutor(cache=cache)
+    started = time.perf_counter()
+    cold = executor.run(corpus_jobs)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = BatchExecutor(cache=ResultCache(cache_dir)).run(corpus_jobs)
+    warm_seconds = time.perf_counter() - started
+
+    assert all(outcome.cache_hit for outcome in warm)
+    assert [o.equivalent for o in warm] == [o.equivalent for o in cold]
+    assert warm_seconds < cold_seconds / 2, (
+        f"warm batch ({warm_seconds:.3f} s) not faster than cold ({cold_seconds:.3f} s)"
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Batch verification: sweep a corpus of pairs with caching and workers.
+
+The script builds a mixed corpus — two DSP kernels, a handful of generated
+equivalence-preserving pairs and a couple of deliberately buggy pairs — runs
+it through the batch service twice (cold, then warm from the result cache),
+writes a JSONL report and prints the aggregate, demonstrating the layer the
+``repro-eqcheck batch`` subcommand wraps.
+
+Run with::
+
+    python examples/batch_verification.py [jobs]
+"""
+
+import sys
+import tempfile
+import time
+
+from repro.service import (
+    BatchExecutor,
+    CorpusSpec,
+    ResultCache,
+    aggregate_results,
+    build_corpus,
+    format_summary,
+    write_report,
+)
+
+
+def main() -> None:
+    generated = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+
+    spec = CorpusSpec(
+        kernels=("downsample", "wavelet_lift"),
+        generated=generated,
+        buggy=2,
+        size=24,
+        transform_steps=3,
+    )
+    jobs = build_corpus(spec)
+    print(f"corpus: {len(jobs)} job(s)")
+    for job in jobs:
+        expectation = "equivalent" if job.expected_equivalent else "NOT equivalent"
+        print(f"  {job.name:<28} expected {expectation}")
+
+    with tempfile.TemporaryDirectory(prefix="eqcheck-cache-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        executor = BatchExecutor(cache=cache, timeout=120.0)
+
+        print("\n=== cold run (empty cache) ===")
+        started = time.perf_counter()
+        results = executor.run(jobs)
+        cold_seconds = time.perf_counter() - started
+        summary = write_report("batch_report.jsonl", results, cache.stats)
+        print(format_summary(summary))
+        print(f"report written to batch_report.jsonl ({cold_seconds:.3f} s)")
+
+        print("\n=== warm run (content-addressed cache) ===")
+        started = time.perf_counter()
+        results = executor.run(jobs)
+        warm_seconds = time.perf_counter() - started
+        print(format_summary(aggregate_results(results, cache.stats)))
+        speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+        print(f"warm run took {warm_seconds:.3f} s ({speedup:.0f}x faster than cold)")
+
+    mismatches = [r.name for r in results if r.matches_expectation is False]
+    if mismatches:
+        print("UNEXPECTED verdicts:", ", ".join(mismatches))
+        sys.exit(1)
+    print("\nall verdicts matched their expectations")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,8 @@ the heuristic of Section 6.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Diagnostic", "CheckStats", "OutputReport", "EquivalenceResult", "DiagnosticKind"]
 
@@ -96,6 +96,28 @@ class Diagnostic:
     def __str__(self) -> str:
         return self.format()
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable rendering (tuples become lists)."""
+        data = asdict(self)
+        return {key: list(value) if isinstance(value, tuple) else value for key, value in data.items()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Diagnostic":
+        kwargs = dict(data)
+        for key in (
+            "original_statements",
+            "transformed_statements",
+            "original_arrays",
+            "transformed_arrays",
+            "original_path",
+            "transformed_path",
+            "suspect_statements",
+            "suspect_arrays",
+        ):
+            if key in kwargs and kwargs[key] is not None:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
 
 @dataclass
 class CheckStats:
@@ -128,6 +150,14 @@ class CheckStats:
             "transformed_addg_size": self.transformed_addg_size,
         }
 
+    # ``as_dict`` predates the cache; ``to_dict``/``from_dict`` complete the
+    # round trip used by the verification service.
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CheckStats":
+        return cls(**data)
+
 
 @dataclass
 class OutputReport:
@@ -137,6 +167,13 @@ class OutputReport:
     equivalent: bool
     checked_domain: Optional[str] = None
     failing_domain: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OutputReport":
+        return cls(**data)
 
 
 @dataclass
@@ -183,3 +220,27 @@ class EquivalenceResult:
 
     def __str__(self) -> str:
         return self.summary()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable rendering; inverse of :meth:`from_dict`.
+
+        Used by :mod:`repro.service` to persist verdicts in the result cache
+        and to ship results across process boundaries.
+        """
+        return {
+            "equivalent": self.equivalent,
+            "outputs": [report.to_dict() for report in self.outputs],
+            "diagnostics": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+            "stats": self.stats.to_dict(),
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EquivalenceResult":
+        return cls(
+            equivalent=data["equivalent"],
+            outputs=[OutputReport.from_dict(entry) for entry in data.get("outputs", [])],
+            diagnostics=[Diagnostic.from_dict(entry) for entry in data.get("diagnostics", [])],
+            stats=CheckStats.from_dict(data.get("stats", {})),
+            method=data.get("method", "extended"),
+        )

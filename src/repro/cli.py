@@ -1,15 +1,24 @@
-"""Command-line driver implementing the verification scheme of Fig. 6.
+"""Command-line driver: one-pair checking (Fig. 6) and batch verification.
 
 Usage::
 
-    repro-eqcheck original.c transformed.c
-    repro-eqcheck original.c transformed.c --method basic --output C
-    repro-eqcheck original.c transformed.c --dump-addg original.dot transformed.dot
+    repro-eqcheck check original.c transformed.c
+    repro-eqcheck check original.c transformed.c --method basic --output C
+    repro-eqcheck batch --generated 40 --buggy 10 --report report.jsonl
+    repro-eqcheck batch --jobs jobs.json --workers 4 --timeout 60
 
-The tool accepts the original and the transformed function in the mini-C
+    repro-eqcheck original.c transformed.c          # legacy spelling of `check`
+
+``check`` accepts the original and the transformed function in the mini-C
 subset, runs the def-use checker, extracts the ADDGs, runs the equivalence
 checker and prints either ``Equivalent`` or ``Not equivalent`` together with
 diagnostics (and exits with status 0 / 1 respectively).
+
+``batch`` runs many pairs through :mod:`repro.service`: either a JSON job
+file (``--jobs``) or the built-in corpus (kernels, generated equivalent pairs
+and mutated buggy pairs), with result caching, optional worker processes and
+per-job timeouts, writing a JSONL report.  It exits 0 when every job
+completed and matched its expectation, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -22,17 +31,17 @@ from .addg import addg_to_dot, build_addg
 from .checker import check_equivalence, default_registry
 from .lang import parse_program
 
-__all__ = ["main", "build_arg_parser"]
+__all__ = ["main", "build_arg_parser", "build_cli_parser"]
+
+_SUBCOMMANDS = ("check", "batch")
+
+_DESCRIPTION = (
+    "Functional equivalence checker for array-intensive programs related by "
+    "expression propagation, loop and algebraic transformations (DATE 2005)."
+)
 
 
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-eqcheck",
-        description=(
-            "Functional equivalence checker for array-intensive programs related by "
-            "expression propagation, loop and algebraic transformations (DATE 2005)."
-        ),
-    )
+def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("original", help="path to the original function (mini-C)")
     parser.add_argument("transformed", help="path to the transformed function (mini-C)")
     parser.add_argument(
@@ -79,6 +88,101 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the two extracted ADDGs in Graphviz DOT format and continue",
     )
     parser.add_argument("--quiet", action="store_true", help="print only the verdict line")
+
+
+def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("job sources")
+    source.add_argument(
+        "--jobs",
+        metavar="FILE",
+        help="JSON job file (list of jobs with inline sources or mini-C file paths)",
+    )
+    source.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="include the named DSP kernel pair ('all' for the whole registry; repeatable)",
+    )
+    source.add_argument(
+        "--generated",
+        type=int,
+        default=0,
+        metavar="N",
+        help="include N randomly generated equivalence-preserving pairs",
+    )
+    source.add_argument(
+        "--buggy",
+        type=int,
+        default=0,
+        metavar="N",
+        help="include N generated pairs with one injected error (expected not equivalent)",
+    )
+    source.add_argument("--seed", type=int, default=0, help="base seed of the generated pairs")
+    source.add_argument("--stages", type=int, default=3, help="stages per generated program")
+    source.add_argument("--size", type=int, default=24, help="domain size of generated programs")
+    source.add_argument(
+        "--transform-steps", type=int, default=3, help="transformation steps per generated pair"
+    )
+    parser.add_argument(
+        "--method",
+        choices=("basic", "extended"),
+        default="extended",
+        help="checking method for corpus jobs; default: extended",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default="eqcheck_report.jsonl",
+        help="JSONL report path (default: eqcheck_report.jsonl; '-' to skip the file)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".eqcheck_cache",
+        help="result cache directory (default: .eqcheck_cache)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cache misses (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary (no per-job lines)"
+    )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The single-pair parser (the legacy no-subcommand CLI, same as ``check``)."""
+    parser = argparse.ArgumentParser(prog="repro-eqcheck", description=_DESCRIPTION)
+    _add_check_arguments(parser)
+    return parser
+
+
+def build_cli_parser() -> argparse.ArgumentParser:
+    """The full subcommand CLI (``check`` / ``batch``)."""
+    parser = argparse.ArgumentParser(prog="repro-eqcheck", description=_DESCRIPTION)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    check = subparsers.add_parser(
+        "check", help="check one (original, transformed) pair", description=_DESCRIPTION
+    )
+    _add_check_arguments(check)
+    batch = subparsers.add_parser(
+        "batch",
+        help="run a job file or the built-in corpus through the batch service",
+        description="Batch verification with result caching and parallel workers.",
+    )
+    _add_batch_arguments(batch)
     return parser
 
 
@@ -103,10 +207,7 @@ def _parse_operator_declarations(entries: Sequence[str]):
     return registry
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_arg_parser()
-    args = parser.parse_args(argv)
-
+def _run_check(args: argparse.Namespace) -> int:
     try:
         with open(args.original, "r", encoding="utf-8") as handle:
             original_source = handle.read()
@@ -142,6 +243,119 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(result.summary())
     return 0 if result.equivalent else 1
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    # Imported lazily so `check` keeps working even if the service layer is
+    # unavailable (e.g. a trimmed install).
+    from .service import (
+        BatchExecutor,
+        CorpusSpec,
+        JobStatus,
+        ResultCache,
+        aggregate_results,
+        build_corpus,
+        format_summary,
+        jobs_from_file,
+        write_result_row,
+        write_summary_row,
+    )
+
+    if args.jobs:
+        try:
+            jobs = jobs_from_file(args.jobs)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        spec = CorpusSpec(
+            kernels=tuple(args.kernel),
+            generated=args.generated,
+            buggy=args.buggy,
+            seed=args.seed,
+            stages=args.stages,
+            size=args.size,
+            transform_steps=args.transform_steps,
+            method=args.method,
+        )
+        try:
+            jobs = build_corpus(spec)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    if not jobs:
+        print(
+            "error: no jobs selected; pass --jobs FILE or corpus options "
+            "(--kernel/--generated/--buggy)",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Open the report before running: an unwritable path must fail fast, not
+    # after minutes of checking with every verdict lost.
+    report_handle = None
+    if args.report and args.report != "-":
+        try:
+            report_handle = open(args.report, "w", encoding="utf-8")
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = BatchExecutor(cache=cache, workers=args.workers, timeout=args.timeout)
+
+    def progress(outcome):
+        # Rows are streamed as jobs complete, so a killed batch still leaves
+        # every finished verdict readable in the report.
+        if report_handle is not None:
+            write_result_row(report_handle, outcome)
+        if args.quiet:
+            return
+        if outcome.status != JobStatus.OK:
+            verdict = outcome.status.upper()
+        elif outcome.equivalent:
+            verdict = "equivalent"
+        else:
+            verdict = "NOT EQUIVALENT"
+        origin = "cache" if outcome.cache_hit else f"{outcome.elapsed_seconds:.3f} s"
+        flag = ""
+        if outcome.matches_expectation is False:
+            flag = "  << UNEXPECTED"
+        print(f"  {outcome.name:<32} {verdict:<14} ({origin}){flag}")
+
+    results = executor.run(jobs, progress=progress)
+    cache_stats = cache.stats if cache is not None else None
+    summary = aggregate_results(results, cache_stats)
+    if report_handle is not None:
+        with report_handle:
+            write_summary_row(report_handle, summary)
+        if not args.quiet:
+            print(f"report written to {args.report}")
+    print(format_summary(summary))
+
+    ok = all(outcome.status == JobStatus.OK for outcome in results)
+    no_mismatch = not summary["expectation_mismatches"]
+    # Jobs without an expectation fail the batch when not proven equivalent
+    # (same contract as `check`).
+    unexpected_nonequivalent = any(
+        outcome.expected_equivalent is None and outcome.status == JobStatus.OK and not outcome.equivalent
+        for outcome in results
+    )
+    return 0 if ok and no_mismatch and not unexpected_nonequivalent else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # Bare --help (and an empty command line) go to the subcommand parser so
+    # `batch` stays discoverable; anything else that does not name a
+    # subcommand is the legacy spelling `repro-eqcheck original.c transformed.c`.
+    if not argv or argv[0] in _SUBCOMMANDS or argv[0] in ("-h", "--help"):
+        args = build_cli_parser().parse_args(argv)
+        if args.command == "batch":
+            return _run_batch(args)
+        return _run_check(args)
+    args = build_arg_parser().parse_args(argv)
+    return _run_check(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,44 @@
+"""Batch verification service: jobs, result cache, parallel executor, corpus.
+
+This package is the production layer above :func:`repro.checker.api.check_equivalence`:
+it runs many (original, transformed) pairs per invocation, reuses verdicts
+through a content-addressed cache, fans cache misses out to worker processes,
+and aggregates the outcomes into a JSONL report.  The ``repro-eqcheck batch``
+CLI subcommand and :mod:`benchmarks.bench_service` are thin wrappers over it.
+"""
+
+from .cache import CacheStats, ResultCache
+from .corpus import CorpusSpec, build_corpus, jobs_from_file
+from .executor import BatchExecutor, execute_job
+from .fingerprint import CACHE_FORMAT_VERSION, job_fingerprint, normalize_source
+from .job import JobResult, JobStatus, VerificationJob
+from .report import (
+    aggregate_results,
+    format_summary,
+    read_report,
+    write_report,
+    write_result_row,
+    write_summary_row,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "CorpusSpec",
+    "JobResult",
+    "JobStatus",
+    "ResultCache",
+    "VerificationJob",
+    "aggregate_results",
+    "build_corpus",
+    "execute_job",
+    "format_summary",
+    "job_fingerprint",
+    "jobs_from_file",
+    "normalize_source",
+    "read_report",
+    "write_report",
+    "write_result_row",
+    "write_summary_row",
+]

@@ -1,0 +1,277 @@
+"""Batch execution of verification jobs: cache front, process pool, timeouts.
+
+The executor runs a sequence of :class:`~repro.service.job.VerificationJob`
+values and returns one :class:`~repro.service.job.JobResult` per job, in the
+input order.  Before any work is dispatched, every job is looked up in the
+result cache; only misses are executed — serially for ``workers <= 1`` (no
+pickling, easiest to debug) or on a ``ProcessPoolExecutor`` otherwise.
+
+Timeouts are enforced *inside* the executing process with ``SIGALRM`` (the
+checker is pure Python, so there is no portable way to interrupt it from the
+outside without killing the worker); a job that exceeds its budget yields a
+``timeout`` result instead of poisoning the pool.  Any exception a job raises
+is captured into an ``error`` result with its traceback — one bad program
+never aborts the batch.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .cache import ResultCache
+from .fingerprint import job_fingerprint
+from .job import JobResult, JobStatus, VerificationJob
+
+__all__ = ["BatchExecutor", "execute_job"]
+
+
+class _JobTimeout(BaseException):
+    # BaseException, not Exception: the checker (e.g. the presburger closure
+    # heuristics) uses broad `except Exception` internally, which must not
+    # swallow the alarm and let a job run past its budget.
+    pass
+
+
+def _alarm_handler(signum, frame):
+    raise _JobTimeout()
+
+
+def _run_with_timeout(job: VerificationJob, timeout: Optional[float]):
+    """Run the job's check, raising :class:`_JobTimeout` past *timeout* seconds.
+
+    ``SIGALRM`` can only be installed from the main thread; elsewhere (e.g. a
+    caller running the serial path inside a thread) the timeout is silently
+    skipped rather than refused — the job still runs to completion.
+    """
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return job.run()
+    previous = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    # The result is captured into a list so that an alarm delivered in the
+    # narrow window after job.run() returns (but before the timer is cleared)
+    # does not discard a verdict that was actually computed in time.
+    outcome = []
+    try:
+        try:
+            outcome.append(job.run())
+        except _JobTimeout:
+            pass
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+    if outcome:
+        return outcome[0]
+    raise _JobTimeout()
+
+
+def execute_job(
+    job: VerificationJob, timeout: Optional[float] = None, fingerprint: str = ""
+) -> JobResult:
+    """Execute one job in the current process, capturing failure and timeout."""
+    started = time.perf_counter()
+    try:
+        result = _run_with_timeout(job, timeout)
+    except _JobTimeout:
+        return JobResult(
+            name=job.name,
+            status=JobStatus.TIMEOUT,
+            expected_equivalent=job.expected_equivalent,
+            elapsed_seconds=time.perf_counter() - started,
+            fingerprint=fingerprint,
+            error=f"job exceeded the {timeout:g} s budget",
+            metadata=dict(job.metadata),
+        )
+    except Exception as error:
+        return JobResult(
+            name=job.name,
+            status=JobStatus.ERROR,
+            expected_equivalent=job.expected_equivalent,
+            elapsed_seconds=time.perf_counter() - started,
+            fingerprint=fingerprint,
+            error=f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+            metadata=dict(job.metadata),
+        )
+    return JobResult(
+        name=job.name,
+        status=JobStatus.OK,
+        equivalent=result.equivalent,
+        expected_equivalent=job.expected_equivalent,
+        elapsed_seconds=time.perf_counter() - started,
+        fingerprint=fingerprint,
+        result=result,
+        metadata=dict(job.metadata),
+    )
+
+
+class BatchExecutor:
+    """Runs batches of jobs against an optional result cache.
+
+    Parameters
+    ----------
+    cache:
+        The verdict cache to consult and fill; ``None`` disables caching.
+    workers:
+        ``<= 1`` runs jobs serially in this process; larger values dispatch
+        cache misses to a ``ProcessPoolExecutor`` of that many workers.
+    timeout:
+        Per-job wall-clock budget in seconds (``None``: unlimited).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+    ):
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        # index of an executing job -> indices of its in-batch duplicates
+        # (same fingerprint); rebuilt by every run() call.
+        self._followers: dict = {}
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        jobs: Iterable[VerificationJob],
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
+        """Run *jobs*, returning one result per job in the input order."""
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: List[int] = []
+        fingerprints: dict = {}
+
+        for index, job in enumerate(jobs):
+            fingerprint = fingerprints[index] = job_fingerprint(job)
+            cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if cached is not None:
+                outcome = JobResult(
+                    name=job.name,
+                    status=JobStatus.OK,
+                    equivalent=cached.equivalent,
+                    expected_equivalent=job.expected_equivalent,
+                    elapsed_seconds=0.0,
+                    cache_hit=True,
+                    fingerprint=fingerprint,
+                    result=cached,
+                    metadata=dict(job.metadata),
+                )
+                results[index] = outcome
+                if progress is not None:
+                    progress(outcome)
+            else:
+                pending.append(index)
+
+        # Deduplicate identical jobs within the batch: only the first index
+        # per fingerprint is executed; the rest are fanned out from its
+        # result, so duplicate pairs cost one check instead of many.
+        leader_of: dict = {}
+        self._followers = {}
+        leaders: List[int] = []
+        for index in pending:
+            fingerprint = fingerprints[index]
+            if fingerprint in leader_of:
+                self._followers.setdefault(leader_of[fingerprint], []).append(index)
+            else:
+                leader_of[fingerprint] = index
+                leaders.append(index)
+
+        if leaders:
+            if self.workers <= 1 or len(leaders) == 1:
+                for index in leaders:
+                    outcome = execute_job(jobs[index], self.timeout, fingerprints[index])
+                    self._record(index, outcome, jobs, results, progress)
+            else:
+                self._run_pool(jobs, leaders, fingerprints, results, progress)
+
+        return [outcome for outcome in results if outcome is not None]
+
+    # ------------------------------------------------------------------ #
+    def _record(
+        self,
+        index: int,
+        outcome: JobResult,
+        jobs: Sequence[VerificationJob],
+        results: List[Optional[JobResult]],
+        progress: Optional[Callable[[JobResult], None]],
+    ) -> None:
+        results[index] = outcome
+        if (
+            self.cache is not None
+            and outcome.status == JobStatus.OK
+            and outcome.result is not None
+            and not outcome.cache_hit
+        ):
+            try:
+                self.cache.put(outcome.fingerprint, outcome.result)
+            except OSError:
+                # Caching is an optimization: a full disk or read-only cache
+                # directory must not discard the batch's computed verdicts.
+                self.cache.stats.store_errors += 1
+        if progress is not None:
+            progress(outcome)
+        # Fan the leader's outcome out to in-batch duplicates (same
+        # fingerprint): they inherit the verdict (or failure) at zero cost.
+        # Not marked cache_hit — dedup reuse works with caching disabled and
+        # must not inflate the reported hit rate.
+        for follower_index in self._followers.pop(index, ()):
+            job = jobs[follower_index]
+            derived = JobResult(
+                name=job.name,
+                status=outcome.status,
+                equivalent=outcome.equivalent,
+                expected_equivalent=job.expected_equivalent,
+                elapsed_seconds=0.0,
+                cache_hit=False,
+                fingerprint=outcome.fingerprint,
+                result=outcome.result,
+                error=outcome.error,
+                metadata={**job.metadata, "deduplicated": True},
+            )
+            results[follower_index] = derived
+            if progress is not None:
+                progress(derived)
+
+    def _run_pool(
+        self,
+        jobs: Sequence[VerificationJob],
+        pending: Sequence[int],
+        fingerprints: dict,
+        results: List[Optional[JobResult]],
+        progress: Optional[Callable[[JobResult], None]],
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            future_index = {
+                pool.submit(execute_job, jobs[index], self.timeout, fingerprints[index]): index
+                for index in pending
+            }
+            not_done = set(future_index)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_index[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as error:  # e.g. BrokenProcessPool
+                        job = jobs[index]
+                        outcome = JobResult(
+                            name=job.name,
+                            status=JobStatus.ERROR,
+                            expected_equivalent=job.expected_equivalent,
+                            fingerprint=fingerprints[index],
+                            error=f"{type(error).__name__}: {error}",
+                            metadata=dict(job.metadata),
+                        )
+                    self._record(index, outcome, jobs, results, progress)

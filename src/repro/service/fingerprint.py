@@ -1,0 +1,62 @@
+"""Content-addressed fingerprints of verification jobs.
+
+Two jobs that describe the same check must hash to the same fingerprint even
+if their source text differs in whitespace, comments or ``#define`` folding.
+The fingerprint therefore hashes the *normalised* program pair — the source
+re-printed from its parsed AST, which is canonical up to these details — plus
+every checker option that can influence the verdict, under a format version
+that invalidates all cached verdicts whenever the semantics of the checker or
+of the fingerprint itself change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from ..lang import parse_program, program_to_text
+from .job import VerificationJob
+
+__all__ = ["CACHE_FORMAT_VERSION", "normalize_source", "job_fingerprint"]
+
+#: Bump to invalidate every previously cached verdict.
+CACHE_FORMAT_VERSION = 1
+
+
+def normalize_source(source: str) -> str:
+    """Canonicalise mini-C source text (parse → pretty-print).
+
+    Unparseable text is returned stripped: the job will fail identically on
+    every run, so caching its failure under the raw text is still sound.
+    """
+    try:
+        text = program_to_text(parse_program(source))
+    except Exception:
+        return source.strip()
+    # The parser folds #define constants into the body, so the re-emitted
+    # preamble is inert decoration; dropping it makes the canonical form
+    # independent of whether sizes were spelled as macros or literals.
+    return "".join(
+        line for line in text.splitlines(keepends=True) if not line.startswith("#define")
+    ).lstrip("\n")
+
+
+def _canonical_payload(job: VerificationJob) -> Dict[str, Any]:
+    return {
+        "format_version": CACHE_FORMAT_VERSION,
+        "original": normalize_source(job.original_source),
+        "transformed": normalize_source(job.transformed_source),
+        "method": job.method,
+        "outputs": list(job.outputs) if job.outputs is not None else None,
+        "correspondences": sorted(list(pair) for pair in job.correspondences),
+        "operators": sorted([op, "".join(sorted(props.upper()))] for op, props in job.operators),
+        "tabling": job.tabling,
+        "check_preconditions": job.check_preconditions,
+    }
+
+
+def job_fingerprint(job: VerificationJob) -> str:
+    """The SHA-256 fingerprint (hex) identifying this job's verdict."""
+    payload = json.dumps(_canonical_payload(job), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

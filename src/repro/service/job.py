@@ -1,0 +1,175 @@
+"""The job model of the batch verification service.
+
+A :class:`VerificationJob` is a self-contained, picklable description of one
+equivalence check: the two programs as mini-C source text plus every checker
+option that can influence the verdict.  Carrying source text (rather than
+parsed :class:`~repro.lang.ast.Program` values) keeps jobs cheap to ship
+across process boundaries and trivially serialisable into job files.
+
+A :class:`JobResult` is the service-level outcome of running (or recalling
+from cache) one job: the checker verdict plus execution status, wall time,
+cache provenance and — when the corpus runner attached an expectation — the
+comparison against the expected verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..checker import EquivalenceResult, OperatorRegistry, check_equivalence, default_registry
+
+__all__ = ["JobStatus", "VerificationJob", "JobResult"]
+
+
+class JobStatus:
+    """Execution status of one job (independent of the verdict)."""
+
+    OK = "ok"
+    ERROR = "error"
+    TIMEOUT = "timeout"
+
+    ALL = (OK, ERROR, TIMEOUT)
+
+
+def _as_pairs(entries) -> Tuple[Tuple[str, str], ...]:
+    return tuple((str(a), str(b)) for a, b in entries)
+
+
+@dataclass
+class VerificationJob:
+    """One (original, transformed) pair plus the checker options to use.
+
+    ``operators`` declares extra operator properties as ``(name, props)``
+    pairs where ``props`` is a string containing ``"A"`` (associative) and/or
+    ``"C"`` (commutative) — the picklable equivalent of passing an
+    :class:`~repro.checker.properties.OperatorRegistry`.
+    """
+
+    name: str
+    original_source: str
+    transformed_source: str
+    method: str = "extended"
+    outputs: Optional[Tuple[str, ...]] = None
+    correspondences: Tuple[Tuple[str, str], ...] = ()
+    operators: Tuple[Tuple[str, str], ...] = ()
+    tabling: bool = True
+    check_preconditions: bool = True
+    expected_equivalent: Optional[bool] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.outputs is not None:
+            self.outputs = tuple(self.outputs)
+        self.correspondences = _as_pairs(self.correspondences)
+        self.operators = _as_pairs(self.operators)
+
+    def registry(self) -> OperatorRegistry:
+        """The operator registry implied by the ``operators`` declarations."""
+        registry = default_registry()
+        for op, props in self.operators:
+            props = props.upper()
+            registry.declare(op, associative="A" in props, commutative="C" in props)
+        return registry
+
+    def run(self) -> EquivalenceResult:
+        """Run the equivalence check described by this job (in-process)."""
+        return check_equivalence(
+            self.original_source,
+            self.transformed_source,
+            method=self.method,
+            registry=self.registry(),
+            outputs=self.outputs,
+            correspondences=self.correspondences,
+            tabling=self.tabling,
+            check_preconditions=self.check_preconditions,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "original_source": self.original_source,
+            "transformed_source": self.transformed_source,
+            "method": self.method,
+            "outputs": list(self.outputs) if self.outputs is not None else None,
+            "correspondences": [list(pair) for pair in self.correspondences],
+            "operators": [list(pair) for pair in self.operators],
+            "tabling": self.tabling,
+            "check_preconditions": self.check_preconditions,
+            "expected_equivalent": self.expected_equivalent,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VerificationJob":
+        outputs = data.get("outputs")
+        return cls(
+            name=data["name"],
+            original_source=data["original_source"],
+            transformed_source=data["transformed_source"],
+            method=data.get("method", "extended"),
+            outputs=tuple(outputs) if outputs is not None else None,
+            correspondences=_as_pairs(data.get("correspondences", ())),
+            operators=_as_pairs(data.get("operators", ())),
+            tabling=data.get("tabling", True),
+            check_preconditions=data.get("check_preconditions", True),
+            expected_equivalent=data.get("expected_equivalent"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+@dataclass
+class JobResult:
+    """The service-level outcome of one job."""
+
+    name: str
+    status: str
+    equivalent: Optional[bool] = None
+    expected_equivalent: Optional[bool] = None
+    elapsed_seconds: float = 0.0
+    cache_hit: bool = False
+    fingerprint: str = ""
+    result: Optional[EquivalenceResult] = None
+    error: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def matches_expectation(self) -> Optional[bool]:
+        """Whether the verdict matched the expectation (``None`` when unknown).
+
+        ``None`` means no expectation was attached or the job did not complete.
+        """
+        if self.expected_equivalent is None or self.status != JobStatus.OK:
+            return None
+        return self.equivalent == self.expected_equivalent
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "equivalent": self.equivalent,
+            "expected_equivalent": self.expected_equivalent,
+            "matches_expectation": self.matches_expectation,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache_hit": self.cache_hit,
+            "fingerprint": self.fingerprint,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "error": self.error,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        result = data.get("result")
+        return cls(
+            name=data["name"],
+            status=data["status"],
+            equivalent=data.get("equivalent"),
+            expected_equivalent=data.get("expected_equivalent"),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            cache_hit=data.get("cache_hit", False),
+            fingerprint=data.get("fingerprint", ""),
+            result=EquivalenceResult.from_dict(result) if result is not None else None,
+            error=data.get("error"),
+            metadata=dict(data.get("metadata", {})),
+        )

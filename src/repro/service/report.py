@@ -1,0 +1,157 @@
+"""JSONL report writing and batch-level aggregation.
+
+A report is one JSON object per line: a ``{"type": "result", …}`` row per
+job (in batch order) followed by a single ``{"type": "summary", …}`` row with
+the aggregate — verdict and status counts, expectation mismatches, cache hit
+rate and wall-time percentiles.  JSONL keeps reports streamable and
+appendable: a crashed run still leaves every completed row readable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from .cache import CacheStats
+from .job import JobResult, JobStatus
+
+__all__ = [
+    "aggregate_results",
+    "write_report",
+    "write_result_row",
+    "write_summary_row",
+    "read_report",
+    "format_summary",
+    "percentile",
+]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The *fraction*-quantile of *values* (nearest-rank; 0 for no samples)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def aggregate_results(
+    results: Sequence[JobResult], cache_stats: Optional[CacheStats] = None
+) -> Dict[str, Any]:
+    """Aggregate per-job results into the batch summary."""
+    total = len(results)
+    by_status = {status: 0 for status in JobStatus.ALL}
+    equivalent = not_equivalent = 0
+    cache_hits = 0
+    mismatches: List[str] = []
+    failures: List[str] = []
+    times = [r.elapsed_seconds for r in results]
+    for outcome in results:
+        by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+        if outcome.status != JobStatus.OK:
+            failures.append(outcome.name)
+        elif outcome.equivalent:
+            equivalent += 1
+        else:
+            not_equivalent += 1
+        if outcome.cache_hit:
+            cache_hits += 1
+        if outcome.matches_expectation is False:
+            mismatches.append(outcome.name)
+    summary: Dict[str, Any] = {
+        "total_jobs": total,
+        "by_status": by_status,
+        "equivalent": equivalent,
+        "not_equivalent": not_equivalent,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": cache_hits / total if total else 0.0,
+        "expectation_mismatches": mismatches,
+        "failed_jobs": failures,
+        "timing": {
+            "total_seconds": sum(times),
+            "mean_seconds": sum(times) / total if total else 0.0,
+            "p50_seconds": percentile(times, 0.50),
+            "p90_seconds": percentile(times, 0.90),
+            "p99_seconds": percentile(times, 0.99),
+            "max_seconds": max(times) if times else 0.0,
+        },
+    }
+    if cache_stats is not None:
+        summary["cache"] = cache_stats.as_dict()
+    return summary
+
+
+def write_report(
+    target,
+    results: Sequence[JobResult],
+    cache_stats: Optional[CacheStats] = None,
+) -> Dict[str, Any]:
+    """Write the JSONL report to *target* (path or text file), returning the summary."""
+    summary = aggregate_results(results, cache_stats)
+    if hasattr(target, "write"):
+        _write_rows(target, results, summary)
+    else:
+        with open(target, "w", encoding="utf-8") as handle:
+            _write_rows(handle, results, summary)
+    return summary
+
+
+def write_result_row(handle: TextIO, outcome: JobResult) -> None:
+    """Append one result row (used to stream a report while a batch runs)."""
+    handle.write(json.dumps({"type": "result", **outcome.to_dict()}) + "\n")
+    handle.flush()
+
+
+def write_summary_row(handle: TextIO, summary: Dict[str, Any]) -> None:
+    """Append the final summary row of a report."""
+    handle.write(json.dumps({"type": "summary", **summary}) + "\n")
+    handle.flush()
+
+
+def _write_rows(handle: TextIO, results: Sequence[JobResult], summary: Dict[str, Any]) -> None:
+    for outcome in results:
+        write_result_row(handle, outcome)
+    write_summary_row(handle, summary)
+
+
+def read_report(path: str) -> Tuple[List[JobResult], Optional[Dict[str, Any]]]:
+    """Read a JSONL report back into results + summary (inverse of writing)."""
+    results: List[JobResult] = []
+    summary: Optional[Dict[str, Any]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.pop("type", "result")
+            if kind == "summary":
+                summary = row
+            else:
+                results.append(JobResult.from_dict(row))
+    return results, summary
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """A compact human readable rendering of the batch summary."""
+    by_status = summary["by_status"]
+    timing = summary["timing"]
+    lines = [
+        f"jobs        : {summary['total_jobs']} "
+        f"(ok {by_status.get(JobStatus.OK, 0)}, error {by_status.get(JobStatus.ERROR, 0)}, "
+        f"timeout {by_status.get(JobStatus.TIMEOUT, 0)})",
+        f"verdicts    : {summary['equivalent']} equivalent, "
+        f"{summary['not_equivalent']} not proven equivalent",
+        f"cache       : {summary['cache_hits']} hit(s), "
+        f"{summary['cache_hit_rate']:.1%} hit rate",
+        f"wall time   : total {timing['total_seconds']:.3f} s, "
+        f"p50 {timing['p50_seconds']:.3f} s, p90 {timing['p90_seconds']:.3f} s, "
+        f"max {timing['max_seconds']:.3f} s",
+    ]
+    if summary["expectation_mismatches"]:
+        lines.append(
+            "MISMATCHES  : " + ", ".join(summary["expectation_mismatches"])
+        )
+    if summary["failed_jobs"]:
+        lines.append("failed jobs : " + ", ".join(summary["failed_jobs"]))
+    return "\n".join(lines)

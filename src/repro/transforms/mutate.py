@@ -166,12 +166,21 @@ def random_mutation(program: Program, rng: random.Random) -> Tuple[Program, Muta
             candidates.append(lambda l=label: perturb_read_index(program, l, rng.randrange(len(reads)), rng.choice([1, -1, 2])))
         candidates.append(lambda l=label: perturb_write_index(program, l, rng.choice([1, -1])))
         inputs = list(program.input_arrays())
-        read_names = {r.name for r in reads}
+        # Deduplicate in first-read order (a set comprehension would make the
+        # rng.choice below depend on the process's hash seed, breaking the
+        # documented determinism of generated corpora).
+        read_names = list(dict.fromkeys(r.name for r in reads))
         swappable = [name for name in read_names if name in inputs]
         if swappable and len(inputs) > 1:
+            dims = {decl.name: len(decl.dims) for decl in program.params}
             old = rng.choice(swappable)
-            new = rng.choice([n for n in inputs if n != old])
-            candidates.append(lambda l=label, o=old, n=new: replace_read_array(program, l, o, n))
+            # Only swap in an array of the same rank: the mutated program must
+            # stay inside the allowed class so the checker answers "not
+            # equivalent" rather than rejecting the input.
+            replacements = [n for n in inputs if n != old and dims.get(n) == dims.get(old)]
+            if replacements:
+                new = rng.choice(replacements)
+                candidates.append(lambda l=label, o=old, n=new: replace_read_array(program, l, o, n))
         if any(isinstance(n, BinOp) and n.op == "+" for n in _walk(assignment.rhs)):
             candidates.append(lambda l=label: change_operator(program, l, "+", "-"))
         rng.shuffle(candidates)

@@ -7,6 +7,15 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def _example_env():
+    """Subprocess environment with the repo's ``src/`` importable as ``repro``."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    return env
 
 EXAMPLES = {
     "quickstart.py": [],
@@ -14,6 +23,7 @@ EXAMPLES = {
     "transform_and_verify.py": ["3"],
     "error_diagnosis.py": [],
     "focused_checking.py": [],
+    "batch_verification.py": ["3"],
 }
 
 
@@ -24,6 +34,7 @@ def test_example_runs(tmp_path, script, args):
     completed = subprocess.run(
         [sys.executable, path, *args],
         cwd=tmp_path,  # examples may write .dot files; keep them out of the repo
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=600,
@@ -35,7 +46,7 @@ def test_example_runs(tmp_path, script, args):
 def test_quickstart_reports_both_verdicts(tmp_path):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
     completed = subprocess.run(
-        [sys.executable, path], cwd=tmp_path, capture_output=True, text=True, timeout=600
+        [sys.executable, path], cwd=tmp_path, env=_example_env(), capture_output=True, text=True, timeout=600
     )
     assert completed.returncode == 0
     assert "EQUIVALENT" in completed.stdout
@@ -45,7 +56,7 @@ def test_quickstart_reports_both_verdicts(tmp_path):
 def test_verify_fig1_reports_paper_diagnostics(tmp_path):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, "verify_fig1.py"))
     completed = subprocess.run(
-        [sys.executable, path, "64"], cwd=tmp_path, capture_output=True, text=True, timeout=600
+        [sys.executable, path, "64"], cwd=tmp_path, env=_example_env(), capture_output=True, text=True, timeout=600
     )
     assert completed.returncode == 0
     out = completed.stdout

@@ -1,6 +1,7 @@
 """Integration tests: the checker on the DSP kernel suite (correct and mutated variants)."""
 
 import random
+import zlib
 
 import pytest
 
@@ -39,7 +40,10 @@ class TestKernelEquivalence:
 @pytest.mark.parametrize("name", ["downsample", "wavelet_lift", "fir", "matvec"])
 def test_mutated_kernels_are_rejected(name):
     pair = kernel_pair(name, **CHECK_SIZES[name])
-    rng = random.Random(hash(name) % 1000)
+    # crc32 rather than hash(): the built-in string hash changes with every
+    # process's hash seed, which made the chosen mutation (and the test
+    # verdict) nondeterministic.
+    rng = random.Random(zlib.crc32(name.encode()) % 1000)
     mutated, mutation = random_mutation(pair.transformed, rng)
     result = check_equivalence(pair.original, mutated, check_preconditions=False)
     assert not result.equivalent, f"{name}: mutation {mutation} was not detected"

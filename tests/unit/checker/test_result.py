@@ -1,5 +1,7 @@
 """Unit tests for checker verdicts, statistics and diagnostics objects."""
 
+import json
+
 import pytest
 
 from repro.checker import CheckStats, Diagnostic, DiagnosticKind, EquivalenceResult, OutputReport
@@ -78,3 +80,54 @@ class TestStatsAndResult:
         result = EquivalenceResult(False, [], diagnostics, CheckStats())
         assert len(result.diagnostics_of_kind(DiagnosticKind.MAPPING_MISMATCH)) == 1
         assert len(result.failures()) == 2
+
+
+class TestSerialization:
+    def make_result(self):
+        diagnostic = Diagnostic(
+            DiagnosticKind.MAPPING_MISMATCH,
+            "mappings differ",
+            output_array="C",
+            original_statements=("s1",),
+            transformed_statements=("v3", "v1"),
+            original_mapping="{ [x] -> [2x] }",
+            mismatch_domain="{ [x] : x even }",
+            original_path=("C", "s3", "B"),
+            suspect_statements=("v1",),
+            suspect_arrays=("buf",),
+        )
+        return EquivalenceResult(
+            equivalent=False,
+            outputs=[OutputReport("C", False, checked_domain="{ [k] }", failing_domain="{ [0] }")],
+            diagnostics=[diagnostic],
+            stats=CheckStats(elapsed_seconds=1.5, compare_calls=10, table_hits=2),
+            method="basic",
+        )
+
+    def test_round_trip_preserves_everything(self):
+        result = self.make_result()
+        clone = EquivalenceResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_to_dict_is_json_serialisable(self):
+        result = self.make_result()
+        restored = EquivalenceResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+        assert restored.diagnostics[0].original_statements == ("s1",)
+        assert isinstance(restored.diagnostics[0].transformed_statements, tuple)
+
+    def test_round_trip_preserves_rendering(self):
+        result = self.make_result()
+        clone = EquivalenceResult.from_dict(result.to_dict())
+        assert clone.summary() == result.summary()
+
+    def test_from_dict_tolerates_missing_optional_sections(self):
+        restored = EquivalenceResult.from_dict({"equivalent": True})
+        assert restored.equivalent
+        assert restored.outputs == []
+        assert restored.diagnostics == []
+        assert restored.method == "extended"
+
+    def test_stats_round_trip(self):
+        stats = CheckStats(elapsed_seconds=2.0, flatten_operations=7)
+        assert CheckStats.from_dict(stats.to_dict()) == stats

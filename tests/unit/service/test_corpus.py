@@ -1,0 +1,91 @@
+"""Unit tests: corpus enumeration and job-file loading."""
+
+import json
+
+import pytest
+
+from repro.service import CorpusSpec, build_corpus, job_fingerprint, jobs_from_file
+from repro.workloads import kernel_names
+
+
+class TestBuildCorpus:
+    def test_kernel_jobs(self):
+        jobs = build_corpus(CorpusSpec(kernels=("fir", "downsample")))
+        assert [job.name for job in jobs] == ["kernel/fir", "kernel/downsample"]
+        assert all(job.expected_equivalent for job in jobs)
+        assert jobs[0].metadata["source"] == "kernel"
+
+    def test_all_kernels_expands_registry(self):
+        jobs = build_corpus(CorpusSpec(kernels=("all",)))
+        assert len(jobs) == len(kernel_names())
+
+    def test_generated_and_buggy_labels(self):
+        spec = CorpusSpec(generated=3, buggy=2, size=16, transform_steps=2, seed=5)
+        jobs = build_corpus(spec)
+        assert len(jobs) == 5
+        equivalent = [job for job in jobs if job.expected_equivalent]
+        buggy = [job for job in jobs if not job.expected_equivalent]
+        assert len(equivalent) == 3 and len(buggy) == 2
+        assert all("mutation" in job.metadata for job in buggy)
+        assert all(job.metadata["source"] == "generator" for job in jobs)
+
+    def test_deterministic_fingerprints(self):
+        spec = CorpusSpec(generated=2, buggy=2, size=16, transform_steps=2)
+        first = [job_fingerprint(job) for job in build_corpus(spec)]
+        second = [job_fingerprint(job) for job in build_corpus(spec)]
+        assert first == second
+
+    def test_corpus_grows_by_appending(self):
+        small = build_corpus(CorpusSpec(generated=2, size=16, transform_steps=2))
+        large = build_corpus(CorpusSpec(generated=4, size=16, transform_steps=2))
+        assert [job.name for job in large[:2]] == [job.name for job in small]
+        assert [job_fingerprint(job) for job in large[:2]] == [
+            job_fingerprint(job) for job in small
+        ]
+
+
+SOURCE = """
+#define N 8
+f(int A[], int B[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+s1:     B[k] = A[k] + 1;
+}
+"""
+
+
+class TestJobsFromFile:
+    def test_inline_sources(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"name": "pair", "original_source": SOURCE, "transformed_source": SOURCE,
+             "expected_equivalent": True},
+        ]))
+        jobs = jobs_from_file(str(path))
+        assert len(jobs) == 1
+        assert jobs[0].name == "pair"
+        assert jobs[0].expected_equivalent is True
+
+    def test_file_references_resolved_relative_to_job_file(self, tmp_path):
+        (tmp_path / "orig.c").write_text(SOURCE)
+        (tmp_path / "trans.c").write_text(SOURCE)
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([
+            {"original": "orig.c", "transformed": "trans.c"},
+        ]))
+        jobs = jobs_from_file(str(path))
+        assert jobs[0].name == "job-0"
+        assert jobs[0].original_source == SOURCE
+
+    def test_rejects_non_list(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"name": "oops"}))
+        with pytest.raises(ValueError):
+            jobs_from_file(str(path))
+
+    def test_rejects_job_without_sources(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"name": "incomplete"}]))
+        with pytest.raises(ValueError):
+            jobs_from_file(str(path))

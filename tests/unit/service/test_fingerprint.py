@@ -1,0 +1,87 @@
+"""Unit tests: fingerprint stability and sensitivity."""
+
+from repro.service import VerificationJob, job_fingerprint, normalize_source
+
+ORIGINAL = """
+#define N 16
+f(int A[], int B[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+s1:     B[k] = A[k] + A[k+1];
+}
+"""
+
+# Same program, different whitespace and no #define folding.
+ORIGINAL_REFORMATTED = """
+f(int A[], int B[]) {
+    int k;
+    for (k = 0; k < 16; k++)
+s1: B[k] = A[k] + A[k + 1];
+}
+"""
+
+TRANSFORMED = """
+#define N 16
+f(int A[], int B[])
+{
+    int k;
+    for (k = N-1; k >= 0; k--)
+t1:     B[k] = A[k+1] + A[k];
+}
+"""
+
+
+def make_job(**overrides):
+    fields = dict(
+        name="job",
+        original_source=ORIGINAL,
+        transformed_source=TRANSFORMED,
+    )
+    fields.update(overrides)
+    return VerificationJob(**fields)
+
+
+class TestNormalizeSource:
+    def test_whitespace_insensitive(self):
+        assert normalize_source(ORIGINAL) == normalize_source(ORIGINAL_REFORMATTED)
+
+    def test_different_programs_differ(self):
+        assert normalize_source(ORIGINAL) != normalize_source(TRANSFORMED)
+
+    def test_unparseable_text_falls_back_to_stripped(self):
+        assert normalize_source("  not a program  ") == "not a program"
+
+
+class TestJobFingerprint:
+    def test_stable_across_calls(self):
+        assert job_fingerprint(make_job()) == job_fingerprint(make_job())
+
+    def test_sha256_hex_shape(self):
+        fingerprint = job_fingerprint(make_job())
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_ignores_job_name_and_metadata_and_expectation(self):
+        baseline = job_fingerprint(make_job())
+        assert job_fingerprint(make_job(name="other")) == baseline
+        assert job_fingerprint(make_job(metadata={"a": 1})) == baseline
+        assert job_fingerprint(make_job(expected_equivalent=False)) == baseline
+
+    def test_whitespace_insensitive(self):
+        assert job_fingerprint(make_job()) == job_fingerprint(
+            make_job(original_source=ORIGINAL_REFORMATTED)
+        )
+
+    def test_sensitive_to_programs_and_options(self):
+        baseline = job_fingerprint(make_job())
+        assert job_fingerprint(make_job(transformed_source=ORIGINAL)) != baseline
+        assert job_fingerprint(make_job(method="basic")) != baseline
+        assert job_fingerprint(make_job(outputs=("B",))) != baseline
+        assert job_fingerprint(make_job(tabling=False)) != baseline
+        assert job_fingerprint(make_job(operators=(("min", "AC"),))) != baseline
+
+    def test_operator_declaration_order_is_canonicalised(self):
+        first = job_fingerprint(make_job(operators=(("min", "AC"), ("max", "C"))))
+        second = job_fingerprint(make_job(operators=(("max", "C"), ("min", "CA"))))
+        assert first == second

@@ -1,0 +1,105 @@
+"""Unit tests: job model serialization and in-process execution."""
+
+import pickle
+
+from repro.service import JobResult, JobStatus, VerificationJob, execute_job
+
+ORIGINAL = """
+#define N 8
+f(int A[], int B[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+s1:     B[k] = A[k] + A[k+1];
+}
+"""
+
+TRANSFORMED_EQ = """
+#define N 8
+f(int A[], int B[])
+{
+    int k;
+    for (k = N-1; k >= 0; k--)
+t1:     B[k] = A[k+1] + A[k];
+}
+"""
+
+TRANSFORMED_BAD = """
+#define N 8
+f(int A[], int B[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+t1:     B[k] = A[k] + A[k+2];
+}
+"""
+
+
+def test_job_dict_round_trip():
+    job = VerificationJob(
+        name="j",
+        original_source=ORIGINAL,
+        transformed_source=TRANSFORMED_EQ,
+        method="basic",
+        outputs=("B",),
+        correspondences=(("t", "t2"),),
+        operators=(("min", "AC"),),
+        tabling=False,
+        expected_equivalent=True,
+        metadata={"source": "test"},
+    )
+    clone = VerificationJob.from_dict(job.to_dict())
+    assert clone == job
+
+
+def test_job_is_picklable():
+    job = VerificationJob("j", ORIGINAL, TRANSFORMED_EQ)
+    assert pickle.loads(pickle.dumps(job)) == job
+
+
+def test_job_run_verdicts():
+    assert VerificationJob("eq", ORIGINAL, TRANSFORMED_EQ).run().equivalent
+    assert not VerificationJob("bad", ORIGINAL, TRANSFORMED_BAD).run().equivalent
+
+
+def test_execute_job_ok_and_expectation():
+    outcome = execute_job(
+        VerificationJob("eq", ORIGINAL, TRANSFORMED_EQ, expected_equivalent=True)
+    )
+    assert outcome.status == JobStatus.OK
+    assert outcome.equivalent is True
+    assert outcome.matches_expectation is True
+    assert outcome.elapsed_seconds > 0
+    assert outcome.result is not None
+
+
+def test_execute_job_detected_bug_matches_expectation():
+    outcome = execute_job(
+        VerificationJob("bad", ORIGINAL, TRANSFORMED_BAD, expected_equivalent=False)
+    )
+    assert outcome.status == JobStatus.OK
+    assert outcome.equivalent is False
+    assert outcome.matches_expectation is True
+
+
+def test_execute_job_captures_errors():
+    outcome = execute_job(VerificationJob("broken", "not a program", "also broken"))
+    assert outcome.status == JobStatus.ERROR
+    assert outcome.equivalent is None
+    assert outcome.matches_expectation is None
+    assert "LexError" in (outcome.error or "")
+
+
+def test_job_result_dict_round_trip():
+    outcome = execute_job(
+        VerificationJob("eq", ORIGINAL, TRANSFORMED_EQ, expected_equivalent=True)
+    )
+    data = outcome.to_dict()
+    clone = JobResult.from_dict(data)
+    assert clone.name == outcome.name
+    assert clone.status == outcome.status
+    assert clone.equivalent == outcome.equivalent
+    assert clone.result is not None
+    assert clone.result.to_dict() == outcome.result.to_dict()
+    # the derived field is exported but not stored
+    assert data["matches_expectation"] is True

@@ -1,0 +1,89 @@
+"""Unit tests: report aggregation, JSONL round-trip, percentiles."""
+
+from repro.service import (
+    CacheStats,
+    JobResult,
+    JobStatus,
+    aggregate_results,
+    format_summary,
+    read_report,
+    write_report,
+)
+from repro.service.report import percentile
+
+
+def make_results():
+    return [
+        JobResult("a", JobStatus.OK, equivalent=True, expected_equivalent=True,
+                  elapsed_seconds=0.1),
+        JobResult("b", JobStatus.OK, equivalent=False, expected_equivalent=False,
+                  elapsed_seconds=0.3, cache_hit=True),
+        JobResult("c", JobStatus.OK, equivalent=False, expected_equivalent=True,
+                  elapsed_seconds=0.2),  # mismatch
+        JobResult("d", JobStatus.ERROR, error="boom", elapsed_seconds=0.05),
+        JobResult("e", JobStatus.TIMEOUT, error="budget", elapsed_seconds=1.0),
+    ]
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([4.0], 0.99) == 4.0
+
+    def test_median_and_max(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+
+class TestAggregate:
+    def test_counts_and_mismatches(self):
+        summary = aggregate_results(make_results())
+        assert summary["total_jobs"] == 5
+        assert summary["by_status"] == {"ok": 3, "error": 1, "timeout": 1}
+        assert summary["equivalent"] == 1
+        assert summary["not_equivalent"] == 2
+        assert summary["cache_hits"] == 1
+        assert summary["expectation_mismatches"] == ["c"]
+        assert summary["failed_jobs"] == ["d", "e"]
+        assert summary["timing"]["max_seconds"] == 1.0
+        assert abs(summary["timing"]["total_seconds"] - 1.65) < 1e-9
+
+    def test_cache_stats_embedded(self):
+        stats = CacheStats(hits=3, misses=1)
+        summary = aggregate_results(make_results(), stats)
+        assert summary["cache"]["hits"] == 3
+        assert summary["cache"]["hit_rate"] == 0.75
+
+    def test_empty_batch(self):
+        summary = aggregate_results([])
+        assert summary["total_jobs"] == 0
+        assert summary["cache_hit_rate"] == 0.0
+        assert summary["timing"]["mean_seconds"] == 0.0
+
+
+class TestReportFile:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        results = make_results()
+        summary = write_report(path, results, CacheStats(hits=1, misses=4))
+        restored, restored_summary = read_report(path)
+        assert [r.name for r in restored] == [r.name for r in results]
+        assert [r.status for r in restored] == [r.status for r in results]
+        assert restored_summary is not None
+        assert restored_summary["total_jobs"] == summary["total_jobs"]
+        assert restored_summary["expectation_mismatches"] == ["c"]
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        write_report(path, make_results())
+        lines = [line for line in open(path) if line.strip()]
+        assert len(lines) == len(make_results()) + 1  # + summary row
+
+    def test_format_summary_mentions_problems(self):
+        text = format_summary(aggregate_results(make_results()))
+        assert "MISMATCHES" in text and "c" in text
+        assert "failed jobs" in text and "d" in text
+        assert "hit rate" in text
