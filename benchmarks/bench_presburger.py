@@ -6,11 +6,23 @@ are usually small".  These micro-benchmarks measure the operations the
 checker performs most often — composition, equality, subtraction with
 divisibility constraints, feasibility — at the formula sizes that actually
 occur, backing that claim for this reimplementation.
+
+The repeated-composition ablation at the bottom measures the operation cache
+of :mod:`repro.presburger.opcache` (interned conjuncts + memoized relation
+algebra) against the uncached baseline; the cached run must be at least
+1.5x faster.  The same scenario doubles as a CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_presburger.py --smoke
+
+which exits non-zero when the speedup regresses below the threshold.
 """
+
+import sys
+import time
 
 import pytest
 
-from repro.presburger import parse_map, parse_set, transitive_closure
+from repro.presburger import opcache, parse_map, parse_set, transitive_closure
 
 from conftest import run_once
 
@@ -65,3 +77,105 @@ def bench_feasibility_of_parity_conflict(benchmark):
 def bench_two_dimensional_closure(benchmark, maps):
     closure, exact = run_once(benchmark, transitive_closure, maps["two_dim"], rounds=3)
     assert exact
+
+
+# --------------------------------------------------------------------------- #
+# Operation-cache ablation: repeated composition with the cache on vs off
+# --------------------------------------------------------------------------- #
+# The scenario mirrors what the checker engine does along every traversal
+# path: compose the same dependency relations over and over, invert them, and
+# test relations for equality.  With the operation cache enabled only the
+# first round pays; the rest are LRU hits on interned operands.
+_CHAIN_SOURCES = (
+    "{ [k] -> [k + 1] : 0 <= k < 2048 }",
+    "{ [k] -> [2k] : 0 <= k < 1024 }",
+    "{ [k] -> [k - 4] : 4 <= k < 2048 }",
+    "{ [k] -> [k] : exists j : k = 2j and 0 <= k < 2048 }",
+)
+
+SPEEDUP_THRESHOLD = 1.5
+
+
+def _repeated_composition_round(chain, piecewise, whole):
+    current = chain[0]
+    for relation in chain[1:]:
+        current = current.compose(relation)
+    current.inverse()
+    assert piecewise.is_equal(whole)
+    return current
+
+
+def _run_repeated_composition(iterations: int):
+    chain = [parse_map(source) for source in _CHAIN_SOURCES]
+    piecewise = parse_map("{ [k] -> [2k] : 0 <= k < 512 ; [k] -> [2k] : 512 <= k < 1024 }")
+    whole = parse_map("{ [k] -> [2k] : 0 <= k < 1024 }")
+    result = None
+    for _ in range(iterations):
+        result = _repeated_composition_round(chain, piecewise, whole)
+    return result
+
+
+def time_repeated_composition(iterations: int = 20):
+    """Wall-clock the scenario with the cache disabled, then enabled (cold).
+
+    Returns ``(disabled_seconds, enabled_seconds)``.  Used both by the
+    pytest-benchmark entry below and by ``--smoke`` mode.
+    """
+    with opcache.disabled():
+        started = time.perf_counter()
+        _run_repeated_composition(iterations)
+        disabled_seconds = time.perf_counter() - started
+    opcache.reset()  # cold start: the cached run includes its own warmup
+    started = time.perf_counter()
+    _run_repeated_composition(iterations)
+    enabled_seconds = time.perf_counter() - started
+    return disabled_seconds, enabled_seconds
+
+
+def bench_repeated_composition_cached(benchmark):
+    opcache.reset()
+    result = run_once(benchmark, _run_repeated_composition, 20, rounds=3)
+    assert not result.is_empty()
+    benchmark.extra_info["opcache_hits"] = opcache.stats().hits
+
+
+def bench_repeated_composition_uncached(benchmark):
+    def run():
+        with opcache.disabled():
+            return _run_repeated_composition(20)
+
+    result = run_once(benchmark, run, rounds=3)
+    assert not result.is_empty()
+
+
+def bench_cache_ablation_speedup():
+    """Non-timing assertion: the cache must keep its >= 1.5x win on this scenario."""
+    disabled_seconds, enabled_seconds = time_repeated_composition()
+    speedup = disabled_seconds / enabled_seconds if enabled_seconds else float("inf")
+    assert speedup >= SPEEDUP_THRESHOLD, (
+        f"operation cache speedup degraded to {speedup:.2f}x "
+        f"(uncached {disabled_seconds:.3f} s vs cached {enabled_seconds:.3f} s)"
+    )
+
+
+def _smoke() -> int:
+    """CI gate: run the ablation once and fail loudly on a perf regression."""
+    disabled_seconds, enabled_seconds = time_repeated_composition()
+    speedup = disabled_seconds / enabled_seconds if enabled_seconds else float("inf")
+    stats = opcache.stats()
+    print(f"uncached : {disabled_seconds:.3f} s")
+    print(f"cached   : {enabled_seconds:.3f} s  ({stats.hits} hit(s), {stats.misses} miss(es))")
+    print(f"speedup  : {speedup:.2f}x  (threshold {SPEEDUP_THRESHOLD}x)")
+    if speedup < SPEEDUP_THRESHOLD:
+        print("FAIL: operation-cache speedup below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(_smoke())
+    print(__doc__)
+    print("run under pytest for the full benchmark suite, or pass --smoke")
+    sys.exit(2)

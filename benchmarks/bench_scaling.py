@@ -15,6 +15,7 @@ import pytest
 from repro.addg import build_addg
 from repro.checker import check_addgs, check_equivalence
 from repro.lang import ProgramBuilder, parse_program
+from repro.presburger import opcache
 from repro.transforms import apply_random_transforms, loop_reversal, loop_split
 from repro.workloads import RandomProgramGenerator
 
@@ -121,6 +122,53 @@ def bench_e9_tabling_ablation(benchmark, tabling):
     assert result.equivalent
     benchmark.extra_info["table_hits"] = result.stats.table_hits
     benchmark.extra_info["compare_calls"] = result.stats.compare_calls
+
+
+@pytest.mark.parametrize("cached", [True, False], ids=["opcache-on", "opcache-off"])
+def bench_e9_opcache_ablation(benchmark, cached):
+    """Before/after comparison of the Presburger operation cache on a full check.
+
+    Complements the tabling ablation above: tabling reuses established
+    equivalences between sub-ADDGs, while the operation cache reuses the
+    Presburger operation results *inside* every comparison.  The two layers
+    compound — this pair of runs quantifies the lower layer alone.
+    """
+    source = _shared_subdag_program(6)
+    program = parse_program(source)
+
+    def run():
+        opcache.reset()
+        if cached:
+            return check_equivalence(program, program)
+        with opcache.disabled():
+            return check_equivalence(program, program)
+
+    result = run_once(benchmark, run, rounds=1)
+    assert result.equivalent
+    benchmark.extra_info["opcache_hits"] = result.stats.opcache_hits
+    benchmark.extra_info["intern_hits"] = result.stats.intern_hits
+
+
+def bench_e9_opcache_reduces_work():
+    """Non-timing assertion: the operation cache must fire on a real check.
+
+    The cached and uncached runs must agree on the verdict and on every
+    traversal-level counter (the cache may not change what work the engine
+    *asks* for, only how often the Presburger core recomputes it), and the
+    cached run must record actual hits.
+    """
+    source = _shared_subdag_program(6)
+    program = parse_program(source)
+    opcache.reset()
+    cached_result = check_equivalence(program, program)
+    with opcache.disabled():
+        uncached_result = check_equivalence(program, program)
+    assert cached_result.equivalent and uncached_result.equivalent
+    assert cached_result.stats.opcache_hits > 0
+    assert cached_result.stats.intern_hits > 0
+    assert uncached_result.stats.opcache_hits == 0
+    assert cached_result.stats.compare_calls == uncached_result.stats.compare_calls
+    assert cached_result.stats.leaf_comparisons == uncached_result.stats.leaf_comparisons
 
 
 def bench_e9_tabling_reduces_work():

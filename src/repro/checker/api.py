@@ -250,6 +250,7 @@ def check_addgs(
         engine.current_output = None
 
     engine.apply_suspect_heuristic()
+    engine.record_opcache_stats()
     engine.stats.original_addg_size = original.size()
     engine.stats.transformed_addg_size = transformed.size()
     engine.stats.elapsed_seconds = time.perf_counter() - started

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set as PySet, Tuple
 
-from ..presburger import Map, Set, SpaceMismatchError
+from ..presburger import Map, Set, SpaceMismatchError, opcache
 from ..presburger.errors import PresburgerError
 from ..addg.graph import ADDG, ConstNode, ExprNode, OpNode, ReadNode, StatementNode
 from .properties import OperatorProperties, OperatorRegistry, default_registry
@@ -137,6 +137,24 @@ class Engine:
         self._suppress = 0
         self._correspondence_obligations: PySet[Tuple[str, str]] = set()
         self._cyclic = (set(original.cyclic_arrays()), set(transformed.cyclic_arrays()))
+        # Baseline of the process-wide Presburger operation-cache counters so
+        # this run's share can be reported as a delta (the cache is shared
+        # across engines in the process, like the paper's tabling is shared
+        # across outputs of one check).
+        self._opcache_baseline = opcache.snapshot()
+
+    def record_opcache_stats(self) -> None:
+        """Store this run's Presburger cache/intern activity into :attr:`stats`.
+
+        Called once per :func:`repro.checker.api.check_addgs` run, after the
+        traversal finished; the counters are deltas against the engine's
+        construction-time snapshot, so concurrent warm state contributed by
+        earlier checks in the same process is not double counted.
+        """
+        delta = opcache.snapshot().delta(self._opcache_baseline)
+        self.stats.opcache_hits = delta.hits
+        self.stats.opcache_misses = delta.misses
+        self.stats.intern_hits = delta.intern_hits
 
     # ------------------------------------------------------------------ #
     # Helpers

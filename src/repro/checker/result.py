@@ -9,7 +9,7 @@ the heuristic of Section 6.1.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Diagnostic", "CheckStats", "OutputReport", "EquivalenceResult", "DiagnosticKind"]
@@ -121,7 +121,14 @@ class Diagnostic:
 
 @dataclass
 class CheckStats:
-    """Work counters of one equivalence check (used by the benchmarks)."""
+    """Work counters of one equivalence check (used by the benchmarks).
+
+    The tabling counters (``table_hits`` / ``table_entries``) instrument the
+    Section 6.2 reuse of established equivalences; the ``opcache_*`` and
+    ``intern_hits`` counters instrument the layer below — the memoized
+    Presburger operation cache of :mod:`repro.presburger.opcache` — as a
+    per-check delta of the process-wide counters.
+    """
 
     elapsed_seconds: float = 0.0
     compare_calls: int = 0
@@ -134,21 +141,12 @@ class CheckStats:
     assumption_uses: int = 0
     original_addg_size: int = 0
     transformed_addg_size: int = 0
+    opcache_hits: int = 0
+    opcache_misses: int = 0
+    intern_hits: int = 0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "elapsed_seconds": self.elapsed_seconds,
-            "compare_calls": self.compare_calls,
-            "leaf_comparisons": self.leaf_comparisons,
-            "paths_checked": self.paths_checked,
-            "table_hits": self.table_hits,
-            "table_entries": self.table_entries,
-            "flatten_operations": self.flatten_operations,
-            "matching_operations": self.matching_operations,
-            "assumption_uses": self.assumption_uses,
-            "original_addg_size": self.original_addg_size,
-            "transformed_addg_size": self.transformed_addg_size,
-        }
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
 
     # ``as_dict`` predates the cache; ``to_dict``/``from_dict`` complete the
     # round trip used by the verification service.
@@ -156,7 +154,10 @@ class CheckStats:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CheckStats":
-        return cls(**data)
+        known = {f.name for f in dataclass_fields(cls)}
+        # Tolerate rows written by other versions of the stats schema: extra
+        # keys are dropped, missing ones keep their defaults.
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass
@@ -211,7 +212,8 @@ class EquivalenceResult:
         lines.append(
             "  stats: "
             f"{self.stats.paths_checked} path(s), {self.stats.compare_calls} compare call(s), "
-            f"{self.stats.table_hits} table hit(s), {self.stats.elapsed_seconds:.3f} s"
+            f"{self.stats.table_hits} table hit(s), {self.stats.opcache_hits} opcache hit(s), "
+            f"{self.stats.elapsed_seconds:.3f} s"
         )
         return "\n".join(lines)
 

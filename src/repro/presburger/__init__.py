@@ -6,6 +6,12 @@ checker relies on: affine integer sets (:class:`Set`), tuple relations
 constraints, a parser for the usual textual notation, and transitive closure
 of dependence relations.
 
+The heavy operations (composition, inversion, intersection, subtraction,
+feasibility, transitive closure) are transparently memoized over hash-consed
+operands by :mod:`repro.presburger.opcache`; see ``docs/presburger.md`` for
+the layering and the tuning knobs (``REPRO_OPCACHE_SIZE``,
+``REPRO_OPCACHE_DISABLE``).
+
 Quick tour
 ----------
 
@@ -20,6 +26,7 @@ False
 '{ [k] : k >= 0 and -k + 511 >= 0 }'
 """
 
+from . import opcache
 from .conjunct import Conjunct
 from .constraints import AffineConstraint, all_of, eq_, ge_, gt_, le_, lt_
 from .closure import transitive_closure, power_closure_exactness
@@ -51,6 +58,7 @@ __all__ = [
     "gt_",
     "le_",
     "lt_",
+    "opcache",
     "parse_map",
     "parse_set",
     "power_closure_exactness",

@@ -24,6 +24,7 @@ from .errors import UnsupportedOperationError
 from .linexpr import LinExpr
 from .constraints import AffineConstraint, EQUALITY, INEQUALITY
 from .setmap import Map, Set
+from . import opcache as _opcache
 
 __all__ = ["transitive_closure", "closure_of_uniform_map", "power_closure_exactness"]
 
@@ -145,9 +146,23 @@ def transitive_closure(relation: Map) -> Tuple[Map, bool]:
     For unions of uniform translations the result is exact.  Otherwise a
     sound over-approximation (the universe map restricted to the relation's
     domain and range hull) is returned with ``exact=False``.
+
+    The result is memoized in the process-wide operation cache
+    (:mod:`repro.presburger.opcache`): the fixpoint iteration behind the
+    uniform-union case is by far the most expensive single operation in the
+    library, and recurrence relations recur verbatim across the checks of a
+    batch.
     """
     if relation.is_empty():
         return relation, True
+    return _opcache.memoized(
+        "closure",
+        (relation.in_names, relation.out_names, relation.conjuncts),
+        lambda: _transitive_closure_uncached(relation),
+    )
+
+
+def _transitive_closure_uncached(relation: Map) -> Tuple[Map, bool]:
     exact = closure_of_uniform_map(relation)
     if exact is not None:
         return exact, True

@@ -44,7 +44,7 @@ class Conjunct:
         Inequality constraints, each meaning ``v . (vars, divs, 1) >= 0``.
     """
 
-    __slots__ = ("n_vars", "n_div", "eqs", "ineqs")
+    __slots__ = ("n_vars", "n_div", "eqs", "ineqs", "_key", "_hash")
 
     def __init__(
         self,
@@ -58,6 +58,12 @@ class Conjunct:
         width = self.n_vars + self.n_div + 1
         self.eqs: Tuple[Vector, ...] = tuple(self._check(v, width) for v in eqs)
         self.ineqs: Tuple[Vector, ...] = tuple(self._check(v, width) for v in ineqs)
+        # Structural key and hash are computed lazily and cached: most
+        # conjuncts are short-lived intermediates that are never hashed, but
+        # the survivors are hashed and compared over and over (syntactic
+        # deduplication, tabling keys, the operation cache).
+        self._key: Tuple | None = None
+        self._hash: int | None = None
 
     @staticmethod
     def _check(vector: Sequence[int], width: int) -> Vector:
@@ -190,21 +196,35 @@ class Conjunct:
     # Structural helpers
     # ------------------------------------------------------------------ #
     def normalized_key(self) -> Tuple:
-        """A canonical-ish key used for syntactic deduplication of conjuncts."""
-        return (
-            self.n_vars,
-            self.n_div,
-            tuple(sorted(self.eqs)),
-            tuple(sorted(self.ineqs)),
-        )
+        """A canonical-ish key used for syntactic deduplication of conjuncts.
+
+        The key (and its hash) is computed once and cached, so repeated
+        equality tests and dict/set membership checks cost one comparison of
+        already-built tuples — or nothing at all for interned conjuncts,
+        which short-circuit on identity.
+        """
+        key = self._key
+        if key is None:
+            key = self._key = (
+                self.n_vars,
+                self.n_div,
+                tuple(sorted(self.eqs)),
+                tuple(sorted(self.ineqs)),
+            )
+        return key
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Conjunct):
             return NotImplemented
         return self.normalized_key() == other.normalized_key()
 
     def __hash__(self) -> int:
-        return hash(self.normalized_key())
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self.normalized_key())
+        return value
 
     def __repr__(self) -> str:
         return (

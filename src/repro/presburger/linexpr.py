@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
+from . import opcache as _opcache
+
 Number = int
 _ExprLike = Union["LinExpr", int, str]
 
@@ -50,13 +52,27 @@ class LinExpr:
     # ------------------------------------------------------------------ #
     @staticmethod
     def var(name: str) -> "LinExpr":
-        """Return the expression consisting of the single variable *name*."""
-        return LinExpr({name: 1}, 0)
+        """Return the expression consisting of the single variable *name*.
+
+        The result is interned (hash-consed): repeated calls with the same
+        name return the same object, so the access-map extractor and the
+        parser share one instance per dimension name.
+        """
+        return _opcache.intern_expr(LinExpr({name: 1}, 0))
 
     @staticmethod
     def constant(value: int) -> "LinExpr":
-        """Return a constant expression."""
-        return LinExpr({}, value)
+        """Return a constant expression (interned, like :meth:`var`)."""
+        return _opcache.intern_expr(LinExpr({}, value))
+
+    def interned(self) -> "LinExpr":
+        """The canonical (hash-consed) instance equal to this expression.
+
+        Interning preserves the ``__eq__`` / ``__hash__`` contracts exactly;
+        it only upgrades structural equality to object identity so that later
+        comparisons and dict/set membership tests are O(1).
+        """
+        return _opcache.intern_expr(self)
 
     @staticmethod
     def coerce(value: _ExprLike) -> "LinExpr":
@@ -171,6 +187,8 @@ class LinExpr:
     # Comparison / representation
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LinExpr):
             return NotImplemented
         return self._coeffs == other._coeffs and self._const == other._const

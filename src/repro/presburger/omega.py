@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set as PySet, Tuple
 
 from .conjunct import Conjunct, Vector, vector_gcd
 from .errors import UnsupportedOperationError
+from . import opcache as _opcache
 
 __all__ = [
     "mod_hat",
@@ -91,6 +92,7 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
     """
     eqs: List[Vector] = []
     ineqs: List[Vector] = []
+    intern_vector = _opcache.intern_vector
 
     for vec in conjunct.eqs:
         g = vector_gcd(vec[:-1])
@@ -98,16 +100,20 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
             if vec[-1] != 0:
                 return None
             continue
-        if vec[-1] % g != 0:
-            return None
-        reduced = tuple(x // g for x in vec)
+        if g == 1:
+            # Fast path: already gcd-reduced, only the sign may need fixing.
+            reduced = vec
+        else:
+            if vec[-1] % g != 0:
+                return None
+            reduced = tuple(x // g for x in vec)
         # canonical sign: first non-zero coefficient positive
         for x in reduced[:-1]:
             if x != 0:
                 if x < 0:
                     reduced = tuple(-y for y in reduced)
                 break
-        eqs.append(reduced)
+        eqs.append(intern_vector(reduced))
 
     for vec in conjunct.ineqs:
         g = vector_gcd(vec[:-1])
@@ -115,8 +121,11 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
             if vec[-1] < 0:
                 return None
             continue
-        reduced = tuple(x // g for x in vec[:-1]) + (vec[-1] // g,)  # floor-tighten constant
-        ineqs.append(reduced)
+        if g == 1:
+            reduced = vec  # fast path: gcd reduction and tightening are no-ops
+        else:
+            reduced = tuple(x // g for x in vec[:-1]) + (vec[-1] // g,)  # floor-tighten constant
+        ineqs.append(intern_vector(reduced))
 
     # Deduplicate equalities.
     eqs = list(dict.fromkeys(eqs))
@@ -234,6 +243,11 @@ def _eliminate_inequality_col(conjunct: Conjunct, col: int) -> List[Conjunct]:
         renorm = normalize(reduced)
         return [renorm] if renorm is not None else []
 
+    # When every lower bound (or every upper bound) has a unit coefficient,
+    # the Fourier–Motzkin slack (a-1)(b-1) vanishes for every pair: the real
+    # shadow is exact and the dark-shadow bookkeeping can be skipped.
+    unit_bounds = all(v[col] == 1 for v in lowers) or all(v[col] == -1 for v in uppers)
+
     real_shadow: List[Vector] = []
     dark_shadow: List[Vector] = []
     all_exact = True
@@ -244,6 +258,8 @@ def _eliminate_inequality_col(conjunct: Conjunct, col: int) -> List[Conjunct]:
             resultant = [b * upper[j] + a * lower[j] for j in range(len(lower))]
             assert resultant[col] == 0
             real_shadow.append(tuple(resultant))
+            if unit_bounds:
+                continue  # slack is provably zero for this pair
             slack = (a - 1) * (b - 1)
             if slack:
                 all_exact = False
@@ -356,10 +372,14 @@ def _choose_elimination_col(conjunct: Conjunct) -> int:
 
 def is_feasible(conjunct: Conjunct) -> bool:
     """Decide whether the conjunct contains at least one integer point."""
+    if conjunct.is_universe():
+        return True  # fast path: no constraints, every point qualifies
     normalized = normalize(conjunct)
     if normalized is None:
         return False
     conjunct = normalized
+    if conjunct.is_universe():
+        return True
     if conjunct.const_col == 0:
         return all(v[-1] == 0 for v in conjunct.eqs) and all(v[-1] >= 0 for v in conjunct.ineqs)
     col = _choose_elimination_col(conjunct)

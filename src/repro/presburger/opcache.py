@@ -1,0 +1,353 @@
+"""Hash-consing and memoization for the Presburger relation algebra.
+
+Every equivalence check reduces to long chains of ``Map.compose``, inverses,
+intersections, subtractions, feasibility tests and transitive closures over
+the same handful of dependency relations, so the checker keeps re-deriving
+results it has already derived (the synchronized traversal of Section 5
+revisits the same relations once per path through a shared sub-ADDG).  This
+module extends the paper's tabling idea (Section 6.2) one layer down, into
+the integer set/relation operations themselves:
+
+* **interning** (hash-consing) of :class:`~repro.presburger.conjunct.Conjunct`
+  values, :class:`~repro.presburger.linexpr.LinExpr` values and normalized
+  constraint vectors, so that structurally equal values become *the same
+  object* and every later equality test or dict/set membership check is an
+  O(1) identity-or-cached-hash comparison;
+* a bounded, instrumented **operation cache** (LRU) that memoizes the
+  results of the relation-algebra operations, keyed on the interned operands.
+
+Both layers are per-process, purely an optimization, and can be disabled
+(see :func:`configure` and the ``REPRO_OPCACHE_DISABLE`` environment
+variable) — results are bit-for-bit identical either way, which the unit
+tests in ``tests/unit/presburger/test_opcache.py`` assert property-style.
+
+Public knobs
+------------
+
+``REPRO_OPCACHE_SIZE`` (environment variable)
+    Maximum number of memoized operation results (default ``8192``).  Each
+    entry holds small tuples of Python ints; a few thousand entries cost a
+    few MB.  Read once at import time; :func:`configure` overrides it.
+
+``REPRO_OPCACHE_DISABLE`` (environment variable)
+    Any non-empty value other than ``0``/``false``/``no`` disables both the
+    operation cache and the intern hit accounting at import time.
+
+:func:`configure`
+    Programmatic runtime control over size and enablement.
+
+:func:`disabled`
+    Context manager that switches the cache off for a code block (used by
+    the ablation benchmarks).
+
+:func:`stats` / :func:`snapshot` / :func:`reset`
+    Instrumentation: cumulative counters, cheap copies of them for
+    delta-accounting (the checker engine stores per-check deltas into
+    :class:`~repro.checker.result.CheckStats`), and a full reset.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterator, Tuple
+
+__all__ = [
+    "OpCacheStats",
+    "OpCache",
+    "cache",
+    "configure",
+    "disabled",
+    "is_enabled",
+    "intern_conjunct",
+    "intern_expr",
+    "intern_vector",
+    "memoized",
+    "reset",
+    "snapshot",
+    "stats",
+]
+
+DEFAULT_SIZE = 8192
+_INTERN_POOL_SIZE = 16384
+
+
+def _env_size() -> int:
+    raw = os.environ.get("REPRO_OPCACHE_SIZE", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SIZE
+    return value if value > 0 else DEFAULT_SIZE
+
+
+def _env_disabled() -> bool:
+    raw = os.environ.get("REPRO_OPCACHE_DISABLE", "").strip().lower()
+    return raw not in ("", "0", "false", "no")
+
+
+@dataclass
+class OpCacheStats:
+    """Cumulative counters of the operation cache and the intern pools.
+
+    ``hits``/``misses`` count memoized-operation lookups; ``per_op`` breaks
+    them down by operation name (``"compose"``, ``"inverse"``, ``"ui"`` for
+    union-intersect, ``"us"`` for union-subtract, ``"simplify"``,
+    ``"feasible"``, ``"closure"``).  ``intern_hits``/``intern_misses`` count
+    intern-pool lookups (a hit means an already-canonical object was reused).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+    per_op: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, op: str, hit: bool) -> None:
+        h, m = self.per_op.get(op, (0, 0))
+        if hit:
+            self.hits += 1
+            self.per_op[op] = (h + 1, m)
+        else:
+            self.misses += 1
+            self.per_op[op] = (h, m + 1)
+
+    def copy(self) -> "OpCacheStats":
+        """A cheap snapshot for delta accounting across one equivalence check."""
+        return OpCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            intern_hits=self.intern_hits,
+            intern_misses=self.intern_misses,
+            per_op=dict(self.per_op),
+        )
+
+    def delta(self, earlier: "OpCacheStats") -> "OpCacheStats":
+        """The counter increments accumulated since the *earlier* snapshot."""
+        per_op: Dict[str, Tuple[int, int]] = {}
+        for op, (h, m) in self.per_op.items():
+            h0, m0 = earlier.per_op.get(op, (0, 0))
+            if h != h0 or m != m0:
+                per_op[op] = (h - h0, m - m0)
+        return OpCacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            intern_hits=self.intern_hits - earlier.intern_hits,
+            intern_misses=self.intern_misses - earlier.intern_misses,
+            per_op=per_op,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "intern_hits": self.intern_hits,
+            "intern_misses": self.intern_misses,
+            "per_op": {op: {"hits": h, "misses": m} for op, (h, m) in sorted(self.per_op.items())},
+        }
+
+
+class _InternPool:
+    """A bounded FIFO pool mapping a structural key to its canonical object.
+
+    Eviction only forfeits future sharing for the evicted entry; it never
+    affects correctness, because callers always fall back to the object they
+    were about to intern.
+    """
+
+    __slots__ = ("_entries", "_maxsize")
+
+    def __init__(self, maxsize: int = _INTERN_POOL_SIZE):
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._maxsize = maxsize
+
+    def canonical(self, key: Hashable, value: Any, stats_: OpCacheStats) -> Any:
+        found = self._entries.get(key)
+        if found is not None:
+            stats_.intern_hits += 1
+            return found
+        stats_.intern_misses += 1
+        self._entries[key] = value
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class OpCache:
+    """A bounded LRU cache for relation-algebra results plus intern pools.
+
+    One instance per process (see :func:`cache`).  All stored results are
+    immutable (:class:`Conjunct` tuples, ``Set``/``Map`` values, booleans),
+    so returning the cached object itself — rather than a copy — is safe.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_SIZE, enabled: bool = True):
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self.stats = OpCacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._conjuncts = _InternPool()
+        self._exprs = _InternPool()
+        self._vectors = _InternPool()
+
+    # ---------------------------- memoization --------------------------- #
+    def memoized(self, op: str, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached result for ``(op, key)`` or compute and store it.
+
+        *key* must capture every input that can influence the result of
+        *compute* (the wrappers in :mod:`repro.presburger.setmap` and
+        :mod:`repro.presburger.closure` build keys from interned conjunct
+        tuples plus the dimension names that appear in the result).
+        """
+        if not self.enabled:
+            return compute()
+        full_key = (op, key)
+        entries = self._entries
+        if full_key in entries:
+            entries.move_to_end(full_key)
+            self.stats.record(op, hit=True)
+            return entries[full_key]
+        self.stats.record(op, hit=False)
+        result = compute()
+        entries[full_key] = result
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    # ----------------------------- interning ---------------------------- #
+    def intern_conjunct(self, conjunct):
+        """The canonical instance for *conjunct* (hash-consing).
+
+        Two conjuncts with the same :meth:`~repro.presburger.conjunct.Conjunct.normalized_key`
+        intern to the same object, making later ``==``, ``hash`` and
+        operation-cache keys identity-fast.
+        """
+        if not self.enabled:
+            return conjunct
+        return self._conjuncts.canonical(conjunct.normalized_key(), conjunct, self.stats)
+
+    def intern_expr(self, expr):
+        """The canonical instance for a :class:`LinExpr` (hash-consing)."""
+        if not self.enabled:
+            return expr
+        key = (tuple(sorted(expr._coeffs.items())), expr._const)
+        return self._exprs.canonical(key, expr, self.stats)
+
+    def intern_vector(self, vector: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The canonical tuple for a normalized constraint vector."""
+        if not self.enabled:
+            return vector
+        return self._vectors.canonical(vector, vector, self.stats)
+
+    # ---------------------------- maintenance --------------------------- #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every memoized result and intern-pool entry (counters survive)."""
+        self._entries.clear()
+        self._conjuncts.clear()
+        self._exprs.clear()
+        self._vectors.clear()
+
+
+_CACHE = OpCache(maxsize=_env_size(), enabled=not _env_disabled())
+
+
+def cache() -> OpCache:
+    """The process-wide operation cache instance."""
+    return _CACHE
+
+
+def is_enabled() -> bool:
+    """Whether memoization and interning are currently active."""
+    return _CACHE.enabled
+
+
+def configure(maxsize: int | None = None, enabled: bool | None = None) -> OpCache:
+    """Adjust the process-wide cache at runtime.
+
+    Parameters
+    ----------
+    maxsize:
+        New bound on the number of memoized results.  Shrinking below the
+        current population evicts oldest entries immediately.
+    enabled:
+        ``False`` switches both memoization and interning off (operations
+        recompute from scratch); ``True`` switches them back on.  The stored
+        entries are kept either way so re-enabling resumes warm.
+    """
+    if maxsize is not None:
+        if maxsize <= 0:
+            raise ValueError("opcache maxsize must be positive")
+        _CACHE.maxsize = maxsize
+        while len(_CACHE._entries) > maxsize:
+            _CACHE._entries.popitem(last=False)
+            _CACHE.stats.evictions += 1
+    if enabled is not None:
+        _CACHE.enabled = bool(enabled)
+    return _CACHE
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager: run a block with memoization and interning off.
+
+    Used by the ablation benchmarks and the property tests that assert
+    cached and uncached results agree.
+    """
+    previous = _CACHE.enabled
+    _CACHE.enabled = False
+    try:
+        yield
+    finally:
+        _CACHE.enabled = previous
+
+
+def reset() -> None:
+    """Clear all cached results, intern pools and counters (a cold start)."""
+    _CACHE.clear()
+    _CACHE.stats = OpCacheStats()
+
+
+def stats() -> OpCacheStats:
+    """The live cumulative counters of the process-wide cache."""
+    return _CACHE.stats
+
+
+def snapshot() -> OpCacheStats:
+    """A copy of the current counters, for before/after delta accounting."""
+    return _CACHE.stats.copy()
+
+
+def memoized(op: str, key: Hashable, compute: Callable[[], Any]) -> Any:
+    """Module-level convenience for :meth:`OpCache.memoized` on the global cache."""
+    return _CACHE.memoized(op, key, compute)
+
+
+def intern_conjunct(conjunct):
+    """Module-level convenience for :meth:`OpCache.intern_conjunct`."""
+    return _CACHE.intern_conjunct(conjunct)
+
+
+def intern_expr(expr):
+    """Module-level convenience for :meth:`OpCache.intern_expr`."""
+    return _CACHE.intern_expr(expr)
+
+
+def intern_vector(vector: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Module-level convenience for :meth:`OpCache.intern_vector`."""
+    return _CACHE.intern_vector(vector)

@@ -22,6 +22,7 @@ from .constraints import AffineConstraint
 from .errors import SpaceMismatchError, UnboundedSetError
 from .linexpr import LinExpr
 from . import omega
+from . import opcache as _opcache
 
 __all__ = ["Set", "Map"]
 
@@ -29,14 +30,38 @@ __all__ = ["Set", "Map"]
 # --------------------------------------------------------------------------- #
 # Helpers shared by Set and Map
 # --------------------------------------------------------------------------- #
+def _cached_simplify(conjunct: Conjunct) -> Optional[Conjunct]:
+    """Memoized :func:`repro.presburger.omega.simplify` over interned results."""
+    return _opcache.memoized(
+        "simplify",
+        conjunct,
+        lambda: _intern_optional(omega.simplify(conjunct)),
+    )
+
+
+def _intern_optional(conjunct: Optional[Conjunct]) -> Optional[Conjunct]:
+    return None if conjunct is None else _opcache.intern_conjunct(conjunct)
+
+
+def _cached_feasible(conjunct: Conjunct) -> bool:
+    """Memoized :func:`repro.presburger.omega.is_feasible`."""
+    return _opcache.memoized("feasible", conjunct, lambda: omega.is_feasible(conjunct))
+
+
 def _clean(conjuncts: Iterable[Conjunct]) -> Tuple[Conjunct, ...]:
-    """Simplify, drop infeasible conjuncts and deduplicate syntactically."""
+    """Simplify, drop infeasible conjuncts and deduplicate syntactically.
+
+    Every conjunct that makes it into a :class:`Set` or :class:`Map` passes
+    through here, which makes it the natural interning choke point: the
+    surviving conjuncts are canonical (hash-consed) instances, so the
+    dedup below and all later equality / cache-key computations are cheap.
+    """
     seen = {}
     for conjunct in conjuncts:
-        simplified = omega.simplify(conjunct)
+        simplified = _cached_simplify(conjunct)
         if simplified is None:
             continue
-        if not omega.is_feasible(simplified):
+        if not _cached_feasible(simplified):
             continue
         key = simplified.normalized_key()
         if key not in seen:
@@ -45,12 +70,30 @@ def _clean(conjuncts: Iterable[Conjunct]) -> Tuple[Conjunct, ...]:
 
 
 def _union_intersect(a: Sequence[Conjunct], b: Sequence[Conjunct]) -> Tuple[Conjunct, ...]:
-    return _clean(
-        omega.conjunct_intersect(left, right) for left in a for right in b
+    """Pairwise conjunct intersection of two unions (memoized).
+
+    Backs ``intersect`` and ``is_disjoint`` on both :class:`Set` and
+    :class:`Map`; dimension names never enter the computation, so the cache
+    key is just the two conjunct tuples.
+    """
+    return _opcache.memoized(
+        "ui",
+        (tuple(a), tuple(b)),
+        lambda: _clean(omega.conjunct_intersect(left, right) for left in a for right in b),
     )
 
 
 def _union_subtract(a: Sequence[Conjunct], b: Sequence[Conjunct]) -> Tuple[Conjunct, ...]:
+    """Subtraction of unions of conjuncts (memoized).
+
+    Backs ``subtract``, ``is_subset`` and therefore ``is_equal`` on both
+    :class:`Set` and :class:`Map` — the single hottest entry point of the
+    checker's equality tests.
+    """
+    return _opcache.memoized("us", (tuple(a), tuple(b)), lambda: _union_subtract_uncached(a, b))
+
+
+def _union_subtract_uncached(a: Sequence[Conjunct], b: Sequence[Conjunct]) -> Tuple[Conjunct, ...]:
     pieces: List[Conjunct] = list(a)
     for other in b:
         negations = omega.complement(other)
@@ -511,7 +554,14 @@ class Map:
         return wrapped.project_out(wrapped.names[: self.n_in]).rename(self.out_names)
 
     def inverse(self) -> "Map":
-        """The relation with inputs and outputs swapped."""
+        """The relation with inputs and outputs swapped (memoized)."""
+        return _opcache.memoized(
+            "inverse",
+            (self.in_names, self.out_names, self.conjuncts),
+            self._inverse_uncached,
+        )
+
+    def _inverse_uncached(self) -> "Map":
         width = self.n_in + self.n_out
 
         def swap(vec: Vector) -> Vector:
@@ -527,7 +577,7 @@ class Map:
         return Map(self.out_names, self.in_names, conjuncts, _clean_input=False)
 
     def compose(self, other: "Map") -> "Map":
-        """Relational composition ``self`` *then* ``other``.
+        """Relational composition ``self`` *then* ``other`` (memoized).
 
         ``result = { x -> z : exists y . (x -> y) in self and (y -> z) in other }``
         This is the natural join used by the paper to reduce intermediate
@@ -537,8 +587,26 @@ class Map:
             raise TypeError(f"expected Map, got {type(other).__name__}")
         if self.n_out != other.n_in:
             raise SpaceMismatchError(
-                f"cannot compose: left has {self.n_out} outputs, right has {other.n_in} inputs"
+                "cannot compose: the output space of the left map "
+                f"[{', '.join(self.in_names)}] -> [{', '.join(self.out_names)}] "
+                f"has {self.n_out} dimension(s) but the input space of the right map "
+                f"[{', '.join(other.in_names)}] -> [{', '.join(other.out_names)}] "
+                f"has {other.n_in} dimension(s)"
             )
+        return _opcache.memoized(
+            "compose",
+            (
+                self.in_names,
+                self.out_names,
+                self.conjuncts,
+                other.in_names,
+                other.out_names,
+                other.conjuncts,
+            ),
+            lambda: self._compose_uncached(other),
+        )
+
+    def _compose_uncached(self, other: "Map") -> "Map":
         n_x, n_y, n_z = self.n_in, self.n_out, other.n_out
         width = n_x + n_z
         pieces: List[Conjunct] = []

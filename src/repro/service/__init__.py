@@ -5,6 +5,24 @@ it runs many (original, transformed) pairs per invocation, reuses verdicts
 through a content-addressed cache, fans cache misses out to worker processes,
 and aggregates the outcomes into a JSONL report.  The ``repro-eqcheck batch``
 CLI subcommand and :mod:`benchmarks.bench_service` are thin wrappers over it.
+
+Module tour
+-----------
+
+* :mod:`~repro.service.job` — :class:`VerificationJob` (picklable check
+  description) and :class:`JobResult` (verdict + execution status);
+* :mod:`~repro.service.fingerprint` — content-addressed job fingerprints
+  over normalised sources, the cache key;
+* :mod:`~repro.service.cache` — the on-disk verdict cache with an LRU front;
+* :mod:`~repro.service.executor` — :class:`BatchExecutor`: in-batch
+  deduplication, process pool, per-job ``SIGALRM`` timeouts;
+* :mod:`~repro.service.corpus` — turns the repo's workloads (kernels,
+  generated pairs, mutated buggy pairs) into labelled job lists;
+* :mod:`~repro.service.report` — JSONL report writing/reading and the batch
+  summary (verdict counts, timing percentiles, verdict-cache and Presburger
+  operation-cache aggregates).
+
+The end-to-end workflow is documented in ``docs/batch-verification.md``.
 """
 
 from .cache import CacheStats, ResultCache

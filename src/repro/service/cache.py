@@ -6,6 +6,12 @@ The disk layout shards entries by the first two hex digits of the fingerprint
 thousands of entries.  Writes are atomic (temp file + ``os.replace``) and a
 corrupt or stale entry is treated as a miss and deleted, never propagated.
 
+This is the *verdict* cache (whole checks skipped across service runs); it
+is distinct from the in-process Presburger *operation* cache of
+:mod:`repro.presburger.opcache`, which accelerates the set/relation algebra
+inside a running check.  The two compound: a batch first consults this
+cache, and only the misses exercise (and warm) the operation cache.
+
 An in-memory LRU front (bounded, default 1024 entries) makes repeated hits
 within one batch run free of any filesystem traffic.  The cache can also run
 purely in memory (``directory=None``) for ephemeral runs and tests.

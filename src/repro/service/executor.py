@@ -12,6 +12,12 @@ outside without killing the worker); a job that exceeds its budget yields a
 ``timeout`` result instead of poisoning the pool.  Any exception a job raises
 is captured into an ``error`` result with its traceback — one bad program
 never aborts the batch.
+
+Each worker process keeps its own Presburger operation cache
+(:mod:`repro.presburger.opcache`) warm across the jobs it executes; the
+per-job share of that activity travels back inside the job's
+:class:`~repro.checker.result.CheckStats` and is aggregated by
+:mod:`repro.service.report`.
 """
 
 from __future__ import annotations

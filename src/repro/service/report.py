@@ -3,8 +3,16 @@
 A report is one JSON object per line: a ``{"type": "result", …}`` row per
 job (in batch order) followed by a single ``{"type": "summary", …}`` row with
 the aggregate — verdict and status counts, expectation mismatches, cache hit
-rate and wall-time percentiles.  JSONL keeps reports streamable and
-appendable: a crashed run still leaves every completed row readable.
+rate, Presburger operation-cache totals and wall-time percentiles.  JSONL
+keeps reports streamable and appendable: a crashed run still leaves every
+completed row readable.
+
+Two caches appear in the summary and must not be confused: ``cache_hits``
+counts **verdict**-cache hits (whole checks skipped, see
+:mod:`repro.service.cache`), while the ``opcache`` block aggregates the
+**operation**-cache counters (:mod:`repro.presburger.opcache`) of the jobs
+that actually executed.  ``docs/batch-verification.md`` walks through a full
+report.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ def aggregate_results(
     by_status = {status: 0 for status in JobStatus.ALL}
     equivalent = not_equivalent = 0
     cache_hits = 0
+    opcache_hits = opcache_misses = intern_hits = 0
     mismatches: List[str] = []
     failures: List[str] = []
     times = [r.elapsed_seconds for r in results]
@@ -58,6 +67,18 @@ def aggregate_results(
             cache_hits += 1
         if outcome.matches_expectation is False:
             mismatches.append(outcome.name)
+        if (
+            outcome.result is not None
+            and not outcome.cache_hit
+            and not outcome.metadata.get("deduplicated")
+        ):
+            # Presburger operation-cache activity of the jobs that actually
+            # ran in this batch (result-cache hits and in-batch duplicates,
+            # which share the leader's result object, did no Presburger work).
+            opcache_hits += outcome.result.stats.opcache_hits
+            opcache_misses += outcome.result.stats.opcache_misses
+            intern_hits += outcome.result.stats.intern_hits
+    opcache_total = opcache_hits + opcache_misses
     summary: Dict[str, Any] = {
         "total_jobs": total,
         "by_status": by_status,
@@ -65,6 +86,12 @@ def aggregate_results(
         "not_equivalent": not_equivalent,
         "cache_hits": cache_hits,
         "cache_hit_rate": cache_hits / total if total else 0.0,
+        "opcache": {
+            "hits": opcache_hits,
+            "misses": opcache_misses,
+            "hit_rate": opcache_hits / opcache_total if opcache_total else 0.0,
+            "intern_hits": intern_hits,
+        },
         "expectation_mismatches": mismatches,
         "failed_jobs": failures,
         "timing": {
@@ -144,6 +171,9 @@ def format_summary(summary: Dict[str, Any]) -> str:
         f"{summary['not_equivalent']} not proven equivalent",
         f"cache       : {summary['cache_hits']} hit(s), "
         f"{summary['cache_hit_rate']:.1%} hit rate",
+        f"opcache     : {summary.get('opcache', {}).get('hits', 0)} hit(s), "
+        f"{summary.get('opcache', {}).get('hit_rate', 0.0):.1%} hit rate, "
+        f"{summary.get('opcache', {}).get('intern_hits', 0)} intern hit(s)",
         f"wall time   : total {timing['total_seconds']:.3f} s, "
         f"p50 {timing['p50_seconds']:.3f} s, p90 {timing['p90_seconds']:.3f} s, "
         f"max {timing['max_seconds']:.3f} s",

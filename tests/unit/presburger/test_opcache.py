@@ -1,0 +1,227 @@
+"""Differential and contract tests for the Presburger operation cache.
+
+The cache layer (:mod:`repro.presburger.opcache`) must be a pure
+optimization: every memoized operation has to return a value ``==`` to the
+one the uncached code path computes, interning must preserve the
+``__eq__`` / ``__hash__`` contracts exactly, and the LRU must stay within
+its configured bound.  The tests run each operation twice — once against the
+warm global cache, once inside ``opcache.disabled()`` — and compare.
+"""
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.presburger import (
+    Conjunct,
+    LinExpr,
+    Map,
+    SpaceMismatchError,
+    opcache,
+    parse_map,
+    parse_set,
+    transitive_closure,
+)
+from repro.workloads.fig1 import fig1_original, fig1_ver1
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Start every test cold and leave the global cache clean afterwards."""
+    opcache.reset()
+    yield
+    opcache.reset()
+    opcache.configure(maxsize=opcache.DEFAULT_SIZE, enabled=True)
+
+
+MAP_SOURCES = [
+    "{ [k] -> [2k - 2] : 1 <= k <= 64 }",
+    "{ [k] -> [k + 1] : 0 <= k < 128 }",
+    "{ [k] -> [k] : exists j : k = 2j and 0 <= k < 128 }",
+    "{ [k] -> [2k] : 0 <= k < 32 ; [k] -> [2k] : 32 <= k < 64 }",
+    "{ [i, j] -> [i, j - 1] : 0 <= i < 8 and 1 <= j < 8 }",
+]
+
+SET_SOURCES = [
+    "{ [k] : 0 <= k < 128 }",
+    "{ [k] : exists j : k = 2j and 0 <= k < 128 }",
+    "{ [k] : 10 <= k < 40 }",
+    "{ [i, j] : 0 <= i < 8 and 0 <= j < 8 }",
+]
+
+
+def _composable(left, right):
+    return left.n_out == right.n_in
+
+
+class TestMemoizedEqualsUncached:
+    """Property-style sweep: cached result == uncached result, per operation."""
+
+    @pytest.mark.parametrize("left_source", MAP_SOURCES)
+    @pytest.mark.parametrize("right_source", MAP_SOURCES)
+    def test_compose(self, left_source, right_source):
+        left, right = parse_map(left_source), parse_map(right_source)
+        if not _composable(left, right):
+            pytest.skip("arity mismatch")
+        cached = left.compose(right)
+        again = left.compose(right)
+        with opcache.disabled():
+            uncached = left.compose(right)
+        assert cached.is_equal(uncached)
+        assert again is cached  # the second call is a cache hit returning the same object
+
+    @pytest.mark.parametrize("source", MAP_SOURCES)
+    def test_inverse(self, source):
+        relation = parse_map(source)
+        cached = relation.inverse()
+        with opcache.disabled():
+            uncached = relation.inverse()
+        assert cached.is_equal(uncached)
+        assert cached.inverse().is_equal(relation)
+
+    @pytest.mark.parametrize("left_source", SET_SOURCES)
+    @pytest.mark.parametrize("right_source", SET_SOURCES)
+    def test_intersect_and_subtract(self, left_source, right_source):
+        left, right = parse_set(left_source), parse_set(right_source)
+        if left.arity != right.arity:
+            pytest.skip("arity mismatch")
+        cached_and = left.intersect(right)
+        cached_sub = left.subtract(right)
+        with opcache.disabled():
+            uncached_and = left.intersect(right)
+            uncached_sub = left.subtract(right)
+        assert cached_and.is_equal(uncached_and)
+        assert cached_sub.is_equal(uncached_sub)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "{ [k] -> [k + 1] : 0 <= k < 32 }",
+            "{ [i, j] -> [i, j - 1] : 0 <= i < 8 and 1 <= j < 8 }",
+        ],
+    )
+    def test_transitive_closure(self, source):
+        relation = parse_map(source)
+        cached_closure, cached_exact = transitive_closure(relation)
+        with opcache.disabled():
+            uncached_closure, uncached_exact = transitive_closure(relation)
+        assert cached_exact == uncached_exact
+        assert cached_closure.is_equal(uncached_closure)
+
+    @pytest.mark.parametrize("left_source", SET_SOURCES)
+    @pytest.mark.parametrize("right_source", SET_SOURCES)
+    def test_feasibility_queries(self, left_source, right_source):
+        left, right = parse_set(left_source), parse_set(right_source)
+        if left.arity != right.arity:
+            pytest.skip("arity mismatch")
+        cached = (left.is_empty(), left.is_subset(right), left.is_disjoint(right))
+        with opcache.disabled():
+            uncached = (left.is_empty(), left.is_subset(right), left.is_disjoint(right))
+        assert cached == uncached
+
+    def test_fresh_parses_share_cached_results(self):
+        """Structural keys mean a re-parsed relation hits the warm cache."""
+        first = parse_map(MAP_SOURCES[0]).compose(parse_map(MAP_SOURCES[1]))
+        before = opcache.snapshot()
+        second = parse_map(MAP_SOURCES[0]).compose(parse_map(MAP_SOURCES[1]))
+        delta = opcache.snapshot().delta(before)
+        assert second is first
+        assert delta.per_op.get("compose", (0, 0))[0] >= 1
+
+
+class TestInterning:
+    def test_conjunct_interning_preserves_eq_and_hash(self):
+        original = Conjunct(1, 0, [(1, -4)], [(1, 0), (-1, 10)])
+        twin = Conjunct(1, 0, [(1, -4)], [(-1, 10), (1, 0)])  # reordered ineqs
+        canonical = opcache.intern_conjunct(original)
+        canonical_twin = opcache.intern_conjunct(twin)
+        assert canonical is opcache.intern_conjunct(original)
+        assert canonical_twin is canonical  # same normalized key -> same object
+        assert canonical == original and hash(canonical) == hash(original)
+        assert canonical == twin and hash(canonical) == hash(twin)
+
+    def test_linexpr_interning_preserves_eq_and_hash(self):
+        built = 2 * LinExpr.var("k") - 2
+        rebuilt = LinExpr({"k": 2}, -2)
+        assert built.interned() is rebuilt.interned()
+        assert built.interned() == rebuilt and hash(built.interned()) == hash(rebuilt)
+
+    def test_var_and_constant_constructors_are_interned(self):
+        assert LinExpr.var("k") is LinExpr.var("k")
+        assert LinExpr.constant(7) is LinExpr.constant(7)
+        assert LinExpr.var("k") is not LinExpr.var("j")
+
+    def test_interning_disabled_is_identity(self):
+        expr = LinExpr.var("z")
+        with opcache.disabled():
+            fresh = LinExpr({"z": 1}, 0)
+            assert fresh.interned() is fresh
+
+    def test_set_membership_after_interning(self):
+        conjuncts = {opcache.intern_conjunct(Conjunct(1, 0, [(1, -i)], [])) for i in range(4)}
+        assert Conjunct(1, 0, [(1, -2)], []) in conjuncts
+
+
+class TestCacheMechanics:
+    def test_lru_respects_maxsize(self):
+        opcache.configure(maxsize=4)
+        for i in range(32):
+            parse_set(f"{{ [k] : 0 <= k < {i + 1} }}").is_empty()
+        assert len(opcache.cache()) <= 4
+        assert opcache.stats().evictions > 0
+
+    def test_disable_switch_stops_hits(self):
+        relation = parse_map(MAP_SOURCES[0])
+        relation.inverse()
+        before = opcache.snapshot()
+        with opcache.disabled():
+            relation.inverse()
+            relation.inverse()
+        delta = opcache.snapshot().delta(before)
+        assert delta.hits == 0 and delta.misses == 0
+
+    def test_env_style_configure_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            opcache.configure(maxsize=0)
+
+    def test_compose_arity_error_names_both_spaces(self):
+        left = parse_map("{ [i, j] -> [i, j] : 0 <= i < 4 and 0 <= j < 4 }")
+        right = parse_map("{ [k] -> [k] : 0 <= k < 4 }")
+        with pytest.raises(SpaceMismatchError) as excinfo:
+            left.compose(right)
+        message = str(excinfo.value)
+        assert "[i, j]" in message and "[k]" in message
+        assert "output space" in message and "input space" in message
+
+    def test_compose_arity_error_with_set_derived_map(self):
+        """The Map.identity of a Set's space composes; a mismatched one explains itself."""
+        domain = parse_set("{ [a, b] : 0 <= a < 4 and 0 <= b < 4 }")
+        identity = Map.identity(domain.names, domain=domain)
+        one_dim = parse_map("{ [k] -> [k] : 0 <= k < 4 }")
+        with pytest.raises(SpaceMismatchError) as excinfo:
+            one_dim.compose(identity)
+        message = str(excinfo.value)
+        assert "[a, b]" in message and "[k]" in message
+
+
+class TestCheckerIntegration:
+    def test_fig1_check_reports_cache_hits(self):
+        result = check_equivalence(fig1_original(), fig1_ver1())
+        assert result.equivalent
+        assert result.stats.opcache_hits > 0
+        assert result.stats.intern_hits > 0
+        assert result.stats.opcache_misses > 0
+
+    def test_checkstats_roundtrip_includes_opcache_fields(self):
+        result = check_equivalence(fig1_original(), fig1_ver1())
+        data = result.stats.to_dict()
+        assert data["opcache_hits"] == result.stats.opcache_hits
+        restored = type(result.stats).from_dict(data)
+        assert restored == result.stats
+
+    def test_verdict_is_cache_independent(self):
+        cached = check_equivalence(fig1_original(), fig1_ver1())
+        with opcache.disabled():
+            uncached = check_equivalence(fig1_original(), fig1_ver1())
+        assert cached.equivalent == uncached.equivalent
+        assert cached.stats.compare_calls == uncached.stats.compare_calls
+        assert uncached.stats.opcache_hits == 0

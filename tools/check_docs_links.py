@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links in docs/ and README.md resolve.
+
+Scans every ``[text](target)`` link in the repo's markdown documentation and
+fails when a *relative* target (optionally with a ``#fragment``) does not
+exist on disk, resolving targets against the file that contains the link.
+External links (``http://``, ``https://``, ``mailto:``) are ignored — CI
+must not flake on third-party outages.
+
+Usage::
+
+    python tools/check_docs_links.py [root]
+
+Exit status: 0 when every internal link resolves, 1 otherwise (broken links
+are listed on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path):
+    yield from sorted(root.glob("docs/**/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return ``(source, target)`` pairs for every broken link in *path*."""
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks: shell snippets legitimately contain [x](y)-
+    # shaped strings that are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append((path.relative_to(root), target))
+    return broken
+
+
+def main(argv) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    broken = []
+    checked = 0
+    for markdown in iter_markdown_files(root):
+        checked += 1
+        broken.extend(check_file(markdown, root))
+    if broken:
+        for source, target in broken:
+            print(f"BROKEN LINK: {source}: {target}", file=sys.stderr)
+        return 1
+    print(f"ok: internal links resolve in {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
