@@ -1,39 +1,50 @@
-"""Public entry points of the equivalence checker (the tool of Fig. 6).
+"""Push-button entry points of the equivalence checker (the tool of Fig. 6).
 
-:func:`check_equivalence` is the push-button interface: it takes the original
-and the transformed program (as source text or parsed
-:class:`~repro.lang.ast.Program` values), runs the def-use prerequisites,
-extracts the ADDGs, performs the synchronized traversal, and returns an
-:class:`~repro.checker.result.EquivalenceResult` with diagnostics.
-
-:func:`check_addgs` skips the frontend and operates on already-extracted
-ADDGs; the benchmarks use it to time the equivalence checking step alone.
+:func:`check_equivalence` and :func:`check_addgs` are thin backward
+compatible shims over the session API of :mod:`repro.verifier`: each call
+builds a :class:`~repro.verifier.options.CheckOptions` from its keyword
+arguments and delegates to a one-shot
+:class:`~repro.verifier.session.Verifier`.  They remain the convenient
+spelling for single checks; callers that check many pairs (or many variants
+of one program) should hold a :class:`Verifier` instead to reuse its
+compiled-artifact cache and to stream progress through observers — see
+``docs/api.md`` for the migration table.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
-from ..addg import ADDG, build_addg
-from ..analysis import check_dataflow
-from ..lang import Program, parse_program
-from ..presburger import Map
-from .engine import Engine
-from .properties import OperatorRegistry, default_registry
-from .result import CheckStats, Diagnostic, DiagnosticKind, EquivalenceResult, OutputReport
+from ..addg import ADDG
+from ..lang import Program
+from .properties import OperatorRegistry
+from .result import EquivalenceResult
 
 __all__ = ["check_equivalence", "check_addgs"]
 
 ProgramLike = Union[Program, str]
 
 
-def _as_program(value: ProgramLike) -> Program:
-    if isinstance(value, Program):
-        return value
-    if isinstance(value, str):
-        return parse_program(value)
-    raise TypeError(f"expected a Program or source text, got {type(value).__name__}")
+def _one_shot_options(
+    method: str,
+    registry: Optional[OperatorRegistry],
+    outputs: Optional[Sequence[str]],
+    correspondences: Sequence[Tuple[str, str]],
+    tabling: bool,
+    check_preconditions: bool = True,
+):
+    # Imported lazily: repro.verifier depends on this package's engine and
+    # result modules, so a module-level import would be circular.
+    from ..verifier import CheckOptions
+
+    return CheckOptions.from_registry(
+        registry,
+        method=method,
+        outputs=tuple(outputs) if outputs is not None else None,
+        correspondences=tuple((a, b) for a, b in correspondences),
+        tabling=tabling,
+        check_preconditions=check_preconditions,
+    )
 
 
 def check_equivalence(
@@ -75,43 +86,12 @@ def check_equivalence(
         Run the def-use / single-assignment prerequisites (Fig. 6) first and
         report violations as diagnostics instead of checking equivalence.
     """
-    original_program = _as_program(original)
-    transformed_program = _as_program(transformed)
+    from ..verifier import Verifier
 
-    started = time.perf_counter()
-    precondition_diagnostics = []
-    if check_preconditions:
-        for side_name, program in (("original", original_program), ("transformed", transformed_program)):
-            for issue in check_dataflow(program):
-                precondition_diagnostics.append(
-                    Diagnostic(
-                        DiagnosticKind.PRECONDITION,
-                        f"{side_name} program fails the def-use prerequisites: {issue}",
-                    )
-                )
-    if precondition_diagnostics:
-        stats = CheckStats(elapsed_seconds=time.perf_counter() - started)
-        return EquivalenceResult(
-            equivalent=False,
-            outputs=[],
-            diagnostics=precondition_diagnostics,
-            stats=stats,
-            method=method,
-        )
-
-    original_addg = build_addg(original_program)
-    transformed_addg = build_addg(transformed_program)
-    result = check_addgs(
-        original_addg,
-        transformed_addg,
-        method=method,
-        registry=registry,
-        outputs=outputs,
-        correspondences=correspondences,
-        tabling=tabling,
+    options = _one_shot_options(
+        method, registry, outputs, correspondences, tabling, check_preconditions
     )
-    result.stats.elapsed_seconds = time.perf_counter() - started
-    return result
+    return Verifier().check(original, transformed, options=options)
 
 
 def check_addgs(
@@ -124,140 +104,8 @@ def check_addgs(
     correspondences: Sequence[Tuple[str, str]] = (),
     tabling: bool = True,
 ) -> EquivalenceResult:
-    """Check equivalence of two already-extracted ADDGs."""
-    started = time.perf_counter()
-    engine = Engine(
-        original,
-        transformed,
-        registry=registry if registry is not None else default_registry(),
-        method=method,
-        correspondences=correspondences,
-        tabling=tabling,
-    )
+    """Check equivalence of two already-extracted ADDGs (skips the frontend)."""
+    from ..verifier import Verifier
 
-    requested = list(outputs) if outputs is not None else None
-    original_outputs = list(original.outputs)
-    transformed_outputs = list(transformed.outputs)
-    if requested is None:
-        to_check = [name for name in original_outputs if name in transformed_outputs]
-        missing_in_transformed = [n for n in original_outputs if n not in transformed_outputs]
-        missing_in_original = [n for n in transformed_outputs if n not in original_outputs]
-    else:
-        to_check = [n for n in requested if n in original_outputs and n in transformed_outputs]
-        missing_in_transformed = [n for n in requested if n not in transformed_outputs]
-        missing_in_original = [n for n in requested if n not in original_outputs]
-
-    reports = []
-    overall = True
-    for name in missing_in_transformed:
-        engine.diagnostics.append(
-            Diagnostic(
-                DiagnosticKind.OUTPUT_MISSING,
-                f"output array {name!r} is not produced by the transformed program",
-                output_array=name,
-            )
-        )
-        overall = False
-    for name in missing_in_original:
-        engine.diagnostics.append(
-            Diagnostic(
-                DiagnosticKind.OUTPUT_MISSING,
-                f"output array {name!r} is not produced by the original program",
-                output_array=name,
-            )
-        )
-        overall = False
-
-    for name in to_check:
-        engine.current_output = name
-        diagnostics_before = len(engine.diagnostics)
-        defined1 = original.written_set(name)
-        defined2 = transformed.written_set(name)
-        common = defined1.intersect(defined2.rename(defined1.names))
-        if not defined1.is_equal(defined2.rename(defined1.names)):
-            engine.diagnostics.append(
-                Diagnostic(
-                    DiagnosticKind.DOMAIN_MISMATCH,
-                    f"the two programs define different element sets of output array {name!r}",
-                    output_array=name,
-                    original_mapping=str(defined1),
-                    transformed_mapping=str(defined2),
-                    mismatch_domain=str(
-                        defined1.subtract(defined2.rename(defined1.names)).union(
-                            defined2.rename(defined1.names).subtract(defined1)
-                        )
-                    ),
-                )
-            )
-        identity = Map.identity(common.names, domain=common)
-        term1 = engine.output_term(0, name, identity)
-        term2 = engine.output_term(1, name, identity)
-        ok = engine.compare(term1, term2)
-        new_diagnostics = engine.diagnostics[diagnostics_before:]
-        output_ok = ok and not new_diagnostics
-        overall = overall and output_ok
-        failing_domain = None
-        for diagnostic in new_diagnostics:
-            if diagnostic.mismatch_domain:
-                failing_domain = diagnostic.mismatch_domain
-                break
-        reports.append(
-            OutputReport(
-                array=name,
-                equivalent=output_ok,
-                checked_domain=str(common),
-                failing_domain=failing_domain,
-            )
-        )
-    engine.current_output = None
-
-    # Verify declared intermediate correspondences as separate obligations —
-    # both the ones actually used as cut points during the traversal and the
-    # ones the designer declared but the traversal never reached.
-    obligations = set(engine.correspondence_obligations()) | set(engine.correspondences)
-    for name1, name2 in sorted(obligations):
-        diagnostics_before = len(engine.diagnostics)
-        try:
-            defined1 = original.written_set(name1)
-            defined2 = transformed.written_set(name2)
-        except KeyError:
-            engine.diagnostics.append(
-                Diagnostic(
-                    DiagnosticKind.PRECONDITION,
-                    f"declared correspondence ({name1!r}, {name2!r}) refers to an array that is never written",
-                )
-            )
-            overall = False
-            continue
-        # The obligation is checked on the intersection of the defined element
-        # sets: a declared correspondence may legitimately be partial (e.g.
-        # when one program only materialises part of the temporary).
-        common = defined1.intersect(defined2.rename(defined1.names))
-        identity = Map.identity(common.names, domain=common)
-        engine.current_output = name1
-        term1 = engine.output_term(0, name1, identity)
-        term2 = engine.output_term(1, name2, identity)
-        # While discharging the obligation for this pair, the pair itself must
-        # not be usable as a cut point (that would be circular).
-        engine.correspondences.discard((name1, name2))
-        try:
-            ok = engine.compare(term1, term2)
-        finally:
-            engine.correspondences.add((name1, name2))
-        new_diagnostics = engine.diagnostics[diagnostics_before:]
-        if not (ok and not new_diagnostics):
-            overall = False
-        engine.current_output = None
-
-    engine.apply_suspect_heuristic()
-    engine.record_opcache_stats()
-    engine.stats.original_addg_size = original.size()
-    engine.stats.transformed_addg_size = transformed.size()
-    engine.stats.elapsed_seconds = time.perf_counter() - started
-    return EquivalenceResult(
-        equivalent=overall,
-        outputs=reports,
-        diagnostics=engine.diagnostics,
-        stats=engine.stats,
-        method=method,
-    )
+    options = _one_shot_options(method, registry, outputs, correspondences, tabling)
+    return Verifier().check_addgs(original, transformed, options=options)

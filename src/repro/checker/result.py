@@ -128,9 +128,17 @@ class CheckStats:
     ``intern_hits`` counters instrument the layer below — the memoized
     Presburger operation cache of :mod:`repro.presburger.opcache` — as a
     per-check delta of the process-wide counters.
+
+    Wall time is split along the pipeline stages of the staged verifier API:
+    ``frontend_seconds`` (parse + def-use + ADDG extraction actually paid by
+    this check — a session-cached :class:`~repro.verifier.session.CompiledProgram`
+    contributes ~0) and ``engine_seconds`` (the synchronized traversal);
+    ``elapsed_seconds`` is kept as their sum for schema compatibility.
     """
 
     elapsed_seconds: float = 0.0
+    frontend_seconds: float = 0.0
+    engine_seconds: float = 0.0
     compare_calls: int = 0
     leaf_comparisons: int = 0
     paths_checked: int = 0

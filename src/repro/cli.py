@@ -10,28 +10,36 @@ Usage::
     repro-eqcheck original.c transformed.c          # legacy spelling of `check`
 
 ``check`` accepts the original and the transformed function in the mini-C
-subset, runs the def-use checker, extracts the ADDGs, runs the equivalence
-checker and prints either ``Equivalent`` or ``Not equivalent`` together with
-diagnostics (and exits with status 0 / 1 respectively).
+subset and runs them through a :class:`repro.verifier.Verifier` session: the
+def-use checker, ADDG extraction and the equivalence engine.  Per-output
+progress streams to stderr while the check runs (via the observer protocol);
+the final summary and verdict go to stdout, with exit status 0 / 1 for
+equivalent / not equivalent.
 
 ``batch`` runs many pairs through :mod:`repro.service`: either a JSON job
 file (``--jobs``) or the built-in corpus (kernels, generated equivalent pairs
 and mutated buggy pairs), with result caching, optional worker processes and
 per-job timeouts, writing a JSONL report.  It exits 0 when every job
 completed and matched its expectation, 1 otherwise.
+
+Both subcommands build one :class:`repro.verifier.CheckOptions` from the
+shared checker flags (``--method``, ``--output``, ``--correspond``,
+``--declare-op``, ``--no-tabling``, ``--no-preconditions``), so the option
+set cannot drift between the one-pair and the batch paths.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TextIO
 
-from .addg import addg_to_dot, build_addg
-from .checker import check_equivalence, default_registry
+from .addg import addg_to_dot
+from .checker import default_registry
 from .lang import parse_program
+from .verifier import CheckObserver, CheckOptions, Verifier
 
-__all__ = ["main", "build_arg_parser", "build_cli_parser"]
+__all__ = ["main", "build_arg_parser", "build_cli_parser", "checker_options_from_args"]
 
 _SUBCOMMANDS = ("check", "batch")
 
@@ -41,9 +49,8 @@ _DESCRIPTION = (
 )
 
 
-def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("original", help="path to the original function (mini-C)")
-    parser.add_argument("transformed", help="path to the transformed function (mini-C)")
+def _add_checker_option_arguments(parser: argparse.ArgumentParser) -> None:
+    """The checker flags shared by ``check`` and ``batch`` (one option set)."""
     parser.add_argument(
         "--method",
         choices=("basic", "extended"),
@@ -81,6 +88,12 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable tabling of established equivalences (for ablation experiments)",
     )
+
+
+def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("original", help="path to the original function (mini-C)")
+    parser.add_argument("transformed", help="path to the transformed function (mini-C)")
+    _add_checker_option_arguments(parser)
     parser.add_argument(
         "--dump-addg",
         nargs=2,
@@ -124,12 +137,7 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
     source.add_argument(
         "--transform-steps", type=int, default=3, help="transformation steps per generated pair"
     )
-    parser.add_argument(
-        "--method",
-        choices=("basic", "extended"),
-        default="extended",
-        help="checking method for corpus jobs; default: extended",
-    )
+    _add_checker_option_arguments(parser)
     parser.add_argument(
         "--report",
         metavar="FILE",
@@ -207,6 +215,38 @@ def _parse_operator_declarations(entries: Sequence[str]):
     return registry
 
 
+def checker_options_from_args(args: argparse.Namespace) -> CheckOptions:
+    """Build the one :class:`CheckOptions` value both subcommands share."""
+    return CheckOptions.from_registry(
+        _parse_operator_declarations(args.declare_op),
+        method=args.method,
+        outputs=tuple(args.output) if args.output else None,
+        correspondences=tuple(_parse_correspondences(args.correspond)),
+        tabling=not args.no_tabling,
+        check_preconditions=not args.no_preconditions,
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+class _ProgressObserver(CheckObserver):
+    """Streams per-output progress lines to *stream* while a check runs."""
+
+    def __init__(self, stream: TextIO):
+        self._stream = stream
+
+    def on_output_checked(self, report) -> None:
+        status = "ok" if report.equivalent else "FAILED"
+        print(f"  [checking] output {report.array}: {status}", file=self._stream, flush=True)
+
+    def on_stats(self, stats) -> None:
+        print(
+            f"  [checking] frontend {stats.frontend_seconds:.3f} s, "
+            f"engine {stats.engine_seconds:.3f} s",
+            file=self._stream,
+            flush=True,
+        )
+
+
 def _run_check(args: argparse.Namespace) -> int:
     try:
         with open(args.original, "r", encoding="utf-8") as handle:
@@ -220,23 +260,18 @@ def _run_check(args: argparse.Namespace) -> int:
     original = parse_program(original_source)
     transformed = parse_program(transformed_source)
 
+    verifier = Verifier(options=checker_options_from_args(args))
     if args.dump_addg:
+        # The compiled artifacts are cached in the session, so the ADDGs
+        # written here are the very ones the subsequent check traverses.
         original_dot, transformed_dot = args.dump_addg
         with open(original_dot, "w", encoding="utf-8") as handle:
-            handle.write(addg_to_dot(build_addg(original), "original"))
+            handle.write(addg_to_dot(verifier.compile(original).addg, "original"))
         with open(transformed_dot, "w", encoding="utf-8") as handle:
-            handle.write(addg_to_dot(build_addg(transformed), "transformed"))
+            handle.write(addg_to_dot(verifier.compile(transformed).addg, "transformed"))
 
-    result = check_equivalence(
-        original,
-        transformed,
-        method=args.method,
-        registry=_parse_operator_declarations(args.declare_op),
-        outputs=args.output,
-        correspondences=_parse_correspondences(args.correspond),
-        tabling=not args.no_tabling,
-        check_preconditions=not args.no_preconditions,
-    )
+    observer = None if args.quiet else _ProgressObserver(sys.stderr)
+    result = verifier.check(original, transformed, observer=observer)
 
     if args.quiet:
         print("Equivalent" if result.equivalent else "Not equivalent")
@@ -262,6 +297,27 @@ def _run_batch(args: argparse.Namespace) -> int:
     )
 
     if args.jobs:
+        # The job file is authoritative for job-level options; the shared
+        # checker flags only parameterise the built-in corpus.  Say so out
+        # loud instead of silently ignoring flags the user passed.
+        ignored = [
+            flag
+            for flag, given in (
+                ("--method", args.method != "extended"),
+                ("--output", bool(args.output)),
+                ("--correspond", bool(args.correspond)),
+                ("--declare-op", bool(args.declare_op)),
+                ("--no-tabling", args.no_tabling),
+                ("--no-preconditions", args.no_preconditions),
+            )
+            if given
+        ]
+        if ignored:
+            print(
+                f"warning: {', '.join(ignored)} ignored with --jobs "
+                "(each job's own options apply)",
+                file=sys.stderr,
+            )
         try:
             jobs = jobs_from_file(args.jobs)
         except (OSError, ValueError) as error:
@@ -276,7 +332,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             stages=args.stages,
             size=args.size,
             transform_steps=args.transform_steps,
-            method=args.method,
+            options=checker_options_from_args(args),
         )
         try:
             jobs = build_corpus(spec)

@@ -10,7 +10,8 @@ Module tour
 -----------
 
 * :mod:`~repro.service.job` — :class:`VerificationJob` (picklable check
-  description) and :class:`JobResult` (verdict + execution status);
+  description carrying a :class:`~repro.verifier.options.CheckOptions`) and
+  :class:`JobResult` (verdict + execution status);
 * :mod:`~repro.service.fingerprint` — content-addressed job fingerprints
   over normalised sources, the cache key;
 * :mod:`~repro.service.cache` — the on-disk verdict cache with an LRU front;
@@ -25,6 +26,7 @@ Module tour
 The end-to-end workflow is documented in ``docs/batch-verification.md``.
 """
 
+from ..verifier import CheckOptions
 from .cache import CacheStats, ResultCache
 from .corpus import CorpusSpec, build_corpus, jobs_from_file
 from .executor import BatchExecutor, execute_job
@@ -43,6 +45,7 @@ __all__ = [
     "BatchExecutor",
     "CACHE_FORMAT_VERSION",
     "CacheStats",
+    "CheckOptions",
     "CorpusSpec",
     "JobResult",
     "JobStatus",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..lang import program_to_text
+from ..verifier import CheckOptions
 from ..workloads import RandomProgramGenerator, kernel_names, kernel_pair
 from .job import VerificationJob
 
@@ -40,6 +41,11 @@ class CorpusSpec:
     registry); ``generated``/``buggy`` count random equivalent/mutated pairs
     derived from seeds ``seed, seed+1, …`` so the corpus is fully
     deterministic and grows by appending, never by reshuffling.
+
+    Every job of the corpus carries the same
+    :class:`~repro.verifier.options.CheckOptions`: either ``options``
+    verbatim, or — when ``options`` is ``None`` — the defaults with
+    ``method`` applied (the historical spelling).
     """
 
     kernels: Sequence[str] = ()
@@ -51,11 +57,18 @@ class CorpusSpec:
     size: int = 24
     transform_steps: int = 3
     method: str = "extended"
+    options: Optional[CheckOptions] = None
 
     def resolved_kernels(self) -> List[str]:
         if any(name == "all" for name in self.kernels):
             return kernel_names()
         return list(self.kernels)
+
+    def job_options(self) -> CheckOptions:
+        """The options every job of this corpus carries."""
+        if self.options is not None:
+            return self.options
+        return CheckOptions(method=self.method)
 
 
 def _generated_job(
@@ -82,7 +95,7 @@ def _generated_job(
         name=name,
         original_source=program_to_text(pair.original),
         transformed_source=program_to_text(pair.transformed),
-        method=spec.method,
+        options=spec.job_options(),
         expected_equivalent=pair.expected_equivalent,
         metadata=metadata,
     )
@@ -98,7 +111,7 @@ def build_corpus(spec: CorpusSpec) -> List[VerificationJob]:
                 name=f"kernel/{name}",
                 original_source=program_to_text(pair.original),
                 transformed_source=program_to_text(pair.transformed),
-                method=spec.method,
+                options=spec.job_options(),
                 expected_equivalent=True,
                 metadata={
                     "source": "kernel",

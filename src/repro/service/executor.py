@@ -84,7 +84,14 @@ def _run_with_timeout(job: VerificationJob, timeout: Optional[float]):
 def execute_job(
     job: VerificationJob, timeout: Optional[float] = None, fingerprint: str = ""
 ) -> JobResult:
-    """Execute one job in the current process, capturing failure and timeout."""
+    """Execute one job in the current process, capturing failure and timeout.
+
+    *timeout* is the executor-wide default budget; a job whose
+    :class:`~repro.verifier.options.CheckOptions` carry their own ``timeout``
+    overrides it.
+    """
+    if job.options is not None and job.options.timeout is not None:
+        timeout = job.options.timeout
     started = time.perf_counter()
     try:
         result = _run_with_timeout(job, timeout)
@@ -181,17 +188,23 @@ class BatchExecutor:
                 pending.append(index)
 
         # Deduplicate identical jobs within the batch: only the first index
-        # per fingerprint is executed; the rest are fanned out from its
-        # result, so duplicate pairs cost one check instead of many.
+        # per key is executed; the rest are fanned out from its result, so
+        # duplicate pairs cost one check instead of many.  The key includes
+        # the per-job timeout on top of the fingerprint (which excludes it):
+        # a TIMEOUT outcome is budget-dependent, so it must never fan out to
+        # a duplicate running under a different budget.
         leader_of: dict = {}
         self._followers = {}
         leaders: List[int] = []
         for index in pending:
-            fingerprint = fingerprints[index]
-            if fingerprint in leader_of:
-                self._followers.setdefault(leader_of[fingerprint], []).append(index)
+            job = jobs[index]
+            job_timeout = job.options.timeout if job.options is not None else None
+            effective_timeout = job_timeout if job_timeout is not None else self.timeout
+            key = (fingerprints[index], effective_timeout)
+            if key in leader_of:
+                self._followers.setdefault(leader_of[key], []).append(index)
             else:
-                leader_of[fingerprint] = index
+                leader_of[key] = index
                 leaders.append(index)
 
         if leaders:

@@ -15,13 +15,17 @@ import hashlib
 import json
 from typing import Any, Dict
 
-from ..lang import parse_program, program_to_text
+from ..lang import parse_program
+from ..verifier import normalized_program_text
 from .job import VerificationJob
 
 __all__ = ["CACHE_FORMAT_VERSION", "normalize_source", "job_fingerprint"]
 
 #: Bump to invalidate every previously cached verdict.
-CACHE_FORMAT_VERSION = 1
+#: Version 2: checker options are hashed through
+#: :meth:`repro.verifier.options.CheckOptions.fingerprint` (the same digest
+#: every layer shares) instead of an ad-hoc re-spelling of the job fields.
+CACHE_FORMAT_VERSION = 2
 
 
 def normalize_source(source: str) -> str:
@@ -31,15 +35,9 @@ def normalize_source(source: str) -> str:
     every run, so caching its failure under the raw text is still sound.
     """
     try:
-        text = program_to_text(parse_program(source))
+        return normalized_program_text(parse_program(source))
     except Exception:
         return source.strip()
-    # The parser folds #define constants into the body, so the re-emitted
-    # preamble is inert decoration; dropping it makes the canonical form
-    # independent of whether sizes were spelled as macros or literals.
-    return "".join(
-        line for line in text.splitlines(keepends=True) if not line.startswith("#define")
-    ).lstrip("\n")
 
 
 def _canonical_payload(job: VerificationJob) -> Dict[str, Any]:
@@ -47,12 +45,11 @@ def _canonical_payload(job: VerificationJob) -> Dict[str, Any]:
         "format_version": CACHE_FORMAT_VERSION,
         "original": normalize_source(job.original_source),
         "transformed": normalize_source(job.transformed_source),
-        "method": job.method,
-        "outputs": list(job.outputs) if job.outputs is not None else None,
-        "correspondences": sorted(list(pair) for pair in job.correspondences),
-        "operators": sorted([op, "".join(sorted(props.upper()))] for op, props in job.operators),
-        "tabling": job.tabling,
-        "check_preconditions": job.check_preconditions,
+        # Every verdict-relevant checker option (method, operator
+        # declarations, focused outputs, correspondences, tabling,
+        # preconditions) enters through the shared options digest, so
+        # verdicts computed under different options can never alias.
+        "options": job.options.fingerprint(),
     }
 
 

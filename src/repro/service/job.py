@@ -1,10 +1,19 @@
 """The job model of the batch verification service.
 
 A :class:`VerificationJob` is a self-contained, picklable description of one
-equivalence check: the two programs as mini-C source text plus every checker
+equivalence check: the two programs as mini-C source text plus a
+:class:`~repro.verifier.options.CheckOptions` describing every checker
 option that can influence the verdict.  Carrying source text (rather than
 parsed :class:`~repro.lang.ast.Program` values) keeps jobs cheap to ship
 across process boundaries and trivially serialisable into job files.
+
+Jobs can be constructed either with an ``options`` value directly or with
+the historical flat keyword arguments (``method``, ``outputs``,
+``correspondences``, ``operators``, ``tabling``, ``check_preconditions``,
+``timeout``); the two spellings are kept in sync, and the flat form remains
+the JSON job-file schema.  ``options`` is authoritative: :meth:`run`,
+:func:`~repro.service.fingerprint.job_fingerprint` and the executor all read
+it.
 
 A :class:`JobResult` is the service-level outcome of running (or recalling
 from cache) one job: the checker verdict plus execution status, wall time,
@@ -17,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from ..checker import EquivalenceResult, OperatorRegistry, check_equivalence, default_registry
+from ..checker import EquivalenceResult, OperatorRegistry, default_registry
+from ..verifier import CheckOptions, Verifier
 
 __all__ = ["JobStatus", "VerificationJob", "JobResult"]
 
@@ -36,14 +46,35 @@ def _as_pairs(entries) -> Tuple[Tuple[str, str], ...]:
     return tuple((str(a), str(b)) for a, b in entries)
 
 
+def _operators_delta(registry: OperatorRegistry) -> Tuple[Tuple[str, str], ...]:
+    """Express *registry* as incremental declarations over the default registry.
+
+    A declaration with empty props overwrites (removes) a default law, so the
+    delta form is complete: any registry round-trips through it.
+    """
+    default = default_registry()
+    names = {op for op, _ in registry.items()} | {op for op, _ in default.items()}
+    delta = []
+    for op in sorted(names):
+        props = registry.get(op)
+        if props != default.get(op):
+            delta.append(
+                (op, ("A" if props.associative else "") + ("C" if props.commutative else ""))
+            )
+    return tuple(delta)
+
+
 @dataclass
 class VerificationJob:
     """One (original, transformed) pair plus the checker options to use.
 
     ``operators`` declares extra operator properties as ``(name, props)``
     pairs where ``props`` is a string containing ``"A"`` (associative) and/or
-    ``"C"`` (commutative) — the picklable equivalent of passing an
-    :class:`~repro.checker.properties.OperatorRegistry`.
+    ``"C"`` (commutative), applied on top of the default registry — the
+    historical picklable spelling.  Passing ``options`` instead makes that
+    :class:`CheckOptions` authoritative and refreshes the flat fields from
+    it.  ``timeout`` is this job's wall-clock budget in seconds; it overrides
+    the executor-wide budget when set.
     """
 
     name: str
@@ -57,32 +88,47 @@ class VerificationJob:
     check_preconditions: bool = True
     expected_equivalent: Optional[bool] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
+    timeout: Optional[float] = None
+    options: Optional[CheckOptions] = None
 
     def __post_init__(self) -> None:
-        if self.outputs is not None:
-            self.outputs = tuple(self.outputs)
-        self.correspondences = _as_pairs(self.correspondences)
-        self.operators = _as_pairs(self.operators)
+        if self.options is None:
+            if self.outputs is not None:
+                self.outputs = tuple(self.outputs)
+            self.correspondences = _as_pairs(self.correspondences)
+            self.operators = _as_pairs(self.operators)
+            registry = default_registry()
+            for op, props in self.operators:
+                props = props.upper()
+                registry.declare(op, associative="A" in props, commutative="C" in props)
+            self.options = CheckOptions.from_registry(
+                registry,
+                method=self.method,
+                outputs=self.outputs,
+                correspondences=self.correspondences,
+                tabling=self.tabling,
+                check_preconditions=self.check_preconditions,
+                timeout=self.timeout,
+            )
+        else:
+            # ``options`` wins; mirror it into the flat (legacy) views so the
+            # JSON job-file schema and older readers stay faithful.
+            self.method = self.options.method
+            self.outputs = self.options.outputs
+            self.correspondences = self.options.correspondences
+            self.operators = _operators_delta(self.options.registry())
+            self.tabling = self.options.tabling
+            self.check_preconditions = self.options.check_preconditions
+            self.timeout = self.options.timeout
 
     def registry(self) -> OperatorRegistry:
-        """The operator registry implied by the ``operators`` declarations."""
-        registry = default_registry()
-        for op, props in self.operators:
-            props = props.upper()
-            registry.declare(op, associative="A" in props, commutative="C" in props)
-        return registry
+        """The operator registry implied by this job's options."""
+        return self.options.registry()
 
     def run(self) -> EquivalenceResult:
         """Run the equivalence check described by this job (in-process)."""
-        return check_equivalence(
-            self.original_source,
-            self.transformed_source,
-            method=self.method,
-            registry=self.registry(),
-            outputs=self.outputs,
-            correspondences=self.correspondences,
-            tabling=self.tabling,
-            check_preconditions=self.check_preconditions,
+        return Verifier().check(
+            self.original_source, self.transformed_source, options=self.options
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -96,25 +142,39 @@ class VerificationJob:
             "operators": [list(pair) for pair in self.operators],
             "tabling": self.tabling,
             "check_preconditions": self.check_preconditions,
+            "timeout": self.timeout,
             "expected_equivalent": self.expected_equivalent,
             "metadata": dict(self.metadata),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "VerificationJob":
-        outputs = data.get("outputs")
-        return cls(
+        """Build a job from its JSON form.
+
+        The flat (legacy) keys remain the canonical schema; a job file entry
+        may alternatively carry an ``"options"`` object in the
+        :meth:`CheckOptions.to_dict` shape, which then takes precedence over
+        the flat option keys.
+        """
+        common = dict(
             name=data["name"],
             original_source=data["original_source"],
             transformed_source=data["transformed_source"],
+            expected_equivalent=data.get("expected_equivalent"),
+            metadata=dict(data.get("metadata", {})),
+        )
+        if data.get("options") is not None:
+            return cls(options=CheckOptions.from_dict(data["options"]), **common)
+        outputs = data.get("outputs")
+        return cls(
             method=data.get("method", "extended"),
             outputs=tuple(outputs) if outputs is not None else None,
             correspondences=_as_pairs(data.get("correspondences", ())),
             operators=_as_pairs(data.get("operators", ())),
             tabling=data.get("tabling", True),
             check_preconditions=data.get("check_preconditions", True),
-            expected_equivalent=data.get("expected_equivalent"),
-            metadata=dict(data.get("metadata", {})),
+            timeout=data.get("timeout"),
+            **common,
         )
 
 

@@ -158,3 +158,28 @@ class RandomProgramGenerator:
                 # Extremely unlikely; fall back to mutating the original copy.
                 transformed, mutation = random_mutation(original, rng)
         return GeneratedPair(original, transformed, steps, mutation, self.seed)
+
+    def generate_variants(
+        self,
+        count: int,
+        transform_steps: int = 3,
+        allow_algebraic: bool = True,
+    ) -> List[GeneratedPair]:
+        """Generate *count* transformed variants of ONE original program.
+
+        Every returned :class:`GeneratedPair` shares the same ``original``
+        object (generated from this generator's seed); each variant applies
+        an independent, deterministically seeded random transformation
+        pipeline.  This is the many-variants-of-one-program shape that the
+        verifier session API amortises: the shared original is compiled once
+        and reused across all ``count`` checks.
+        """
+        original = self.generate()
+        variants: List[GeneratedPair] = []
+        for index in range(count):
+            rng = random.Random(self.seed * 104729 + index * 31 + 7)
+            transformed, steps = apply_random_transforms(
+                original, rng, steps=transform_steps, allow_algebraic=allow_algebraic
+            )
+            variants.append(GeneratedPair(original, transformed, steps, None, self.seed))
+        return variants

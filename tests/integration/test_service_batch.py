@@ -14,6 +14,7 @@ from repro.service import (
     CorpusSpec,
     JobStatus,
     ResultCache,
+    VerificationJob,
     aggregate_results,
     build_corpus,
     read_report,
@@ -93,6 +94,31 @@ class TestBatchExecutor:
         assert not any(r.cache_hit for r in results)  # dedup is not a cache hit
         first, second = results[: len(corpus)], results[len(corpus):]
         assert [r.equivalent for r in first] == [r.equivalent for r in second]
+
+    def test_duplicate_pairs_with_different_timeouts_do_not_dedup(self, corpus):
+        # The fingerprint excludes the timeout (a budget cannot change a
+        # computed verdict), but in-batch dedup must still keep
+        # differently-budgeted duplicates apart: a leader's TIMEOUT outcome
+        # is budget-dependent and must not fan out to a job with a larger
+        # budget.
+        job = corpus[0]
+        tight = VerificationJob(
+            name="tight",
+            original_source=job.original_source,
+            transformed_source=job.transformed_source,
+            options=job.options.replace(timeout=0.001),
+        )
+        loose = VerificationJob(
+            name="loose",
+            original_source=job.original_source,
+            transformed_source=job.transformed_source,
+            options=job.options,
+        )
+        results = BatchExecutor(workers=1).run([tight, loose])
+        by_name = {r.name: r for r in results}
+        assert by_name["tight"].status == JobStatus.TIMEOUT
+        assert by_name["loose"].status == JobStatus.OK
+        assert not by_name["loose"].metadata.get("deduplicated")
 
     def test_progress_callback_sees_every_job(self, corpus):
         seen = []

@@ -1,0 +1,69 @@
+"""Integration tests: the session API across the kernel suite.
+
+``CompiledProgram`` reuse must be invisible in the verdicts: checking any
+kernel pair through a shared :class:`~repro.verifier.Verifier` session —
+including re-checking through warm compile caches — returns results
+identical to independent one-shot :func:`~repro.checker.check_equivalence`
+calls.
+"""
+
+import pytest
+
+from repro.checker import check_equivalence
+from repro.verifier import CheckOptions, Verifier
+from repro.workloads import kernel_names, kernel_pair
+
+# Small sizes keep the whole suite comparison fast.
+KERNEL_SIZES = {
+    "fir": dict(n=24, taps=4),
+    "conv2d": dict(rows=8, cols=8),
+    "matvec": dict(rows=8, cols=6),
+    "wavelet_lift": dict(n=32),
+    "sad": dict(blocks=6, width=4),
+    "prefix_sum": dict(n=32),
+    "downsample": dict(n=32),
+}
+
+
+def _comparable(result):
+    data = result.to_dict()
+    data.pop("stats", None)
+    return data
+
+
+@pytest.fixture(scope="module")
+def kernel_pairs():
+    return {name: kernel_pair(name, **KERNEL_SIZES[name]) for name in KERNEL_SIZES}
+
+
+def test_kernel_size_map_covers_registry():
+    assert set(KERNEL_SIZES) == set(kernel_names())
+
+
+def test_session_matches_one_shot_across_kernel_suite(kernel_pairs):
+    verifier = Verifier()
+    for name, pair in kernel_pairs.items():
+        one_shot = check_equivalence(pair.original, pair.transformed)
+        session = verifier.check(pair.original, pair.transformed)
+        assert _comparable(session) == _comparable(one_shot), name
+        # and again through the warm compile cache
+        warm = verifier.check(pair.original, pair.transformed)
+        assert _comparable(warm) == _comparable(one_shot), name
+
+
+def test_session_compiles_each_program_once(kernel_pairs):
+    verifier = Verifier()
+    for pair in kernel_pairs.values():
+        verifier.check(pair.original, pair.transformed)
+        verifier.check(pair.original, pair.transformed)
+    assert verifier.compile_misses == 2 * len(kernel_pairs)
+    assert verifier.compile_hits == 2 * len(kernel_pairs)
+
+
+def test_session_basic_method_matches_one_shot(kernel_pairs):
+    # downsample is the kernel whose transformation needs no algebraic laws.
+    pair = kernel_pairs["downsample"]
+    verifier = Verifier(options=CheckOptions(method="basic"))
+    session = verifier.check(pair.original, pair.transformed)
+    one_shot = check_equivalence(pair.original, pair.transformed, method="basic")
+    assert _comparable(session) == _comparable(one_shot)

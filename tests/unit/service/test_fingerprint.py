@@ -1,6 +1,12 @@
 """Unit tests: fingerprint stability and sensitivity."""
 
-from repro.service import VerificationJob, job_fingerprint, normalize_source
+from repro.service import (
+    CheckOptions,
+    ResultCache,
+    VerificationJob,
+    job_fingerprint,
+    normalize_source,
+)
 
 ORIGINAL = """
 #define N 16
@@ -85,3 +91,64 @@ class TestJobFingerprint:
         first = job_fingerprint(make_job(operators=(("min", "AC"), ("max", "C"))))
         second = job_fingerprint(make_job(operators=(("max", "C"), ("min", "CA"))))
         assert first == second
+
+    def test_timeout_does_not_split_the_key_space(self):
+        # A timeout aborts a check; it can never change a computed verdict,
+        # so re-running with a different budget must hit the same cache entry.
+        assert job_fingerprint(make_job(timeout=5.0)) == job_fingerprint(make_job())
+
+
+class TestOptionsNeverAliasCachedVerdicts:
+    """Regression: the result-cache key must cover every checker option.
+
+    A verdict computed under one option set (e.g. ``method="basic"``) being
+    served for a request with another (``method="extended"``) is a soundness
+    bug of the service layer; the :class:`CheckOptions` fingerprint folded
+    into :func:`job_fingerprint` prevents it.
+    """
+
+    def test_options_object_changes_fingerprint(self):
+        baseline = job_fingerprint(make_job())
+        basic = make_job()
+        basic = VerificationJob(
+            name=basic.name,
+            original_source=basic.original_source,
+            transformed_source=basic.transformed_source,
+            options=CheckOptions(method="basic"),
+        )
+        assert job_fingerprint(basic) != baseline
+
+    def test_flat_and_options_spellings_agree(self):
+        flat = make_job(method="basic", outputs=("B",), tabling=False)
+        via_options = VerificationJob(
+            name="job",
+            original_source=ORIGINAL,
+            transformed_source=TRANSFORMED,
+            options=CheckOptions(method="basic", outputs=("B",), tabling=False),
+        )
+        assert job_fingerprint(flat) == job_fingerprint(via_options)
+
+    def test_basic_verdict_is_never_served_for_extended_request(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        basic_job = make_job(method="basic")
+        extended_job = make_job(method="extended")
+        basic_result = basic_job.run()
+        cache.put(job_fingerprint(basic_job), basic_result)
+        # The same pair under the extended method must miss the cache.
+        assert cache.get(job_fingerprint(extended_job)) is None
+        hit = cache.get(job_fingerprint(basic_job))
+        assert hit is not None and hit.method == "basic"
+
+    def test_every_option_field_splits_the_key(self):
+        baseline = job_fingerprint(make_job())
+        variants = [
+            make_job(method="basic"),
+            make_job(outputs=("B",)),
+            make_job(correspondences=(("x", "y"),)),
+            make_job(operators=(("min", "AC"),)),
+            make_job(tabling=False),
+            make_job(check_preconditions=False),
+        ]
+        fingerprints = {job_fingerprint(job) for job in variants}
+        assert baseline not in fingerprints
+        assert len(fingerprints) == len(variants)

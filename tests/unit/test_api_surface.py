@@ -1,0 +1,49 @@
+"""Snapshot test: the public API surface must not drift unreviewed.
+
+``tools/api_surface.py`` renders the exported names and parameter lists of
+``repro.verifier``, ``repro.checker`` and ``repro.service``; the committed
+snapshot ``tools/api_surface.txt`` is the reviewed surface.  An intentional
+API change is shipped by re-running ``python tools/api_surface.py --update``
+and committing the refreshed snapshot together with the code change.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+TOOL_PATH = os.path.join(REPO_ROOT, "tools", "api_surface.py")
+SNAPSHOT_PATH = os.path.join(REPO_ROOT, "tools", "api_surface.txt")
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("api_surface", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_surface_matches_snapshot():
+    tool = _load_tool()
+    with open(SNAPSHOT_PATH, "r", encoding="utf-8") as handle:
+        expected = handle.read()
+    current = tool.render_surface()
+    assert current == expected, (
+        "The public API surface drifted from tools/api_surface.txt.\n"
+        "If the change is intentional, run `python tools/api_surface.py --update` "
+        "and commit the refreshed snapshot."
+    )
+
+
+def test_surface_covers_the_session_api():
+    # The snapshot must actually monitor the new surface, not an empty file.
+    with open(SNAPSHOT_PATH, "r", encoding="utf-8") as handle:
+        snapshot = handle.read()
+    for needle in (
+        "module repro.verifier",
+        "class Verifier",
+        "class CheckOptions",
+        "class CompiledProgram",
+        "def check_equivalence",
+        "class VerificationJob",
+    ):
+        assert needle in snapshot, needle
