@@ -1,0 +1,71 @@
+"""Experiment E11: scenario engine throughput and end-to-end soundness.
+
+Three stages are measured separately, because they scale differently:
+
+* **generation** — pipeline composition plus oracle labelling (interpreter
+  bound, grows with domain size and pipeline depth);
+* **verification** — the labelled corpus through the batch executor
+  (checker bound, grows with ADDG size);
+* **end to end** — the whole fuzz loop, asserting the qualitative outcome
+  the subsystem exists for: zero checker-vs-oracle soundness disagreements
+  and zero label disputes on a seeded corpus.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    LABEL_NOT_EQUIVALENT,
+    ScenarioSpec,
+    build_scenarios,
+    corpus_digest,
+    scenario_jobs,
+)
+from repro.service import BatchExecutor, JobStatus, aggregate_results
+
+from conftest import run_once
+
+SPEC = ScenarioSpec(seed=42, pairs=24, max_depth=4, mutation_rate=0.4, size=18)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_scenarios(SPEC)
+
+
+def bench_e11_scenario_generation(benchmark):
+    """Composing pipelines + oracle labelling for a 24-scenario corpus."""
+    pairs = run_once(benchmark, build_scenarios, SPEC, rounds=2)
+    assert len(pairs) >= SPEC.pairs
+    buggy = [p for p in pairs if p.expected_label == LABEL_NOT_EQUIVALENT]
+    assert buggy, "expected oracle-validated buggy twins"
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["buggy_twins"] = len(buggy)
+    benchmark.extra_info["digest"] = corpus_digest(pairs)[:16]
+
+
+def bench_e11_scenario_verification(benchmark, corpus):
+    """The labelled corpus through the checker, with the confusion matrix."""
+    jobs = scenario_jobs(corpus)
+
+    def verify():
+        return BatchExecutor(cache=None).run(jobs)
+
+    results = run_once(benchmark, verify, rounds=1)
+    assert all(outcome.status == JobStatus.OK for outcome in results)
+    summary = aggregate_results(results)
+    scenarios = summary["scenarios"]
+    assert scenarios["soundness_errors"] == []
+    assert scenarios["label_disputes"] == []
+    benchmark.extra_info["labelled"] = scenarios["labelled"]
+    benchmark.extra_info["confusion"] = scenarios["confusion"]
+    benchmark.extra_info["check_seconds_total"] = summary["timing"]["total_seconds"]
+
+
+def bench_e11_generation_is_deterministic(benchmark):
+    """Two generations of the same spec must agree byte for byte."""
+
+    def twice():
+        return corpus_digest(build_scenarios(SPEC)), corpus_digest(build_scenarios(SPEC))
+
+    first, second = run_once(benchmark, twice, rounds=1)
+    assert first == second

@@ -6,6 +6,8 @@ Usage::
     repro-eqcheck check original.c transformed.c --method basic --output C
     repro-eqcheck batch --generated 40 --buggy 10 --report report.jsonl
     repro-eqcheck batch --jobs jobs.json --workers 4 --timeout 60
+    repro-eqcheck fuzz --seed 0 --pairs 50 --report fuzz_report.jsonl
+    repro-eqcheck fuzz --smoke
 
     repro-eqcheck original.c transformed.c          # legacy spelling of `check`
 
@@ -22,7 +24,16 @@ and mutated buggy pairs), with result caching, optional worker processes and
 per-job timeouts, writing a JSONL report.  It exits 0 when every job
 completed and matched its expectation, 1 otherwise.
 
-Both subcommands build one :class:`repro.verifier.CheckOptions` from the
+``fuzz`` is the self-exercising mode (:mod:`repro.scenarios`): it manufactures
+a seeded, labelled corpus of composed-transformation pairs plus mutated buggy
+twins, labels every pair with the differential interpreter oracle, runs the
+corpus through the batch service and reports the
+checker-vs-expected-vs-oracle confusion matrix.  It exits non-zero on any
+*soundness disagreement* (the checker proved a pair the oracle refutes with a
+concrete witness input), on label disputes (corpus bugs) and on failed jobs;
+re-running with the same seed reproduces the corpus byte for byte.
+
+All subcommands build one :class:`repro.verifier.CheckOptions` from the
 shared checker flags (``--method``, ``--output``, ``--correspond``,
 ``--declare-op``, ``--no-tabling``, ``--no-preconditions``), so the option
 set cannot drift between the one-pair and the batch paths.
@@ -41,7 +52,7 @@ from .verifier import CheckObserver, CheckOptions, Verifier
 
 __all__ = ["main", "build_arg_parser", "build_cli_parser", "checker_options_from_args"]
 
-_SUBCOMMANDS = ("check", "batch")
+_SUBCOMMANDS = ("check", "batch", "fuzz")
 
 _DESCRIPTION = (
     "Functional equivalence checker for array-intensive programs related by "
@@ -170,6 +181,90 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    corpus = parser.add_argument_group("corpus shape")
+    corpus.add_argument("--seed", type=int, default=0, help="corpus seed (default: 0)")
+    corpus.add_argument(
+        "--pairs",
+        type=int,
+        default=20,
+        metavar="N",
+        help="number of scenarios; each yields one equivalent pair and, at "
+        "--mutation-rate, one mutated buggy twin (default: 20)",
+    )
+    corpus.add_argument(
+        "--max-depth",
+        type=int,
+        default=4,
+        metavar="K",
+        help="maximum composed-transformation pipeline depth (default: 4)",
+    )
+    corpus.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=0.35,
+        metavar="P",
+        help="probability of pairing a scenario with a known-buggy twin (default: 0.35)",
+    )
+    corpus.add_argument(
+        "--size", type=int, default=20, help="domain size of generated base programs (default: 20)"
+    )
+    corpus.add_argument(
+        "--kernel-fraction",
+        type=float,
+        default=0.2,
+        metavar="P",
+        help="fraction of scenarios drawn from the (shrunken) DSP kernel suite (default: 0.2)",
+    )
+    corpus.add_argument(
+        "--oracle-trials",
+        type=int,
+        default=3,
+        metavar="N",
+        help="random inputs the differential oracle executes per pair (default: 3)",
+    )
+    _add_checker_option_arguments(parser)
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default="fuzz_report.jsonl",
+        help="JSONL report path (default: fuzz_report.jsonl; '-' to skip the file)",
+    )
+    parser.add_argument(
+        "--corpus-out",
+        metavar="FILE",
+        default=None,
+        help="also persist the labelled scenario corpus (sources, traces, oracle verdicts) as JSONL",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the verification batch (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on incompleteness (equivalent pairs the checker cannot prove)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed-size CI corpus (overrides --pairs/--size/--max-depth)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary (no per-pair lines)"
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     """The single-pair parser (the legacy no-subcommand CLI, same as ``check``)."""
     parser = argparse.ArgumentParser(prog="repro-eqcheck", description=_DESCRIPTION)
@@ -191,6 +286,18 @@ def build_cli_parser() -> argparse.ArgumentParser:
         description="Batch verification with result caching and parallel workers.",
     )
     _add_batch_arguments(batch)
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="manufacture a labelled scenario corpus and cross-check the checker "
+        "against the differential interpreter oracle",
+        description=(
+            "Self-exercising verification: composed transformation pipelines plus "
+            "mutated buggy twins, every verdict cross-checked against an "
+            "interpreter-based differential oracle.  Exits non-zero on any "
+            "soundness disagreement."
+        ),
+    )
+    _add_fuzz_arguments(fuzz)
     return parser
 
 
@@ -280,6 +387,53 @@ def _run_check(args: argparse.Namespace) -> int:
     return 0 if result.equivalent else 1
 
 
+def _open_report(path: Optional[str]):
+    """Open the streaming JSONL report for writing, before any job runs.
+
+    An unwritable path must fail fast, not after minutes of checking with
+    every verdict lost.  Returns ``(handle, exit_code)``: ``handle`` is
+    ``None`` for no report (path empty or ``"-"``) and ``exit_code`` is ``2``
+    when the open failed (an error was printed).
+    """
+    if not path or path == "-":
+        return None, None
+    try:
+        return open(path, "w", encoding="utf-8"), None
+    except OSError as error:
+        print(f"error: cannot write report: {error}", file=sys.stderr)
+        return None, 2
+
+
+def _make_progress(report_handle, quiet: bool, format_line):
+    """The per-job progress callback both batch-style subcommands share.
+
+    Rows are streamed to the report as jobs complete, so a killed batch
+    still leaves every finished verdict readable; ``format_line(outcome)``
+    renders the subcommand's human-readable line.
+    """
+    from .service import write_result_row
+
+    def progress(outcome):
+        if report_handle is not None:
+            write_result_row(report_handle, outcome)
+        if not quiet:
+            print(format_line(outcome))
+
+    return progress
+
+
+def _finish_report(report_handle, summary, path: Optional[str], quiet: bool) -> None:
+    """Append the summary row, close the report, and say where it went."""
+    from .service import write_summary_row
+
+    if report_handle is None:
+        return
+    with report_handle:
+        write_summary_row(report_handle, summary)
+    if not quiet:
+        print(f"report written to {path}")
+
+
 def _run_batch(args: argparse.Namespace) -> int:
     # Imported lazily so `check` keeps working even if the service layer is
     # unavailable (e.g. a trimmed install).
@@ -292,8 +446,6 @@ def _run_batch(args: argparse.Namespace) -> int:
         build_corpus,
         format_summary,
         jobs_from_file,
-        write_result_row,
-        write_summary_row,
     )
 
     if args.jobs:
@@ -347,26 +499,14 @@ def _run_batch(args: argparse.Namespace) -> int:
         )
         return 2
 
-    # Open the report before running: an unwritable path must fail fast, not
-    # after minutes of checking with every verdict lost.
-    report_handle = None
-    if args.report and args.report != "-":
-        try:
-            report_handle = open(args.report, "w", encoding="utf-8")
-        except OSError as error:
-            print(f"error: cannot write report: {error}", file=sys.stderr)
-            return 2
+    report_handle, error_code = _open_report(args.report)
+    if error_code is not None:
+        return error_code
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = BatchExecutor(cache=cache, workers=args.workers, timeout=args.timeout)
 
-    def progress(outcome):
-        # Rows are streamed as jobs complete, so a killed batch still leaves
-        # every finished verdict readable in the report.
-        if report_handle is not None:
-            write_result_row(report_handle, outcome)
-        if args.quiet:
-            return
+    def format_line(outcome):
         if outcome.status != JobStatus.OK:
             verdict = outcome.status.upper()
         elif outcome.equivalent:
@@ -374,19 +514,13 @@ def _run_batch(args: argparse.Namespace) -> int:
         else:
             verdict = "NOT EQUIVALENT"
         origin = "cache" if outcome.cache_hit else f"{outcome.elapsed_seconds:.3f} s"
-        flag = ""
-        if outcome.matches_expectation is False:
-            flag = "  << UNEXPECTED"
-        print(f"  {outcome.name:<32} {verdict:<14} ({origin}){flag}")
+        flag = "  << UNEXPECTED" if outcome.matches_expectation is False else ""
+        return f"  {outcome.name:<32} {verdict:<14} ({origin}){flag}"
 
-    results = executor.run(jobs, progress=progress)
+    results = executor.run(jobs, progress=_make_progress(report_handle, args.quiet, format_line))
     cache_stats = cache.stats if cache is not None else None
     summary = aggregate_results(results, cache_stats)
-    if report_handle is not None:
-        with report_handle:
-            write_summary_row(report_handle, summary)
-        if not args.quiet:
-            print(f"report written to {args.report}")
+    _finish_report(report_handle, summary, args.report, args.quiet)
     print(format_summary(summary))
 
     ok = all(outcome.status == JobStatus.OK for outcome in results)
@@ -400,6 +534,94 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0 if ok and no_mismatch and not unexpected_nonequivalent else 1
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioSpec, build_scenarios, scenario_jobs, write_corpus
+    from .service import BatchExecutor, JobStatus, aggregate_results, format_summary
+
+    if args.smoke:
+        # A fixed small corpus for CI: big enough to exercise every probe
+        # class, small enough to finish in seconds.
+        args.pairs, args.size, args.max_depth = 12, 14, 3
+
+    spec = ScenarioSpec(
+        seed=args.seed,
+        pairs=args.pairs,
+        max_depth=args.max_depth,
+        mutation_rate=args.mutation_rate,
+        size=args.size,
+        kernel_fraction=args.kernel_fraction,
+        oracle_trials=args.oracle_trials,
+        oracle_seed=args.seed,
+    )
+    if not args.quiet:
+        print(
+            f"building {spec.pairs} scenarios (seed {spec.seed}, depth <= {spec.max_depth}, "
+            f"mutation rate {spec.mutation_rate:g}) ...",
+            file=sys.stderr,
+        )
+    pairs = build_scenarios(spec)
+    buggy = sum(1 for pair in pairs if not pair.expected_equivalent)
+    if not args.quiet:
+        print(
+            f"corpus: {len(pairs)} pairs ({len(pairs) - buggy} expected equivalent, "
+            f"{buggy} oracle-validated buggy twins)",
+            file=sys.stderr,
+        )
+    if args.corpus_out:
+        try:
+            write_corpus(args.corpus_out, pairs)
+        except OSError as error:
+            print(f"error: cannot write corpus: {error}", file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(f"corpus written to {args.corpus_out}", file=sys.stderr)
+
+    jobs = scenario_jobs(pairs, options=checker_options_from_args(args))
+
+    report_handle, error_code = _open_report(args.report)
+    if error_code is not None:
+        return error_code
+
+    # No verdict cache: a fuzz run must actually exercise the checker, and
+    # seeded corpora change wholesale with the seed anyway.
+    executor = BatchExecutor(cache=None, workers=args.workers, timeout=args.timeout)
+
+    def format_line(outcome):
+        if outcome.status != JobStatus.OK:
+            verdict = outcome.status.upper()
+        elif outcome.equivalent:
+            verdict = "equivalent"
+        else:
+            verdict = "not equivalent"
+        expected = outcome.metadata.get("expected_label", "?")
+        oracle = (outcome.metadata.get("oracle") or {}).get("label", "?")
+        flag = ""
+        if outcome.status == JobStatus.OK and outcome.equivalent is not None:
+            if outcome.equivalent and oracle == "NOT_EQUIVALENT":
+                flag = "  << SOUNDNESS ERROR"
+            elif outcome.matches_expectation is False:
+                flag = "  << UNEXPECTED"
+        return f"  {outcome.name:<22} {verdict:<16} expected {expected:<14} oracle {oracle}{flag}"
+
+    results = executor.run(jobs, progress=_make_progress(report_handle, args.quiet, format_line))
+    summary = aggregate_results(results)
+    _finish_report(report_handle, summary, args.report, args.quiet)
+    print(format_summary(summary))
+
+    scenarios = summary.get("scenarios") or {}
+    ok = all(outcome.status == JobStatus.OK for outcome in results)
+    hard_errors = bool(scenarios.get("soundness_errors")) or bool(scenarios.get("label_disputes"))
+    # A mutated twin the checker waves through is caught either as a soundness
+    # error (oracle witness) or, defensively, as an expectation mismatch.
+    missed_bugs = any(
+        outcome.matches_expectation is False
+        and outcome.expected_equivalent is False
+        for outcome in results
+    )
+    strict_violations = args.strict and bool(scenarios.get("incompleteness"))
+    return 0 if ok and not hard_errors and not missed_bugs and not strict_violations else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Bare --help (and an empty command line) go to the subcommand parser so
@@ -409,6 +631,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args = build_cli_parser().parse_args(argv)
         if args.command == "batch":
             return _run_batch(args)
+        if args.command == "fuzz":
+            return _run_fuzz(args)
         return _run_check(args)
     args = build_arg_parser().parse_args(argv)
     return _run_check(args)

@@ -1,0 +1,48 @@
+"""Scenario engine: manufactured, labelled corpora for self-exercising checks.
+
+The paper verifies equivalence across *sequences* of loop and data-flow
+transformations; this package manufactures exactly that regime at scale and
+cross-checks every checker verdict against an independent execution oracle:
+
+* :mod:`~repro.scenarios.spec` — :class:`ScenarioSpec`, the deterministic
+  knob set (seed, pair count, pipeline depth, mutation rate, oracle trials);
+* :mod:`~repro.scenarios.engine` — :func:`build_scenarios`: composed,
+  applicability-probed transformation pipelines over the kernel suite and
+  randomly generated programs, paired with oracle-validated mutated twins;
+* :mod:`~repro.scenarios.oracle` — :func:`differential_label`, the
+  interpreter-based differential oracle and its :class:`OracleVerdict`;
+* :mod:`~repro.scenarios.pair` — :class:`ScenarioPair`, a labelled pair with
+  its transformation trace;
+* :mod:`~repro.scenarios.corpus` — JSONL persistence, corpus digests and the
+  bridge into :class:`~repro.service.job.VerificationJob` batches.
+
+The ``repro-eqcheck fuzz`` CLI subcommand drives the whole loop: build a
+corpus, label it with the oracle, run it through the batch service, and
+report the checker-vs-expected-vs-oracle confusion matrix (any soundness
+disagreement — checker EQUIVALENT against an oracle witness — is a hard
+error).  See ``docs/scenarios.md``.
+"""
+
+from .corpus import corpus_digest, read_corpus, scenario_jobs, serialize_pair, write_corpus
+from .engine import build_scenarios
+from .oracle import OracleReference, OracleVerdict, differential_label
+from .pair import LABEL_EQUIVALENT, LABEL_NOT_EQUIVALENT, LABEL_UNKNOWN, ScenarioPair
+from .spec import SMALL_KERNEL_PARAMS, ScenarioSpec
+
+__all__ = [
+    "LABEL_EQUIVALENT",
+    "LABEL_NOT_EQUIVALENT",
+    "LABEL_UNKNOWN",
+    "OracleReference",
+    "OracleVerdict",
+    "SMALL_KERNEL_PARAMS",
+    "ScenarioPair",
+    "ScenarioSpec",
+    "build_scenarios",
+    "corpus_digest",
+    "differential_label",
+    "read_corpus",
+    "scenario_jobs",
+    "serialize_pair",
+    "write_corpus",
+]

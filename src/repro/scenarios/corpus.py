@@ -1,0 +1,109 @@
+"""Scenario corpora: JSONL persistence and conversion to verification jobs.
+
+A persisted corpus is one JSON object per line, each the
+:meth:`~repro.scenarios.pair.ScenarioPair.to_dict` form of one pair (sources
+as mini-C text, sorted keys).  The serialisation is the engine's determinism
+contract: equal :class:`~repro.scenarios.spec.ScenarioSpec` values must yield
+byte-identical corpus files, which :func:`corpus_digest` condenses into one
+comparable SHA-256 hex digest.
+
+:func:`scenario_jobs` turns pairs into :class:`~repro.service.job.VerificationJob`
+values for the batch executor; the expected label, transformation trace,
+mutation info and oracle verdict ride along in ``metadata``, where the report
+aggregator (:func:`repro.service.report.aggregate_results`) picks them up to
+build the checker-vs-expected-vs-oracle confusion matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from ..service.job import VerificationJob
+from ..verifier import CheckOptions
+from .pair import ScenarioPair
+
+__all__ = [
+    "corpus_digest",
+    "read_corpus",
+    "scenario_jobs",
+    "serialize_pair",
+    "write_corpus",
+]
+
+
+def serialize_pair(pair: ScenarioPair) -> str:
+    """The canonical one-line JSON form of *pair* (sorted keys, no spaces)."""
+    return json.dumps(pair.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def write_corpus(target, pairs: Iterable[ScenarioPair]) -> None:
+    """Write *pairs* as JSONL to *target* (path or text file)."""
+    if hasattr(target, "write"):
+        for pair in pairs:
+            target.write(serialize_pair(pair) + "\n")
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        write_corpus(handle, pairs)
+
+
+def read_corpus(path: str) -> List[ScenarioPair]:
+    """Read a JSONL corpus back into pairs (inverse of :func:`write_corpus`)."""
+    pairs: List[ScenarioPair] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                pairs.append(ScenarioPair.from_dict(json.loads(line)))
+    return pairs
+
+
+def corpus_digest(pairs: Sequence[ScenarioPair]) -> str:
+    """SHA-256 over the canonical serialisation of *pairs*.
+
+    Equal specs must produce equal digests across processes and hash seeds —
+    the regression tests compare digests computed in subprocesses running
+    under different ``PYTHONHASHSEED`` values.
+    """
+    digest = hashlib.sha256()
+    for pair in pairs:
+        digest.update(serialize_pair(pair).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def scenario_jobs(
+    pairs: Sequence[ScenarioPair],
+    options: Optional[CheckOptions] = None,
+) -> List[VerificationJob]:
+    """Turn scenario pairs into verification jobs for the batch executor.
+
+    Sources are re-rendered program text (the same form the corpus persists),
+    so a job built from an in-memory pair equals one built from the pair read
+    back from disk — fingerprints and verdict-cache keys agree.
+    """
+    from ..lang import program_to_text
+
+    jobs: List[VerificationJob] = []
+    for pair in pairs:
+        metadata = {
+            "source": "scenario",
+            "base": pair.base,
+            "scenario_seed": pair.seed,
+            "expected_label": pair.expected_label,
+            "trace": [step.to_dict() for step in pair.trace],
+            "mutation": dict(pair.mutation) if pair.mutation is not None else None,
+            "oracle": pair.oracle.to_dict() if pair.oracle is not None else None,
+        }
+        jobs.append(
+            VerificationJob(
+                name=pair.name,
+                original_source=program_to_text(pair.original),
+                transformed_source=program_to_text(pair.transformed),
+                options=options if options is not None else CheckOptions(),
+                expected_equivalent=pair.expected_equivalent,
+                metadata=metadata,
+            )
+        )
+    return jobs

@@ -1,0 +1,166 @@
+"""The scenario engine: composed pipelines plus oracle-validated buggy twins.
+
+For every scenario the engine
+
+1. draws a **base program** — a random multi-stage array program
+   (:class:`~repro.workloads.generator.RandomProgramGenerator`) or a shrunken
+   DSP kernel original (:data:`~repro.scenarios.spec.SMALL_KERNEL_PARAMS`);
+2. composes a **transformation pipeline** of random depth from the extended
+   probe set (:func:`repro.transforms.pipeline.extended_probes`): loop
+   reversal / fission / fusion / splitting / shifting / interchange / step
+   normalisation, forward substitution, temporary introduction, algebraic
+   reassociation, commutation and rotation — every step applicability-probed
+   and, for the structural rewrites, validated against the def-use
+   prerequisites so the resulting variant is genuinely equivalent;
+3. labels the pair with the **differential interpreter oracle** and emits it
+   as expected-``EQUIVALENT``;
+4. with probability ``mutation_rate``, additionally injects one random error
+   (:func:`repro.transforms.mutate.random_mutation`) into the transformed
+   member and emits the result as an expected-``NOT_EQUIVALENT`` twin.  The
+   mutation is **oracle-validated**: candidates the interpreter cannot
+   distinguish from the original (semantically invisible mutations) are
+   redrawn up to ``mutation_retries`` times, so the corpus contains no
+   silently no-op mutations and every buggy label is backed by a concrete
+   witness input.
+
+Everything is derived from :meth:`ScenarioSpec.scenario_seed` string seeds,
+so corpora are byte-identical across processes and hash seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..lang import Program, parse_program, program_to_text
+from ..transforms import TransformStep, compose_random_pipeline, extended_probes, random_mutation
+from ..transforms.errors import TransformError
+from ..workloads import RandomProgramGenerator, kernel_names, kernel_pair
+from .oracle import LABEL_EQUIVALENT, LABEL_NOT_EQUIVALENT, OracleReference, OracleVerdict
+from .pair import ScenarioPair
+from .spec import SMALL_KERNEL_PARAMS, ScenarioSpec
+
+__all__ = ["build_scenarios"]
+
+
+def _canonical(program: Program) -> Program:
+    """Round-trip *program* through the printer and parser.
+
+    Transformations build expressions like ``0 + 2`` in loop bounds, which
+    the parser constant-folds on re-parse; pairs therefore store the
+    print/parse fixpoint, so a corpus written to disk and read back is
+    byte-identical to the in-memory one (and the oracle and checker judge
+    exactly the programs the corpus persists).
+    """
+    return parse_program(program_to_text(program))
+
+
+def _resolved_kernels(spec: ScenarioSpec) -> List[str]:
+    if any(name == "all" for name in spec.kernels):
+        return kernel_names()
+    return sorted(spec.kernels)
+
+
+def _base_program(spec: ScenarioSpec, index: int, rng: random.Random) -> Tuple[str, Program]:
+    """Draw the base program of scenario *index* (kernel or generated)."""
+    kernels = _resolved_kernels(spec)
+    if kernels and rng.random() < spec.kernel_fraction:
+        name = rng.choice(kernels)
+        pair = kernel_pair(name, **SMALL_KERNEL_PARAMS.get(name, {}))
+        return f"kernel/{name}", pair.original
+    generator_seed = spec.seed * 100_003 + index
+    generator = RandomProgramGenerator(
+        seed=generator_seed,
+        stages=rng.randint(*spec.stages_range),
+        size=spec.size,
+    )
+    return f"gen/{generator_seed}", generator.generate()
+
+
+def _validated_mutation(
+    spec: ScenarioSpec,
+    oracle: OracleReference,
+    transformed: Program,
+    rng: random.Random,
+) -> Optional[Tuple[Program, dict, OracleVerdict]]:
+    """Draw a mutation of *transformed* that *oracle* distinguishes from its original.
+
+    Returns ``None`` when no applicable mutation survives validation within
+    ``mutation_retries`` draws (rare: it needs every candidate mutation to be
+    semantically invisible on every sampled input).
+    """
+    for _ in range(max(1, spec.mutation_retries)):
+        try:
+            mutated, mutation = random_mutation(transformed, rng)
+        except TransformError:
+            return None
+        verdict = oracle.label(mutated)
+        if verdict.label == LABEL_NOT_EQUIVALENT:
+            info = {
+                "kind": mutation.kind,
+                "label": mutation.label,
+                "description": mutation.description,
+                "arrays": list(mutation.arrays),
+            }
+            return mutated, info, verdict
+    return None
+
+
+def build_scenarios(spec: ScenarioSpec) -> List[ScenarioPair]:
+    """Manufacture the labelled scenario corpus described by *spec*."""
+    probes = extended_probes()
+    pairs: List[ScenarioPair] = []
+    for index in range(spec.pairs):
+        rng = random.Random(spec.scenario_seed(index))
+        base_id, base = _base_program(spec, index, rng)
+        depth = rng.randint(1, spec.max_depth)
+        transformed, trace = compose_random_pipeline(
+            base, rng, steps=depth, probes=probes
+        )
+        base = _canonical(base)
+        transformed = _canonical(transformed)
+        # One reference per scenario: the oracle executes the base program
+        # once per trial seed and reuses the outputs for the equivalent pair
+        # and for every mutation-validation retry below.
+        oracle = OracleReference(
+            base, trials=spec.oracle_trials, base_seed=spec.oracle_seed
+        )
+        verdict = oracle.label(transformed)
+        pairs.append(
+            ScenarioPair(
+                name=f"scenario/{index:04d}",
+                base=base_id,
+                original=base,
+                transformed=transformed,
+                expected_label=LABEL_EQUIVALENT,
+                trace=list(trace),
+                mutation=None,
+                seed=spec.scenario_seed(index),
+                oracle=verdict,
+            )
+        )
+        if rng.random() >= spec.mutation_rate:
+            continue
+        mutation_rng = random.Random(spec.scenario_seed(index, "mutation"))
+        validated = _validated_mutation(spec, oracle, transformed, mutation_rng)
+        if validated is None:
+            continue
+        mutated, info, bug_verdict = validated
+        mutated = _canonical(mutated)
+        bug_trace = list(trace) + [
+            TransformStep("mutation", f"{info['kind']} at {info['label']}: {info['description']}")
+        ]
+        pairs.append(
+            ScenarioPair(
+                name=f"scenario/{index:04d}-bug",
+                base=base_id,
+                original=base,
+                transformed=mutated,
+                expected_label=LABEL_NOT_EQUIVALENT,
+                trace=bug_trace,
+                mutation=info,
+                seed=spec.scenario_seed(index, "mutation"),
+                oracle=bug_verdict,
+            )
+        )
+    return pairs

@@ -1,0 +1,156 @@
+"""The differential interpreter oracle: an independent labelling of pairs.
+
+The checker (:mod:`repro.verifier`) decides equivalence *symbolically*; the
+oracle decides it *operationally*, by executing both programs of a pair with
+:func:`repro.lang.interpreter.run_program` on deterministic pseudo-random
+inputs and comparing the output arrays.  The two judgements are produced by
+entirely disjoint code paths (the interpreter shares only the AST with the
+checker), which is what makes the cross-check meaningful:
+
+* oracle ``NOT_EQUIVALENT`` is *definitive* — a concrete input witnesses the
+  difference, so a checker verdict of EQUIVALENT on the same pair is a
+  soundness bug (the hard-error case of the fuzz report);
+* oracle ``EQUIVALENT`` means "agreed on every sampled input" — it cannot
+  prove equivalence, so a checker NOT-EQUIVALENT verdict against it only
+  counts as (possible) incompleteness, never as an error.
+
+A program that raises :class:`~repro.lang.errors.InterpreterError` while its
+partner runs cleanly is distinguishable by that very input (reads of undefined
+elements are observable behaviour in the allowed class); when the *original*
+program fails the oracle abstains with ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..lang import Program, outputs_equal, random_input_provider, run_program
+from ..lang.errors import InterpreterError
+
+__all__ = ["OracleReference", "OracleVerdict", "differential_label"]
+
+#: Oracle / expected-label vocabulary (shared with :mod:`repro.scenarios.pair`).
+LABEL_EQUIVALENT = "EQUIVALENT"
+LABEL_NOT_EQUIVALENT = "NOT_EQUIVALENT"
+LABEL_UNKNOWN = "UNKNOWN"
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """The oracle's judgement of one (original, transformed) pair.
+
+    ``witness_seed`` is the input-provider seed that distinguished the pair
+    (``None`` unless the label is ``NOT_EQUIVALENT``); re-running the two
+    programs under ``random_input_provider(witness_seed)`` reproduces the
+    difference.
+    """
+
+    label: str
+    trials: int
+    witness_seed: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def distinguished(self) -> bool:
+        return self.label == LABEL_NOT_EQUIVALENT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "trials": self.trials,
+            "witness_seed": self.witness_seed,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OracleVerdict":
+        return cls(
+            label=data["label"],
+            trials=int(data.get("trials", 0)),
+            witness_seed=data.get("witness_seed"),
+            detail=data.get("detail", ""),
+        )
+
+
+class OracleReference:
+    """One original program's cached reference runs, reusable across candidates.
+
+    The engine labels several candidates against the same original (the
+    transformed variant, then up to ``mutation_retries`` mutated twins); the
+    reference outputs per trial seed never change, so they are executed once
+    and memoized.  :meth:`label` produces verdicts identical to
+    :func:`differential_label` — including the lazy trial order, so an
+    original that fails on a late seed still yields ``NOT_EQUIVALENT`` when
+    an earlier seed already distinguishes the candidate.
+    """
+
+    def __init__(
+        self,
+        original: Program,
+        trials: int = 3,
+        base_seed: int = 0,
+        low: int = -64,
+        high: int = 64,
+    ):
+        self.original = original
+        self.trials = max(1, trials)
+        self.base_seed = base_seed
+        self.low = low
+        self.high = high
+        self._runs: Dict[int, tuple] = {}  # trial -> ("ok", outputs) | ("error", message)
+
+    def _reference(self, trial: int) -> tuple:
+        if trial not in self._runs:
+            provider = random_input_provider(self.base_seed + trial, self.low, self.high)
+            try:
+                self._runs[trial] = ("ok", run_program(self.original, provider))
+            except InterpreterError as error:
+                self._runs[trial] = ("error", str(error))
+        return self._runs[trial]
+
+    def label(self, transformed: Program) -> OracleVerdict:
+        """The oracle's judgement of (original, *transformed*)."""
+        for trial in range(self.trials):
+            seed = self.base_seed + trial
+            kind, reference = self._reference(trial)
+            if kind == "error":
+                return OracleVerdict(
+                    LABEL_UNKNOWN, trial + 1, None,
+                    f"original failed on seed {seed}: {reference}",
+                )
+            provider = random_input_provider(seed, self.low, self.high)
+            try:
+                candidate = run_program(transformed, provider)
+            except InterpreterError as error:
+                return OracleVerdict(
+                    LABEL_NOT_EQUIVALENT,
+                    trial + 1,
+                    seed,
+                    f"transformed failed on seed {seed}: {error}",
+                )
+            if not outputs_equal(reference, candidate):
+                return OracleVerdict(
+                    LABEL_NOT_EQUIVALENT, trial + 1, seed, f"outputs differ on seed {seed}"
+                )
+        return OracleVerdict(LABEL_EQUIVALENT, self.trials)
+
+
+def differential_label(
+    original: Program,
+    transformed: Program,
+    trials: int = 3,
+    base_seed: int = 0,
+    low: int = -64,
+    high: int = 64,
+) -> OracleVerdict:
+    """Execute both programs on *trials* seeded random inputs and compare.
+
+    The input providers are pure functions of ``(seed, array, index)``, so
+    both programs observe identical abstract inputs regardless of their
+    access order, and any reported witness seed replays exactly.  Labelling
+    several candidates against one original?  Build one
+    :class:`OracleReference` and call :meth:`~OracleReference.label`
+    repeatedly — same verdicts, the original executed once per trial seed.
+    """
+    return OracleReference(original, trials, base_seed, low, high).label(transformed)

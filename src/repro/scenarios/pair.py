@@ -1,0 +1,81 @@
+"""The labelled scenario pair: programs, expected label, trace, oracle verdict.
+
+A :class:`ScenarioPair` is one manufactured test case for the checker: an
+(original, transformed) pair together with
+
+* the **expected label** — ``EQUIVALENT`` when the transformed member was
+  produced purely by equivalence-preserving rewrites, ``NOT_EQUIVALENT`` when
+  one mutation was additionally injected;
+* the **transformation trace** — the exact probe steps that produced the
+  transformed member (and the mutation, for buggy twins), so every pair is
+  explainable and the distribution of exercised transformations measurable;
+* the **oracle verdict** — the differential interpreter's independent
+  judgement (:mod:`repro.scenarios.oracle`).
+
+Pairs serialise to plain JSON dictionaries carrying the two programs as
+mini-C source text, which keeps persisted corpora diffable, re-parsable and
+byte-stable across processes (the determinism contract of the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..lang import Program, parse_program, program_to_text
+from ..transforms import TransformStep
+from .oracle import LABEL_EQUIVALENT, LABEL_NOT_EQUIVALENT, LABEL_UNKNOWN, OracleVerdict
+
+__all__ = [
+    "LABEL_EQUIVALENT",
+    "LABEL_NOT_EQUIVALENT",
+    "LABEL_UNKNOWN",
+    "ScenarioPair",
+]
+
+
+@dataclass
+class ScenarioPair:
+    """One labelled (original, transformed) scenario with full provenance."""
+
+    name: str
+    base: str
+    original: Program
+    transformed: Program
+    expected_label: str
+    trace: List[TransformStep] = field(default_factory=list)
+    mutation: Optional[Dict[str, Any]] = None
+    seed: str = ""
+    oracle: Optional[OracleVerdict] = None
+
+    @property
+    def expected_equivalent(self) -> bool:
+        return self.expected_label == LABEL_EQUIVALENT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "original_source": program_to_text(self.original),
+            "transformed_source": program_to_text(self.transformed),
+            "expected_label": self.expected_label,
+            "trace": [step.to_dict() for step in self.trace],
+            "mutation": dict(self.mutation) if self.mutation is not None else None,
+            "seed": self.seed,
+            "oracle": self.oracle.to_dict() if self.oracle is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioPair":
+        oracle = data.get("oracle")
+        return cls(
+            name=data["name"],
+            base=data.get("base", ""),
+            original=parse_program(data["original_source"]),
+            transformed=parse_program(data["transformed_source"]),
+            expected_label=data["expected_label"],
+            trace=[TransformStep.from_dict(step) for step in data.get("trace", [])],
+            mutation=dict(data["mutation"]) if data.get("mutation") is not None else None,
+            seed=data.get("seed", ""),
+            oracle=OracleVerdict.from_dict(oracle) if oracle is not None else None,
+        )

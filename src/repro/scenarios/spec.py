@@ -1,0 +1,66 @@
+"""The knob set of the scenario engine.
+
+A :class:`ScenarioSpec` fully determines a corpus: two runs with equal specs
+produce byte-identical serialised corpora (see
+:func:`repro.scenarios.corpus.corpus_digest` and the determinism regression
+tests).  All randomness is derived from string seeds of the form
+``"<seed>:<index>:<role>"`` via :class:`random.Random`, which seeds through
+SHA-512 and is therefore independent of the process's hash seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+from ..workloads import SMALL_KERNEL_PARAMS
+
+__all__ = ["ScenarioSpec", "SMALL_KERNEL_PARAMS"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """What the scenario corpus should contain.
+
+    ``pairs`` counts *scenarios*: each scenario contributes one expected-
+    equivalent pair (a composed transformation pipeline applied to a base
+    program) and, with probability ``mutation_rate``, one additional
+    known-buggy twin (the same transformed program with one oracle-validated
+    mutation injected).  ``max_depth`` bounds the pipeline length; the actual
+    depth of each scenario is drawn uniformly from ``[1, max_depth]``.
+
+    Base programs are drawn from the random program generator (domain
+    ``size``, ``stages`` drawn from ``stages_range``) and — with probability
+    ``kernel_fraction`` — from the shrunken DSP kernel suite.
+    """
+
+    seed: int = 0
+    pairs: int = 20
+    max_depth: int = 4
+    mutation_rate: float = 0.35
+    size: int = 20
+    stages_range: Tuple[int, int] = (2, 4)
+    kernel_fraction: float = 0.2
+    kernels: Sequence[str] = ("all",)
+    oracle_trials: int = 3
+    oracle_seed: int = 0
+    mutation_retries: int = 8
+
+    def scenario_seed(self, index: int, role: str = "pipeline") -> str:
+        """The deterministic string seed of scenario *index* for *role*."""
+        return f"{self.seed}:{index}:{role}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "pairs": self.pairs,
+            "max_depth": self.max_depth,
+            "mutation_rate": self.mutation_rate,
+            "size": self.size,
+            "stages_range": list(self.stages_range),
+            "kernel_fraction": self.kernel_fraction,
+            "kernels": list(self.kernels),
+            "oracle_trials": self.oracle_trials,
+            "oracle_seed": self.oracle_seed,
+            "mutation_retries": self.mutation_retries,
+        }

@@ -36,6 +36,7 @@ from .report import (
     aggregate_results,
     format_summary,
     read_report,
+    scenario_summary,
     write_report,
     write_result_row,
     write_summary_row,
@@ -59,6 +60,7 @@ __all__ = [
     "jobs_from_file",
     "normalize_source",
     "read_report",
+    "scenario_summary",
     "write_report",
     "write_result_row",
     "write_summary_row",

@@ -25,6 +25,7 @@ from .job import JobResult, JobStatus
 
 __all__ = [
     "aggregate_results",
+    "scenario_summary",
     "write_report",
     "write_result_row",
     "write_summary_row",
@@ -41,6 +42,103 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     ordered = sorted(values)
     rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
     return ordered[rank]
+
+
+_LABEL_EQUIVALENT = "EQUIVALENT"
+_LABEL_NOT_EQUIVALENT = "NOT_EQUIVALENT"
+_LABEL_UNKNOWN = "UNKNOWN"
+
+
+def _expected_label(outcome: JobResult) -> Optional[str]:
+    label = outcome.metadata.get("expected_label")
+    if label is not None:
+        return label
+    if outcome.expected_equivalent is None:
+        return None
+    return _LABEL_EQUIVALENT if outcome.expected_equivalent else _LABEL_NOT_EQUIVALENT
+
+
+def scenario_summary(results: Sequence[JobResult]) -> Optional[Dict[str, Any]]:
+    """The checker-vs-expected-vs-oracle confusion block of a labelled batch.
+
+    Returns ``None`` unless at least one result carries scenario labels
+    (``expected_label`` or an ``oracle`` verdict in its metadata — attached
+    by :func:`repro.scenarios.corpus.scenario_jobs`).  Three disagreement
+    classes are reported by name:
+
+    * ``soundness_errors`` — the checker proved a pair EQUIVALENT although the
+      oracle holds a concrete witness input on which the outputs differ.
+      This is the one *hard* error class: an interpreter witness is
+      definitive, so such a verdict is a checker soundness bug.
+    * ``label_disputes`` — the oracle contradicts the pair's expected label
+      (a corpus-construction bug: a "transformation" that was not
+      equivalence-preserving, or a mutation label gone stale).
+    * ``incompleteness`` — the checker could not prove a pair that both the
+      label and the oracle consider equivalent.  The checker is conservative
+      by design, so these are tracked but not errors.
+    """
+    labelled = [
+        outcome
+        for outcome in results
+        if outcome.metadata.get("expected_label") is not None
+        or outcome.metadata.get("oracle") is not None
+    ]
+    if not labelled:
+        return None
+    confusion = {
+        "expected_equivalent": {"checker_equivalent": 0, "checker_not_equivalent": 0, "not_completed": 0},
+        "expected_not_equivalent": {"checker_equivalent": 0, "checker_not_equivalent": 0, "not_completed": 0},
+    }
+    oracle_counts = {"equivalent": 0, "not_equivalent": 0, "unknown": 0, "missing": 0}
+    soundness_errors: List[str] = []
+    label_disputes: List[str] = []
+    incompleteness: List[str] = []
+    for outcome in labelled:
+        expected = _expected_label(outcome)
+        oracle = outcome.metadata.get("oracle") or {}
+        oracle_label = oracle.get("label")
+        if expected in (_LABEL_EQUIVALENT, _LABEL_NOT_EQUIVALENT):
+            row = confusion[
+                "expected_equivalent" if expected == _LABEL_EQUIVALENT else "expected_not_equivalent"
+            ]
+            if outcome.status != JobStatus.OK or outcome.equivalent is None:
+                row["not_completed"] += 1
+            elif outcome.equivalent:
+                row["checker_equivalent"] += 1
+            else:
+                row["checker_not_equivalent"] += 1
+        if oracle_label == _LABEL_EQUIVALENT:
+            oracle_counts["equivalent"] += 1
+        elif oracle_label == _LABEL_NOT_EQUIVALENT:
+            oracle_counts["not_equivalent"] += 1
+        elif oracle_label == _LABEL_UNKNOWN:
+            oracle_counts["unknown"] += 1
+        else:
+            oracle_counts["missing"] += 1
+        checker_ok = outcome.status == JobStatus.OK and outcome.equivalent is not None
+        if checker_ok and outcome.equivalent and oracle_label == _LABEL_NOT_EQUIVALENT:
+            soundness_errors.append(outcome.name)
+        if (
+            expected in (_LABEL_EQUIVALENT, _LABEL_NOT_EQUIVALENT)
+            and oracle_label in (_LABEL_EQUIVALENT, _LABEL_NOT_EQUIVALENT)
+            and oracle_label != expected
+        ):
+            label_disputes.append(outcome.name)
+        if (
+            checker_ok
+            and not outcome.equivalent
+            and expected == _LABEL_EQUIVALENT
+            and oracle_label == _LABEL_EQUIVALENT
+        ):
+            incompleteness.append(outcome.name)
+    return {
+        "labelled": len(labelled),
+        "confusion": confusion,
+        "oracle": oracle_counts,
+        "soundness_errors": soundness_errors,
+        "label_disputes": label_disputes,
+        "incompleteness": incompleteness,
+    }
 
 
 def aggregate_results(
@@ -103,6 +201,9 @@ def aggregate_results(
             "max_seconds": max(times) if times else 0.0,
         },
     }
+    scenarios = scenario_summary(results)
+    if scenarios is not None:
+        summary["scenarios"] = scenarios
     if cache_stats is not None:
         summary["cache"] = cache_stats.as_dict()
     return summary
@@ -178,6 +279,38 @@ def format_summary(summary: Dict[str, Any]) -> str:
         f"p50 {timing['p50_seconds']:.3f} s, p90 {timing['p90_seconds']:.3f} s, "
         f"max {timing['max_seconds']:.3f} s",
     ]
+    scenarios = summary.get("scenarios")
+    if scenarios:
+        confusion = scenarios["confusion"]
+        expected_eq = confusion["expected_equivalent"]
+        expected_neq = confusion["expected_not_equivalent"]
+        oracle = scenarios["oracle"]
+        lines.append(
+            f"scenarios   : {scenarios['labelled']} labelled | "
+            f"expected-eq: {expected_eq['checker_equivalent']} proven, "
+            f"{expected_eq['checker_not_equivalent']} unproven | "
+            f"expected-neq: {expected_neq['checker_not_equivalent']} caught, "
+            f"{expected_neq['checker_equivalent']} missed"
+        )
+        lines.append(
+            f"oracle      : {oracle['equivalent']} agree-equivalent, "
+            f"{oracle['not_equivalent']} distinguished, {oracle['unknown']} unknown"
+        )
+        if scenarios["soundness_errors"]:
+            lines.append(
+                "SOUNDNESS   : checker proved pairs the oracle refutes: "
+                + ", ".join(scenarios["soundness_errors"])
+            )
+        if scenarios["label_disputes"]:
+            lines.append(
+                "LABEL BUGS  : oracle contradicts the expected label: "
+                + ", ".join(scenarios["label_disputes"])
+            )
+        if scenarios["incompleteness"]:
+            lines.append(
+                "incomplete  : equivalent pairs the checker could not prove: "
+                + ", ".join(scenarios["incompleteness"])
+            )
     if summary["expectation_mismatches"]:
         lines.append(
             "MISMATCHES  : " + ", ".join(summary["expectation_mismatches"])

@@ -29,15 +29,27 @@ from .mutate import (
     replace_read_array,
     shrink_loop_bound,
 )
-from .pipeline import TransformStep, apply_pipeline, apply_random_transforms
+from .pipeline import (
+    Probe,
+    TransformStep,
+    apply_pipeline,
+    apply_random_transforms,
+    compose_random_pipeline,
+    default_probes,
+    extended_probes,
+)
 
 __all__ = [
     "LocateError",
     "Mutation",
+    "Probe",
     "TransformError",
     "TransformStep",
     "apply_pipeline",
     "apply_random_transforms",
+    "compose_random_pipeline",
+    "default_probes",
+    "extended_probes",
     "change_operator",
     "collect_chain",
     "commute_operands",

@@ -170,8 +170,17 @@ def introduce_temporary(
     iterators = [loop.var for loop in loops]
     temp_ref = ArrayRef(temp_name, [VarRef(name) for name in iterators])
 
+    # Labels are unique program-wide in the allowed class, so a second
+    # temporary introduced for the same statement needs a fresh one.
+    existing_labels = {a.label for a in result.assignments() if a.label}
+    pre_label = f"{label}_pre"
+    counter = 1
+    while pre_label in existing_labels:
+        counter += 1
+        pre_label = f"{label}_pre{counter}"
+
     sub = get_subexpr(new_assignment.rhs, path)
-    temp_statement = Assignment(f"{label}_pre", ArrayRef(temp_name, [VarRef(n) for n in iterators]), sub.clone())
+    temp_statement = Assignment(pre_label, ArrayRef(temp_name, [VarRef(n) for n in iterators]), sub.clone())
     new_assignment.rhs = replace_subexpr(new_assignment.rhs, path, temp_ref)
 
     # Build the new loop nest around the temporary's definition.

@@ -9,13 +9,14 @@ from .fig1 import (
     fig1_ver3_erroneous,
 )
 from .generator import GeneratedPair, RandomProgramGenerator
-from .kernels import KERNEL_REGISTRY, KernelPair, kernel_names, kernel_pair
+from .kernels import KERNEL_REGISTRY, SMALL_KERNEL_PARAMS, KernelPair, kernel_names, kernel_pair
 
 __all__ = [
     "FIG1_SOURCES",
     "GeneratedPair",
     "KERNEL_REGISTRY",
     "KernelPair",
+    "SMALL_KERNEL_PARAMS",
     "RandomProgramGenerator",
     "fig1_original",
     "fig1_program",

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Tuple
 
 from ..lang import Program, parse_program
 
-__all__ = ["KernelPair", "KERNEL_REGISTRY", "kernel_names", "kernel_pair"]
+__all__ = ["KernelPair", "KERNEL_REGISTRY", "SMALL_KERNEL_PARAMS", "kernel_names", "kernel_pair"]
 
 
 @dataclass
@@ -357,6 +357,21 @@ KERNEL_REGISTRY: Dict[str, Callable[..., KernelPair]] = {
     "sad": _sad,
     "prefix_sum": _prefix_sum,
     "downsample": _downsample,
+}
+
+#: Shrunken size parameters per kernel, for consumers that execute kernels
+#: repeatedly (the scenario engine's interpreter oracle, mutation kill
+#: tests).  The checker's work depends on the ADDG shape, not the domain
+#: size, so these keep every kernel's structure while cutting interpreter
+#: time by an order of magnitude.
+SMALL_KERNEL_PARAMS: Dict[str, Dict[str, int]] = {
+    "fir": {"n": 12, "taps": 4},
+    "conv2d": {"rows": 6, "cols": 6},
+    "matvec": {"rows": 8, "cols": 6},
+    "wavelet_lift": {"n": 16},
+    "sad": {"blocks": 6, "width": 4},
+    "prefix_sum": {"n": 12},
+    "downsample": {"n": 16},
 }
 
 

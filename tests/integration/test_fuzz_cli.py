@@ -1,0 +1,76 @@
+"""End-to-end tests of the ``fuzz`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import read_corpus
+
+
+def _read_report(path):
+    results, summary = [], None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            row = json.loads(line)
+            if row.get("type") == "summary":
+                summary = row
+            else:
+                results.append(row)
+    return results, summary
+
+
+class TestFuzzCommand:
+    def test_smoke_run_is_sound_and_labelled(self, tmp_path, capsys):
+        report = tmp_path / "report.jsonl"
+        corpus = tmp_path / "corpus.jsonl"
+        exit_code = main(
+            ["fuzz", "--smoke", "--report", str(report), "--corpus-out", str(corpus), "--quiet"]
+        )
+        assert exit_code == 0
+        results, summary = _read_report(str(report))
+        assert summary is not None and results
+        scenarios = summary["scenarios"]
+        assert scenarios["labelled"] == len(results)
+        assert scenarios["soundness_errors"] == []
+        assert scenarios["label_disputes"] == []
+        confusion = scenarios["confusion"]
+        assert confusion["expected_not_equivalent"]["checker_not_equivalent"] > 0
+        assert confusion["expected_equivalent"]["checker_equivalent"] > 0
+        for row in results:
+            assert row["metadata"]["expected_label"] in ("EQUIVALENT", "NOT_EQUIVALENT")
+            assert row["metadata"]["oracle"]["label"] in ("EQUIVALENT", "NOT_EQUIVALENT", "UNKNOWN")
+        pairs = read_corpus(str(corpus))
+        assert [p.name for p in pairs] == [row["name"] for row in results]
+        out = capsys.readouterr().out
+        assert "scenarios" in out and "oracle" in out
+
+    def test_same_seed_reproduces_corpus_bytes(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        args = ["fuzz", "--pairs", "5", "--size", "12", "--seed", "3",
+                "--report", "-", "--quiet"]
+        assert main(args + ["--corpus-out", str(first)]) == 0
+        assert main(args + ["--corpus-out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_changes_corpus(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        base = ["fuzz", "--pairs", "4", "--size", "12", "--report", "-", "--quiet"]
+        assert main(base + ["--seed", "1", "--corpus-out", str(first)]) == 0
+        assert main(base + ["--seed", "2", "--corpus-out", str(second)]) == 0
+        assert first.read_bytes() != second.read_bytes()
+
+    def test_per_pair_lines_show_labels(self, tmp_path, capsys):
+        assert main(["fuzz", "--pairs", "3", "--size", "12", "--report", "-"]) == 0
+        captured = capsys.readouterr()
+        assert "expected EQUIVALENT" in captured.out
+        assert "oracle" in captured.out
+
+    def test_fuzz_help_lists_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--help"])
+        text = capsys.readouterr().out
+        for flag in ("--seed", "--pairs", "--max-depth", "--mutation-rate", "--smoke"):
+            assert flag in text

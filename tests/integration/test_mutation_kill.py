@@ -1,0 +1,102 @@
+"""Mutation "kill" tests: every mutator must produce detectable errors.
+
+For each error-injection mutator of :mod:`repro.transforms.mutate`, applied
+to each DSP kernel where it is applicable, the resulting (original, mutated)
+pair must be
+
+* reported NOT-EQUIVALENT by the checker, and
+* distinguished by the differential interpreter oracle on at least one
+  seeded input (i.e. no silently no-op mutations).
+
+This is what makes the scenario engine's buggy twins trustworthy: a mutator
+that ever produced an observably equivalent program would poison the
+expected-NOT_EQUIVALENT labels of every generated corpus.
+"""
+
+import pytest
+
+from repro.scenarios import differential_label
+from repro.scenarios.spec import SMALL_KERNEL_PARAMS
+from repro.transforms import (
+    change_operator,
+    perturb_read_index,
+    perturb_write_index,
+    replace_read_array,
+    shrink_loop_bound,
+)
+from repro.transforms.errors import TransformError
+from repro.verifier import Verifier
+from repro.workloads import kernel_names, kernel_pair
+
+MUTATORS = (
+    "perturb_read_index",
+    "perturb_write_index",
+    "replace_read_array",
+    "change_operator",
+    "shrink_loop_bound",
+)
+
+
+def _labels(program):
+    return [a.label for a in program.assignments() if a.label]
+
+
+def _apply_mutator(program, mutator):
+    """Apply *mutator* to the first statement of *program* that admits it.
+
+    Returns ``(mutated, mutation)`` or ``None`` when the mutator applies
+    nowhere in the program.
+    """
+    inputs = list(program.input_arrays())
+    dims = {decl.name: len(decl.dims) for decl in program.params}
+    for label in _labels(program):
+        try:
+            if mutator == "perturb_read_index":
+                return perturb_read_index(program, label)
+            if mutator == "perturb_write_index":
+                return perturb_write_index(program, label)
+            if mutator == "replace_read_array":
+                for old in inputs:
+                    replacements = [n for n in inputs if n != old and dims.get(n) == dims.get(old)]
+                    for new in replacements:
+                        try:
+                            return replace_read_array(program, label, old, new)
+                        except TransformError:
+                            continue
+                raise TransformError("no same-rank input pair read here")
+            if mutator == "change_operator":
+                for old_op, new_op in (("+", "-"), ("-", "+"), ("*", "+")):
+                    try:
+                        return change_operator(program, label, old_op, new_op)
+                    except TransformError:
+                        continue
+                raise TransformError("no operator to change here")
+            if mutator == "shrink_loop_bound":
+                return shrink_loop_bound(program, label)
+        except TransformError:
+            continue
+    return None
+
+
+@pytest.mark.parametrize("mutator", MUTATORS)
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_mutator_is_killed_on_kernel(kernel, mutator):
+    original = kernel_pair(kernel, **SMALL_KERNEL_PARAMS.get(kernel, {})).original
+    applied = _apply_mutator(original, mutator)
+    if applied is None:
+        pytest.skip(f"{mutator} applies nowhere in kernel {kernel}")
+    mutated, mutation = applied
+    assert mutated != original, f"{mutator} was a syntactic no-op on {kernel}"
+
+    verdict = differential_label(original, mutated, trials=3)
+    assert verdict.distinguished, (
+        f"oracle cannot distinguish {mutator} on {kernel} "
+        f"({mutation.description}): silently no-op mutation"
+    )
+    assert verdict.witness_seed is not None
+
+    result = Verifier().check(original, mutated)
+    assert not result.equivalent, (
+        f"checker proved {kernel} equivalent to its {mutator} mutant "
+        f"({mutation.description}) — soundness bug"
+    )

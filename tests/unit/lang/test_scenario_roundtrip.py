@@ -1,0 +1,69 @@
+"""Printer/parser round-trip properties over scenario-generated programs.
+
+Corpora are persisted as mini-C source text, so for every program the engine
+can emit, ``parse(print(p))`` must (i) be a printer fixpoint, (ii) execute
+identically, and (iii) re-check equivalent against ``p`` — otherwise pairs
+would silently change meaning on their way through a corpus file.
+"""
+
+import pytest
+
+from repro.lang import (
+    outputs_equal,
+    parse_program,
+    program_to_text,
+    random_input_provider,
+    run_program,
+)
+from repro.scenarios import ScenarioSpec, build_scenarios
+from repro.verifier import Verifier
+
+SPEC = ScenarioSpec(seed=9, pairs=8, mutation_rate=0.5, size=12, max_depth=4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_scenarios(SPEC)
+
+
+def _programs(corpus):
+    for pair in corpus:
+        yield pair.name, pair.original
+        yield pair.name + "/transformed", pair.transformed
+
+
+class TestScenarioRoundTrip:
+    def test_print_parse_is_fixpoint(self, corpus):
+        for name, program in _programs(corpus):
+            text = program_to_text(program)
+            reparsed = parse_program(text)
+            assert program_to_text(reparsed) == text, f"printer not a fixpoint for {name}"
+            assert reparsed == program, f"parse(print(p)) != p for {name}"
+
+    def test_roundtrip_preserves_execution(self, corpus):
+        from repro.lang.errors import InterpreterError
+
+        for name, program in _programs(corpus):
+            reparsed = parse_program(program_to_text(program))
+            provider = random_input_provider(0)
+            try:
+                reference = run_program(program, provider)
+            except InterpreterError:
+                # Buggy twins may legitimately read undefined elements; the
+                # round-trip must reproduce exactly that failure behaviour.
+                with pytest.raises(InterpreterError):
+                    run_program(reparsed, provider)
+                continue
+            assert outputs_equal(
+                reference, run_program(reparsed, provider)
+            ), f"round-trip changed outputs of {name}"
+
+    def test_roundtrip_rechecks_equivalent(self, corpus):
+        # The checker itself accepts parse(print(p)) against p (sampled: the
+        # full corpus would re-run dozens of checks for little extra signal).
+        verifier = Verifier()
+        equivalent_pairs = [p for p in corpus if p.expected_equivalent]
+        for pair in equivalent_pairs[:3]:
+            reparsed = parse_program(program_to_text(pair.transformed))
+            result = verifier.check(pair.transformed, reparsed)
+            assert result.equivalent, f"round-trip of {pair.name} not provable"

@@ -1,0 +1,95 @@
+"""Determinism regressions: same seed => byte-identical corpora, everywhere.
+
+The PR-1 class of bugs — randomness routed through ``hash()`` (set/dict
+iteration order, ``rng.choice(set)``) — breaks reproducibility *across
+processes* while looking perfectly deterministic within one.  These tests
+therefore re-derive corpus digests and mutation/reassociation choices in
+subprocesses pinned to different ``PYTHONHASHSEED`` values and require
+byte-identical results.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.scenarios import ScenarioSpec, build_scenarios, corpus_digest, serialize_pair
+
+SPEC = ScenarioSpec(seed=11, pairs=8, mutation_rate=0.6, size=12)
+
+
+def _run_under_hash_seed(code: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")])
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.join(os.path.dirname(__file__), "..", "..", ".."),
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+CORPUS_DIGEST_CODE = """
+from repro.scenarios import ScenarioSpec, build_scenarios, corpus_digest
+spec = ScenarioSpec(seed=11, pairs=8, mutation_rate=0.6, size=12)
+print(corpus_digest(build_scenarios(spec)))
+"""
+
+MUTATION_CHOICE_CODE = """
+import random
+from repro.transforms import random_mutation, random_reassociation
+from repro.transforms.algebraic import collect_chain
+from repro.lang import program_to_text
+from repro.workloads import RandomProgramGenerator
+program = RandomProgramGenerator(seed=4, stages=3, size=12).generate()
+mutated, mutation = random_mutation(program, random.Random(21))
+label = next(
+    a.label for a in program.assignments()
+    if a.label and len(collect_chain(a.rhs, "+")) >= 2
+)
+reassociated = random_reassociation(program, label, random.Random(22))
+print(mutation.kind, mutation.label, mutation.description, sep="|")
+print(hash_free := __import__("hashlib").sha256(
+    (program_to_text(mutated) + program_to_text(reassociated)).encode()).hexdigest())
+"""
+
+
+class TestSameProcessDeterminism:
+    def test_same_spec_same_bytes(self):
+        first = build_scenarios(SPEC)
+        second = build_scenarios(SPEC)
+        assert [serialize_pair(a) for a in first] == [serialize_pair(b) for b in second]
+
+    def test_different_seed_different_corpus(self):
+        first = build_scenarios(SPEC)
+        other = build_scenarios(ScenarioSpec(**{**SPEC.to_dict(), "seed": 12, "stages_range": tuple(SPEC.stages_range), "kernels": tuple(SPEC.kernels)}))
+        assert corpus_digest(first) != corpus_digest(other)
+
+    def test_corpus_grows_by_prefix(self):
+        # More pairs must extend, never reshuffle, the earlier scenarios.
+        small = build_scenarios(ScenarioSpec(seed=11, pairs=4, mutation_rate=0.6, size=12))
+        large = build_scenarios(ScenarioSpec(seed=11, pairs=8, mutation_rate=0.6, size=12))
+        prefix = [p for p in large if int(p.name.split("/")[1].split("-")[0]) < 4]
+        assert [serialize_pair(p) for p in small] == [serialize_pair(p) for p in prefix]
+
+
+class TestCrossProcessDeterminism:
+    def test_corpus_digest_is_hash_seed_independent(self):
+        digests = {
+            _run_under_hash_seed(CORPUS_DIGEST_CODE, hash_seed)
+            for hash_seed in ("0", "1", "4242")
+        }
+        assert len(digests) == 1
+        assert digests == {corpus_digest(build_scenarios(SPEC))}
+
+    def test_mutation_and_reassociation_choices_are_hash_seed_independent(self):
+        outputs = {
+            _run_under_hash_seed(MUTATION_CHOICE_CODE, hash_seed)
+            for hash_seed in ("0", "7")
+        }
+        assert len(outputs) == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the scenario engine's corpus construction."""
+
+import pytest
+
+from repro.scenarios import (
+    LABEL_EQUIVALENT,
+    LABEL_NOT_EQUIVALENT,
+    ScenarioSpec,
+    build_scenarios,
+    differential_label,
+)
+
+SPEC = ScenarioSpec(seed=3, pairs=12, max_depth=3, mutation_rate=0.5, size=14)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_scenarios(SPEC)
+
+
+class TestBuildScenarios:
+    def test_every_scenario_emits_an_equivalent_pair(self, corpus):
+        equivalent = [p for p in corpus if p.expected_label == LABEL_EQUIVALENT]
+        assert len(equivalent) == SPEC.pairs
+        assert len({p.name for p in corpus}) == len(corpus)
+
+    def test_labels_match_mutation_presence(self, corpus):
+        for pair in corpus:
+            if pair.expected_label == LABEL_NOT_EQUIVALENT:
+                assert pair.mutation is not None
+                assert pair.name.endswith("-bug")
+                assert pair.trace and pair.trace[-1].name == "mutation"
+            else:
+                assert pair.mutation is None
+
+    def test_buggy_twins_are_oracle_validated(self, corpus):
+        buggy = [p for p in corpus if p.expected_label == LABEL_NOT_EQUIVALENT]
+        assert buggy, "mutation_rate=0.5 over 12 scenarios should yield twins"
+        for pair in buggy:
+            assert pair.oracle is not None
+            assert pair.oracle.label == LABEL_NOT_EQUIVALENT
+            assert pair.oracle.witness_seed is not None
+
+    def test_equivalent_pairs_agree_with_oracle(self, corpus):
+        for pair in corpus:
+            if pair.expected_label == LABEL_EQUIVALENT:
+                assert pair.oracle is not None
+                assert pair.oracle.label == LABEL_EQUIVALENT, (
+                    f"{pair.name}: pipeline {[s.name for s in pair.trace]} "
+                    "produced a non-equivalent variant"
+                )
+
+    def test_pipeline_depth_is_bounded(self, corpus):
+        for pair in corpus:
+            structural = [s for s in pair.trace if s.name != "mutation"]
+            assert len(structural) <= SPEC.max_depth
+
+    def test_oracle_verdicts_replay(self, corpus):
+        # The stored verdict is reproducible from the stored programs alone.
+        for pair in corpus[:6]:
+            fresh = differential_label(
+                pair.original, pair.transformed,
+                trials=SPEC.oracle_trials, base_seed=SPEC.oracle_seed,
+            )
+            assert fresh == pair.oracle
+
+    def test_twin_shares_base_with_its_scenario(self, corpus):
+        by_name = {p.name: p for p in corpus}
+        for pair in corpus:
+            if pair.name.endswith("-bug"):
+                parent = by_name[pair.name[: -len("-bug")]]
+                assert pair.base == parent.base
+                assert pair.original == parent.original
+
+    def test_kernel_bases_appear(self):
+        pairs = build_scenarios(
+            ScenarioSpec(seed=1, pairs=20, kernel_fraction=0.5, size=12)
+        )
+        kinds = {p.base.split("/")[0] for p in pairs}
+        assert kinds == {"gen", "kernel"}

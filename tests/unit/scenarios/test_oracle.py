@@ -1,0 +1,81 @@
+"""Unit tests for the differential interpreter oracle."""
+
+from repro.lang import parse_program
+from repro.scenarios import (
+    LABEL_EQUIVALENT,
+    LABEL_NOT_EQUIVALENT,
+    LABEL_UNKNOWN,
+    OracleVerdict,
+    differential_label,
+)
+from repro.transforms import loop_reversal, perturb_read_index
+
+SOURCE = """
+void f(int a[], int out[])
+{
+    int i;
+    for (i = 0; i < 12; i++) {
+f1:     out[i] = a[i] + a[i + 1];
+    }
+}
+"""
+
+BROKEN_SOURCE = """
+void g(int a[], int out[])
+{
+    int i, t[4];
+    for (i = 0; i < 4; i++) {
+g1:     out[i] = t[i] + a[i];
+    }
+}
+"""
+
+
+class TestDifferentialLabel:
+    def test_equivalent_pair(self):
+        program = parse_program(SOURCE)
+        verdict = differential_label(program, loop_reversal(program, "f1"), trials=3)
+        assert verdict.label == LABEL_EQUIVALENT
+        assert verdict.trials == 3
+        assert verdict.witness_seed is None
+        assert not verdict.distinguished
+
+    def test_identity_pair(self):
+        program = parse_program(SOURCE)
+        verdict = differential_label(program, program.clone())
+        assert verdict.label == LABEL_EQUIVALENT
+
+    def test_mutated_pair_is_distinguished_with_witness(self):
+        program = parse_program(SOURCE)
+        mutated, _ = perturb_read_index(program, "f1")
+        verdict = differential_label(program, mutated, trials=3)
+        assert verdict.label == LABEL_NOT_EQUIVALENT
+        assert verdict.distinguished
+        assert verdict.witness_seed is not None
+
+    def test_transformed_runtime_error_is_distinguishing(self):
+        good = parse_program(SOURCE)
+        # Same output array, but reads an undefined local: observably broken.
+        bad = parse_program(BROKEN_SOURCE.replace("void g", "void f").replace("out[i] = t[i] + a[i]", "out[i] = t[i + 20] + a[i]"))
+        verdict = differential_label(good, bad)
+        assert verdict.label == LABEL_NOT_EQUIVALENT
+        assert "failed" in verdict.detail
+
+    def test_original_runtime_error_abstains(self):
+        broken = parse_program(BROKEN_SOURCE)
+        verdict = differential_label(broken, broken.clone())
+        assert verdict.label == LABEL_UNKNOWN
+        assert verdict.witness_seed is None
+
+    def test_verdict_dict_roundtrip(self):
+        program = parse_program(SOURCE)
+        mutated, _ = perturb_read_index(program, "f1")
+        verdict = differential_label(program, mutated)
+        assert OracleVerdict.from_dict(verdict.to_dict()) == verdict
+
+    def test_determinism(self):
+        program = parse_program(SOURCE)
+        mutated, _ = perturb_read_index(program, "f1")
+        first = differential_label(program, mutated, trials=4, base_seed=7)
+        second = differential_label(program, mutated, trials=4, base_seed=7)
+        assert first == second

@@ -9,7 +9,7 @@ from repro.service import (
     read_report,
     write_report,
 )
-from repro.service.report import percentile
+from repro.service.report import percentile, scenario_summary
 
 
 def make_results():
@@ -87,3 +87,84 @@ class TestReportFile:
         assert "MISMATCHES" in text and "c" in text
         assert "failed jobs" in text and "d" in text
         assert "hit rate" in text
+
+
+def _scenario_result(name, equivalent, expected_label, oracle_label, status=JobStatus.OK):
+    return JobResult(
+        name,
+        status,
+        equivalent=equivalent if status == JobStatus.OK else None,
+        expected_equivalent=expected_label == "EQUIVALENT",
+        metadata={
+            "source": "scenario",
+            "expected_label": expected_label,
+            "oracle": {"label": oracle_label, "trials": 3, "witness_seed": None, "detail": ""},
+        },
+    )
+
+
+class TestScenarioSummary:
+    def test_absent_without_labels(self):
+        assert scenario_summary(make_results()) is None
+        assert "scenarios" not in aggregate_results(make_results())
+
+    def test_confusion_matrix_counts(self):
+        results = [
+            _scenario_result("eq-ok", True, "EQUIVALENT", "EQUIVALENT"),
+            _scenario_result("eq-unproven", False, "EQUIVALENT", "EQUIVALENT"),
+            _scenario_result("bug-caught", False, "NOT_EQUIVALENT", "NOT_EQUIVALENT"),
+            _scenario_result("bug-error", None, "NOT_EQUIVALENT", "NOT_EQUIVALENT",
+                             status=JobStatus.ERROR),
+        ]
+        block = scenario_summary(results)
+        assert block["labelled"] == 4
+        assert block["confusion"]["expected_equivalent"] == {
+            "checker_equivalent": 1, "checker_not_equivalent": 1, "not_completed": 0,
+        }
+        assert block["confusion"]["expected_not_equivalent"] == {
+            "checker_equivalent": 0, "checker_not_equivalent": 1, "not_completed": 1,
+        }
+        assert block["oracle"] == {
+            "equivalent": 2, "not_equivalent": 2, "unknown": 0, "missing": 0,
+        }
+        assert block["incompleteness"] == ["eq-unproven"]
+        assert block["soundness_errors"] == []
+        assert block["label_disputes"] == []
+
+    def test_soundness_disagreement_is_flagged(self):
+        results = [_scenario_result("bad", True, "NOT_EQUIVALENT", "NOT_EQUIVALENT")]
+        block = scenario_summary(results)
+        assert block["soundness_errors"] == ["bad"]
+        text = format_summary(aggregate_results(results))
+        assert "SOUNDNESS" in text and "bad" in text
+
+    def test_label_dispute_is_flagged(self):
+        results = [_scenario_result("lie", False, "EQUIVALENT", "NOT_EQUIVALENT")]
+        block = scenario_summary(results)
+        assert block["label_disputes"] == ["lie"]
+        assert block["soundness_errors"] == []
+        text = format_summary(aggregate_results(results))
+        assert "LABEL BUGS" in text and "lie" in text
+
+    def test_unknown_oracle_never_disputes(self):
+        results = [_scenario_result("shrug", True, "EQUIVALENT", "UNKNOWN")]
+        block = scenario_summary(results)
+        assert block["oracle"]["unknown"] == 1
+        assert block["label_disputes"] == []
+        assert block["soundness_errors"] == []
+
+    def test_format_summary_renders_matrix(self):
+        results = [
+            _scenario_result("eq", True, "EQUIVALENT", "EQUIVALENT"),
+            _scenario_result("bug", False, "NOT_EQUIVALENT", "NOT_EQUIVALENT"),
+        ]
+        text = format_summary(aggregate_results(results))
+        assert "1 proven" in text and "1 caught" in text
+        assert "1 agree-equivalent" in text and "1 distinguished" in text
+
+    def test_summary_row_serialises(self, tmp_path):
+        results = [_scenario_result("eq", True, "EQUIVALENT", "EQUIVALENT")]
+        path = str(tmp_path / "report.jsonl")
+        write_report(path, results)
+        _, summary = read_report(path)
+        assert summary["scenarios"]["labelled"] == 1

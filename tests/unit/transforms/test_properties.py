@@ -1,0 +1,274 @@
+"""Property-style differential tests for every public transformation.
+
+This is the soundness contract the scenario engine rests on: applying any
+equivalence-preserving transform must leave the interpreter's outputs
+unchanged on seeded random inputs.  Every public function of
+``transforms/loop.py``, ``transforms/algebraic.py`` and
+``transforms/dataflow.py`` is exercised here, plus the composed pipelines
+(default and extended probe sets) over generated programs and kernel
+originals.
+"""
+
+import random
+
+import pytest
+
+from repro.lang import outputs_equal, parse_program, random_input_provider, run_program
+from repro.scenarios.spec import SMALL_KERNEL_PARAMS
+from repro.transforms import (
+    commute_operands,
+    compose_random_pipeline,
+    extended_probes,
+    forward_substitution,
+    introduce_temporary,
+    loop_fission,
+    loop_fusion,
+    loop_interchange,
+    loop_normalize_steps,
+    loop_reversal,
+    loop_shift,
+    loop_split,
+    random_reassociation,
+    reassociate_chain,
+    rotate_left,
+    rotate_right,
+)
+from repro.transforms.algebraic import collect_chain, rebuild_chain
+from repro.workloads import RandomProgramGenerator, kernel_names, kernel_pair
+
+SEEDS = (0, 1, 2)
+
+
+def assert_semantics_preserved(original, transformed, seeds=SEEDS):
+    """Outputs must agree element for element on every seeded random input."""
+    for seed in seeds:
+        provider = random_input_provider(seed)
+        assert outputs_equal(
+            run_program(original, provider), run_program(transformed, provider)
+        ), f"outputs diverge on input seed {seed}"
+
+
+TWO_LOOP_SOURCE = """
+void f(int a[], int b[], int out[])
+{
+    int i, t[16], u[16];
+    for (i = 0; i < 16; i++) {
+p1:     t[i] = a[i] + b[i] + a[i + 1] + 2;
+p2:     u[i] = t[i] * b[i];
+    }
+    for (i = 0; i < 16; i++) {
+p3:     out[i] = t[i] + u[i] + b[i];
+    }
+}
+"""
+
+TEMP_SOURCE = """
+void d(int a[], int out[])
+{
+    int i, tmp[20];
+    for (i = 0; i < 16; i++) {
+d1:     tmp[i] = a[i] * 3;
+    }
+    for (i = 0; i < 16; i++) {
+d2:     out[i] = tmp[i] + a[i];
+    }
+}
+"""
+
+NEST_SOURCE = """
+void h(int A[8][8], int out[8][8])
+{
+    int i, j;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+q1:         out[i][j] = A[i][j] + A[j][i];
+        }
+    }
+}
+"""
+
+STRIDED_SOURCE = """
+void s(int a[], int out[])
+{
+    int i;
+    for (i = 0; i < 16; i += 2) {
+s1:     out[i] = a[i] + 1;
+    }
+    for (i = 1; i < 16; i += 2) {
+s2:     out[i] = a[i] - 1;
+    }
+}
+"""
+
+
+class TestLoopTransformProperties:
+    def test_loop_fission(self):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = loop_fission(program, "p1")
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    def test_loop_fusion(self):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = loop_fusion(program, "p1", "p3")
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    def test_loop_reversal(self):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = loop_reversal(program, "p3")
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    def test_loop_interchange(self):
+        program = parse_program(NEST_SOURCE)
+        transformed = loop_interchange(program, "q1")
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    def test_loop_split(self):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = loop_split(program, "p3", at=7)
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    def test_loop_split_downward_loop(self):
+        program = loop_reversal(parse_program(TWO_LOOP_SOURCE), "p3")
+        transformed = loop_split(program, "p3", at=7)
+        assert_semantics_preserved(parse_program(TWO_LOOP_SOURCE), transformed)
+
+    @pytest.mark.parametrize("offset", [1, -1, 3])
+    def test_loop_shift(self, offset):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = loop_shift(program, "p3", offset)
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    @pytest.mark.parametrize("label", ["s1", "s2"])
+    def test_loop_normalize_steps(self, label):
+        program = parse_program(STRIDED_SOURCE)
+        transformed = loop_normalize_steps(program, label)
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+
+class TestAlgebraicTransformProperties:
+    def test_commute_operands(self):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = commute_operands(program, "p3", ())
+        assert transformed != program
+        assert_semantics_preserved(program, transformed)
+
+    def test_rotate_right_then_left_roundtrip(self):
+        program = parse_program(TWO_LOOP_SOURCE)
+        rotated = rotate_right(program, "p1", ())
+        assert rotated != program
+        assert_semantics_preserved(program, rotated)
+        back = rotate_left(rotated, "p1", ())
+        assert back == program
+        assert_semantics_preserved(program, back)
+
+    @pytest.mark.parametrize("order", [[1, 0, 2, 3], [3, 2, 1, 0], [2, 3, 0, 1]])
+    @pytest.mark.parametrize("left_assoc", [True, False])
+    def test_reassociate_chain(self, order, left_assoc):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = reassociate_chain(program, "p1", order, op="+", left_assoc=left_assoc)
+        assert_semantics_preserved(program, transformed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_reassociation(self, seed):
+        program = parse_program(TWO_LOOP_SOURCE)
+        transformed = random_reassociation(program, "p3", random.Random(seed))
+        assert_semantics_preserved(program, transformed)
+
+    @pytest.mark.parametrize("left_assoc", [True, False])
+    def test_collect_rebuild_chain_roundtrip(self, left_assoc):
+        program = parse_program(TWO_LOOP_SOURCE)
+        from repro.transforms.locate import find_assignment
+
+        rhs = find_assignment(program, "p1").rhs
+        operands = collect_chain(rhs, "+")
+        assert len(operands) == 4
+        rebuilt = rebuild_chain(operands, "+", left_assoc=left_assoc)
+        assert collect_chain(rebuilt, "+") == operands
+
+
+class TestDataflowTransformProperties:
+    def test_forward_substitution(self):
+        program = parse_program(TEMP_SOURCE)
+        transformed = forward_substitution(program, "tmp")
+        assert all(decl.name != "tmp" for decl in transformed.locals)
+        assert_semantics_preserved(program, transformed)
+
+    def test_forward_substitution_shifted_write(self):
+        source = TEMP_SOURCE.replace("tmp[i] = a[i] * 3", "tmp[i + 2] = a[i] * 3").replace(
+            "out[i] = tmp[i] + a[i]", "out[i] = tmp[i + 2] + a[i]"
+        )
+        program = parse_program(source)
+        transformed = forward_substitution(program, "tmp")
+        assert_semantics_preserved(program, transformed)
+
+    def test_introduce_temporary(self):
+        program = parse_program(TEMP_SOURCE)
+        transformed = introduce_temporary(program, "d2", (1,), "held")
+        assert any(decl.name == "held" for decl in transformed.locals)
+        assert_semantics_preserved(program, transformed)
+
+    def test_introduce_temporary_twice_keeps_labels_unique(self):
+        # Regression: the pre-statement label was hardcoded to "<label>_pre",
+        # so a second temporary for the same statement left the program with
+        # duplicate labels — outside the allowed class (checker rejects it).
+        from repro.lang.validate import require_program_class
+
+        program = parse_program(TEMP_SOURCE)
+        once = introduce_temporary(program, "d2", (1,), "ta")
+        twice = introduce_temporary(once, "d2", (1,), "tb")
+        labels = [a.label for a in twice.assignments() if a.label]
+        assert len(labels) == len(set(labels))
+        require_program_class(twice)
+        assert_semantics_preserved(program, twice)
+
+    def test_introduce_then_substitute_is_identity_semantics(self):
+        program = parse_program(TEMP_SOURCE)
+        widened = introduce_temporary(program, "d2", (), "held")
+        collapsed = forward_substitution(widened, "held")
+        assert_semantics_preserved(program, widened)
+        assert_semantics_preserved(program, collapsed)
+
+
+class TestComposedPipelineProperties:
+    """The scenario engine's soundness contract over its full probe set."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_extended_pipeline_on_generated_programs(self, seed):
+        program = RandomProgramGenerator(seed=seed, stages=3, size=16).generate()
+        transformed, steps = compose_random_pipeline(
+            program, random.Random(seed), steps=4, probes=extended_probes()
+        )
+        assert steps, "expected at least one applicable transformation"
+        assert_semantics_preserved(program, transformed, seeds=(0, 1))
+
+    @pytest.mark.parametrize("kernel", kernel_names())
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_extended_pipeline_on_kernel_originals(self, kernel, seed):
+        original = kernel_pair(kernel, **SMALL_KERNEL_PARAMS.get(kernel, {})).original
+        transformed, _ = compose_random_pipeline(
+            original, random.Random(f"{kernel}:{seed}"), steps=3, probes=extended_probes()
+        )
+        assert_semantics_preserved(original, transformed, seeds=(0, 1))
+
+    @pytest.mark.parametrize("kernel", ["matvec", "fir", "prefix_sum"])
+    def test_guard_rejects_recurrence_reversal(self, kernel):
+        """Inner-recurrence reversals must never survive the guarded probes.
+
+        A direct regression for the matvec bug: reversing the accumulation
+        loop reads acc[i][j-1] before it is written, and check_dataflow must
+        reject exactly that candidate inside compose_random_pipeline.
+        """
+        original = kernel_pair(kernel, **SMALL_KERNEL_PARAMS.get(kernel, {})).original
+        for seed in range(5):
+            transformed, _ = compose_random_pipeline(
+                original, random.Random(f"guard:{kernel}:{seed}"), steps=4,
+                probes=extended_probes(),
+            )
+            assert_semantics_preserved(original, transformed, seeds=(0,))
