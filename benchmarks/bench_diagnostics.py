@@ -1,0 +1,97 @@
+"""Experiment E13: the cost of witness diagnosis on top of a plain check.
+
+A non-equivalent verdict can be shipped as-is (the historical behaviour) or
+diagnosed end to end (:mod:`repro.diagnostics`): sample the Presburger
+mismatch sets, replay both programs through the traced interpreter, walk
+dependency paths and bisect the transformation trace.  This harness measures
+that overhead on a corpus of mutated kernels and asserts the qualitative
+contract: every diagnosis confirms its verdict by replay, and the add-on
+cost stays within a small multiple of the check itself (the interpreter runs
+on shrunken kernel domains are cheap next to the symbolic traversal).
+"""
+
+import pytest
+
+from repro.diagnostics import build_failure_report
+from repro.scenarios.spec import SMALL_KERNEL_PARAMS
+from repro.transforms import perturb_read_index
+from repro.transforms.errors import TransformError
+from repro.verifier import Verifier
+from repro.workloads import kernel_names, kernel_pair
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def mutated_kernels():
+    """(original, mutated) kernel pairs with one injected read-index error."""
+    pairs = []
+    for kernel in kernel_names():
+        original = kernel_pair(kernel, **SMALL_KERNEL_PARAMS.get(kernel, {})).original
+        for assignment in original.assignments():
+            if not assignment.label:
+                continue
+            try:
+                mutated, _mutation = perturb_read_index(original, assignment.label)
+            except TransformError:
+                continue
+            pairs.append((kernel, original, mutated))
+            break
+    assert pairs
+    return pairs
+
+
+def _check_only(pairs):
+    verifier = Verifier()
+    return [verifier.check(original, mutated) for _name, original, mutated in pairs]
+
+
+def _check_and_diagnose(pairs):
+    verifier = Verifier()
+    reports = []
+    for _name, original, mutated in pairs:
+        result = verifier.check(original, mutated)
+        reports.append((result, build_failure_report(original, mutated, result)))
+    return reports
+
+
+def bench_e13_check_only(benchmark, mutated_kernels):
+    """Baseline: the plain checks, no diagnosis."""
+    results = run_once(benchmark, _check_only, mutated_kernels, rounds=2)
+    assert all(not result.equivalent for result in results)
+
+
+def bench_e13_check_and_diagnose(benchmark, mutated_kernels):
+    """Check + full diagnosis (witness synthesis, replay, dependency paths)."""
+    reports = run_once(benchmark, _check_and_diagnose, mutated_kernels, rounds=2)
+    for result, report in reports:
+        assert not result.equivalent
+        assert report.confirmed, "diagnosis failed to confirm a mutated kernel"
+    confirmed_points = [
+        witness
+        for _result, report in reports
+        for witness in report.outputs
+        if witness.point_confirmed
+    ]
+    benchmark.extra_info["confirmed_witness_points"] = len(confirmed_points)
+
+
+def test_diagnosis_overhead_is_bounded(mutated_kernels):
+    """Diagnosis must stay within a small multiple of the plain check."""
+    import time
+
+    started = time.perf_counter()
+    _check_only(mutated_kernels)
+    check_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reports = _check_and_diagnose(mutated_kernels)
+    diagnose_seconds = time.perf_counter() - started
+
+    assert all(report.confirmed for _result, report in reports)
+    # Generous bound: the interpreter replay and point sampling must never
+    # dominate the symbolic check by an order of magnitude.
+    assert diagnose_seconds <= max(10 * check_seconds, check_seconds + 5.0), (
+        f"diagnosis overhead exploded: check {check_seconds:.3f}s vs "
+        f"check+diagnose {diagnose_seconds:.3f}s"
+    )

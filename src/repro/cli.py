@@ -4,6 +4,8 @@ Usage::
 
     repro-eqcheck check original.c transformed.c
     repro-eqcheck check original.c transformed.c --method basic --output C
+    repro-eqcheck check original.c transformed.c --json
+    repro-eqcheck diagnose original.c transformed.c
     repro-eqcheck batch --generated 40 --buggy 10 --report report.jsonl
     repro-eqcheck batch --jobs jobs.json --workers 4 --timeout 60
     repro-eqcheck fuzz --seed 0 --pairs 50 --report fuzz_report.jsonl
@@ -16,7 +18,18 @@ subset and runs them through a :class:`repro.verifier.Verifier` session: the
 def-use checker, ADDG extraction and the equivalence engine.  Per-output
 progress streams to stderr while the check runs (via the observer protocol);
 the final summary and verdict go to stdout, with exit status 0 / 1 for
-equivalent / not equivalent.
+equivalent / not equivalent.  ``--json`` replaces the human summary with the
+machine-readable :meth:`EquivalenceResult.to_dict` JSON object — the same
+schema the batch JSONL report embeds per result row (see
+``docs/batch-verification.md``).
+
+``diagnose`` (:mod:`repro.diagnostics`) checks the pair like ``check`` and
+then explains a non-equivalent verdict end to end: a concrete witness cell
+sampled from the Presburger mismatch set, an interpreter replay that
+reproduces the divergence on a seeded input (with the writing statements of
+both sides), and the cell's dependency paths through the two ADDGs.  Exit
+status follows ``check``; ``--json`` emits the
+:meth:`FailureReport.to_dict` form.
 
 ``batch`` runs many pairs through :mod:`repro.service`: either a JSON job
 file (``--jobs``) or the built-in corpus (kernels, generated equivalent pairs
@@ -28,10 +41,16 @@ completed and matched its expectation, 1 otherwise.
 a seeded, labelled corpus of composed-transformation pairs plus mutated buggy
 twins, labels every pair with the differential interpreter oracle, runs the
 corpus through the batch service and reports the
-checker-vs-expected-vs-oracle confusion matrix.  It exits non-zero on any
-*soundness disagreement* (the checker proved a pair the oracle refutes with a
-concrete witness input), on label disputes (corpus bugs) and on failed jobs;
-re-running with the same seed reproduces the corpus byte for byte.
+checker-vs-expected-vs-oracle confusion matrix.  Unless ``--no-diagnose`` is
+given, every non-equivalent verdict is additionally diagnosed
+(:mod:`repro.diagnostics`): the failure report rides along in the JSONL rows
+and two more hard gates apply — an oracle witness the checker-side replay
+cannot reproduce, and a mutated twin whose pipeline bisection fails to name
+the injected mutation step.  It exits non-zero on any *soundness
+disagreement* (the checker proved a pair the oracle refutes with a concrete
+witness input), on witness/bisection gate violations, on label disputes
+(corpus bugs) and on failed jobs; re-running with the same seed reproduces
+the corpus byte for byte.
 
 All subcommands build one :class:`repro.verifier.CheckOptions` from the
 shared checker flags (``--method``, ``--output``, ``--correspond``,
@@ -52,7 +71,7 @@ from .verifier import CheckObserver, CheckOptions, Verifier
 
 __all__ = ["main", "build_arg_parser", "build_cli_parser", "checker_options_from_args"]
 
-_SUBCOMMANDS = ("check", "batch", "fuzz")
+_SUBCOMMANDS = ("check", "diagnose", "batch", "fuzz")
 
 _DESCRIPTION = (
     "Functional equivalence checker for array-intensive programs related by "
@@ -111,7 +130,36 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
         metavar=("ORIG_DOT", "TRANS_DOT"),
         help="write the two extracted ADDGs in Graphviz DOT format and continue",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable EquivalenceResult.to_dict() JSON instead of the summary",
+    )
     parser.add_argument("--quiet", action="store_true", help="print only the verdict line")
+
+
+def _add_diagnose_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("original", help="path to the original function (mini-C)")
+    parser.add_argument("transformed", help="path to the transformed function (mini-C)")
+    _add_checker_option_arguments(parser)
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        metavar="N",
+        help="seeded random inputs the witness replay executes (default: 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed of the replay inputs (default: 0)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable FailureReport.to_dict() JSON instead of the report",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the check progress lines on stderr"
+    )
 
 
 def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
@@ -251,6 +299,11 @@ def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-job wall-clock budget (default: unlimited)",
     )
     parser.add_argument(
+        "--no-diagnose",
+        action="store_true",
+        help="skip the witness diagnosis of non-equivalent pairs (and its report blocks)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="also fail on incompleteness (equivalent pairs the checker cannot prove)",
@@ -280,6 +333,18 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "check", help="check one (original, transformed) pair", description=_DESCRIPTION
     )
     _add_check_arguments(check)
+    diagnose = subparsers.add_parser(
+        "diagnose",
+        help="check one pair and explain a non-equivalent verdict with a concrete, "
+        "replayable witness",
+        description=(
+            "Witness synthesis and fault localization: sample a concrete element "
+            "from the checker's Presburger mismatch sets, reproduce the divergence "
+            "with the reference interpreter on seeded inputs, and walk the cell's "
+            "dependency paths through both ADDGs."
+        ),
+    )
+    _add_diagnose_arguments(diagnose)
     batch = subparsers.add_parser(
         "batch",
         help="run a job file or the built-in corpus through the batch service",
@@ -354,7 +419,12 @@ class _ProgressObserver(CheckObserver):
         )
 
 
-def _run_check(args: argparse.Namespace) -> int:
+def _read_pair(args: argparse.Namespace):
+    """Read the two mini-C files of a pair subcommand.
+
+    Returns ``(original_source, transformed_source)`` or ``None`` after
+    printing the usage error (the caller exits 2).
+    """
     try:
         with open(args.original, "r", encoding="utf-8") as handle:
             original_source = handle.read()
@@ -362,7 +432,21 @@ def _run_check(args: argparse.Namespace) -> int:
             transformed_source = handle.read()
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
+        return None
+    return original_source, transformed_source
+
+
+def _print_json(payload) -> None:
+    import json
+
+    print(json.dumps(payload, sort_keys=True))
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    sources = _read_pair(args)
+    if sources is None:
         return 2
+    original_source, transformed_source = sources
 
     original = parse_program(original_source)
     transformed = parse_program(transformed_source)
@@ -377,14 +461,38 @@ def _run_check(args: argparse.Namespace) -> int:
         with open(transformed_dot, "w", encoding="utf-8") as handle:
             handle.write(addg_to_dot(verifier.compile(transformed).addg, "transformed"))
 
-    observer = None if args.quiet else _ProgressObserver(sys.stderr)
+    observer = None if args.quiet or args.json else _ProgressObserver(sys.stderr)
     result = verifier.check(original, transformed, observer=observer)
 
-    if args.quiet:
+    if args.json:
+        _print_json(result.to_dict())
+    elif args.quiet:
         print("Equivalent" if result.equivalent else "Not equivalent")
     else:
         print(result.summary())
     return 0 if result.equivalent else 1
+
+
+def _run_diagnose(args: argparse.Namespace) -> int:
+    sources = _read_pair(args)
+    if sources is None:
+        return 2
+    original_source, transformed_source = sources
+
+    verifier = Verifier(options=checker_options_from_args(args))
+    observer = None if args.quiet or args.json else _ProgressObserver(sys.stderr)
+    report = verifier.diagnose(
+        original_source,
+        transformed_source,
+        observer=observer,
+        replay_trials=args.trials,
+        replay_seed=args.seed,
+    )
+    if args.json:
+        _print_json(report.to_dict())
+    else:
+        print(report.format())
+    return 0 if report.equivalent else 1
 
 
 def _open_report(path: Optional[str]):
@@ -601,9 +709,47 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                 flag = "  << SOUNDNESS ERROR"
             elif outcome.matches_expectation is False:
                 flag = "  << UNEXPECTED"
+        failure = outcome.metadata.get("failure_report")
+        if failure is not None:
+            flag += "  [witness confirmed]" if failure.get("confirmed") else "  [witness UNCONFIRMED]"
         return f"  {outcome.name:<22} {verdict:<16} expected {expected:<14} oracle {oracle}{flag}"
 
-    results = executor.run(jobs, progress=_make_progress(report_handle, args.quiet, format_line))
+    base_progress = _make_progress(report_handle, args.quiet, format_line)
+    if args.no_diagnose:
+        progress = base_progress
+    else:
+        # Diagnose every non-equivalent verdict before its row is streamed,
+        # so the JSONL report carries the failure_report blocks and the
+        # summary can gate on checker-witness vs oracle-witness agreement.
+        from .diagnostics import attach_failure_report
+
+        jobs_by_name = {job.name: job for job in jobs}
+        reports_by_fingerprint = {}
+        # One shared session: twins of one base original (and re-checked
+        # duplicates) reuse the compiled frontend artifacts across diagnoses.
+        diagnosis_session = Verifier()
+
+        def progress(outcome):
+            # In-batch duplicates share the leader's verdict; share its
+            # diagnosis too instead of re-running replay + bisection.
+            cached = reports_by_fingerprint.get(outcome.fingerprint)
+            if cached is not None:
+                outcome.metadata["failure_report"] = cached
+            else:
+                report = attach_failure_report(
+                    outcome,
+                    jobs_by_name.get(outcome.name),
+                    trials=args.oracle_trials,
+                    base_seed=args.seed,
+                    verifier=diagnosis_session,
+                )
+                if report is not None and outcome.fingerprint:
+                    reports_by_fingerprint[outcome.fingerprint] = outcome.metadata[
+                        "failure_report"
+                    ]
+            base_progress(outcome)
+
+    results = executor.run(jobs, progress=progress)
     summary = aggregate_results(results)
     _finish_report(report_handle, summary, args.report, args.quiet)
     print(format_summary(summary))
@@ -611,6 +757,13 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     scenarios = summary.get("scenarios") or {}
     ok = all(outcome.status == JobStatus.OK for outcome in results)
     hard_errors = bool(scenarios.get("soundness_errors")) or bool(scenarios.get("label_disputes"))
+    # The diagnosis layer has its own hard gates: an oracle witness the
+    # checker-side replay cannot reproduce, or a mutated twin whose pipeline
+    # bisection fails to name the injected mutation.
+    witness = scenarios.get("witness") or {}
+    hard_errors = hard_errors or bool(witness.get("witness_errors")) or bool(
+        witness.get("bisection_misses")
+    )
     # A mutated twin the checker waves through is caught either as a soundness
     # error (oracle witness) or, defensively, as an expectation mismatch.
     missed_bugs = any(
@@ -633,6 +786,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_batch(args)
         if args.command == "fuzz":
             return _run_fuzz(args)
+        if args.command == "diagnose":
+            return _run_diagnose(args)
         return _run_check(args)
     args = build_arg_parser().parse_args(argv)
     return _run_check(args)

@@ -1,0 +1,49 @@
+"""Witness synthesis, fault localization and pipeline bisection.
+
+The paper's headline advantage over simulation is that ADDG-based checking
+not only decides equivalence but *pinpoints where* transformed code
+diverges.  This package closes that loop: every non-equivalent verdict is
+turned into an actionable :class:`FailureReport` —
+
+* :mod:`~repro.diagnostics.witness` — sample concrete integer points from
+  the Presburger mismatch sets behind each failing output
+  (:meth:`repro.presburger.Set.sample_point` / :meth:`~repro.presburger.Set.lexmin`);
+* :mod:`~repro.diagnostics.replay` — execute both programs through the
+  traced reference interpreter on synthesized inputs, record the first
+  diverging array cell with the labels of the statements that wrote it, and
+  walk the cell's dependency path through each ADDG;
+* :mod:`~repro.diagnostics.bisect` — binary-search a recorded
+  transformation trace for the exact step that broke equivalence;
+* :mod:`~repro.diagnostics.report` — the serialisable report model;
+* :mod:`~repro.diagnostics.api` — :func:`build_failure_report`,
+  :func:`diagnose` and the service hook :func:`attach_failure_report`.
+
+Entry points: the ``repro-eqcheck diagnose`` CLI subcommand,
+:meth:`repro.verifier.Verifier.diagnose` (session API, streams the report
+through the observer protocol) and the ``fuzz`` pipeline, which diagnoses
+every non-equivalent pair and hard-gates on checker-witness vs
+oracle-witness agreement.  See ``docs/diagnostics.md``.
+"""
+
+from .api import attach_failure_report, build_failure_report, diagnose
+from .bisect import bisect_trace
+from .replay import dependency_path, divergent_cells, replay_divergence
+from .report import BisectionOutcome, FailureReport, OutputWitness, ReplayResult, WitnessCell
+from .witness import sample_failing_domain, synthesize_witnesses
+
+__all__ = [
+    "BisectionOutcome",
+    "FailureReport",
+    "OutputWitness",
+    "ReplayResult",
+    "WitnessCell",
+    "attach_failure_report",
+    "bisect_trace",
+    "build_failure_report",
+    "dependency_path",
+    "diagnose",
+    "divergent_cells",
+    "replay_divergence",
+    "sample_failing_domain",
+    "synthesize_witnesses",
+]

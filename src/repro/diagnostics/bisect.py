@@ -1,0 +1,131 @@
+"""Pipeline bisection: name the transformation step that broke equivalence.
+
+Scenario pairs carry their full transformation trace, and every
+:class:`~repro.transforms.pipeline.TransformStep` produced by
+:func:`~repro.transforms.pipeline.compose_random_pipeline` (and the scenario
+engine's mutation steps) records a source snapshot of the program *after*
+the step.  That makes the trace replayable: this module reconstructs the
+intermediate programs and binary-searches for the first prefix the judge
+distinguishes from the original.
+
+The default judge is the differential interpreter oracle
+(:class:`~repro.scenarios.oracle.OracleReference`), so bisection costs
+``O(log n)`` differential runs — against a corpus mutation it names the
+injected step exactly, because every proper prefix of the trace is
+equivalence-preserving by construction.  Bisection assumes the usual
+monotonicity ("once broken, stays broken"); for traces where a later step
+accidentally re-repairs an earlier break it still names *a* breaking step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..lang import Program, parse_program
+from ..lang.errors import LangError
+from ..transforms import TransformStep
+from .report import BisectionOutcome
+
+__all__ = ["bisect_trace"]
+
+#: ``judge(program) -> bool`` — True when *program* is distinguishable from
+#: the original the judge was built for.
+Judge = Callable[[Program], bool]
+
+
+def _oracle_judge(original: Program, trials: int, base_seed: int) -> Judge:
+    from ..scenarios.oracle import LABEL_NOT_EQUIVALENT, OracleReference
+
+    reference = OracleReference(original, trials=trials, base_seed=base_seed)
+
+    def judge(program: Program) -> bool:
+        return reference.label(program).label == LABEL_NOT_EQUIVALENT
+
+    return judge
+
+
+def bisect_trace(
+    original: Program,
+    trace: Sequence[TransformStep],
+    *,
+    trials: int = 3,
+    base_seed: int = 0,
+    judge: Optional[Judge] = None,
+) -> Optional[BisectionOutcome]:
+    """Find the first step of *trace* whose program the judge distinguishes.
+
+    Returns ``None`` for an empty trace and an inconclusive
+    :class:`BisectionOutcome` (``step_index=None``) when the trace carries no
+    usable snapshots or the judge cannot distinguish even the final program
+    (oracle incompleteness, or a pair that is in fact equivalent).
+    """
+    steps = list(trace)
+    if not steps:
+        return None
+
+    programs: List[Optional[Program]] = []
+    for step in steps:
+        if not step.snapshot_source:
+            programs.append(None)
+            continue
+        try:
+            programs.append(parse_program(step.snapshot_source))
+        except LangError:
+            programs.append(None)
+    if all(program is None for program in programs):
+        return BisectionOutcome(
+            step_index=None, detail="trace carries no replayable snapshots"
+        )
+
+    if judge is None:
+        judge = _oracle_judge(original, trials, base_seed)
+
+    judged = 0
+    verdicts: List[Optional[bool]] = [None] * len(steps)
+
+    def broken(position: int) -> Optional[bool]:
+        """Judge the program after step *position* (0-based); memoized."""
+        nonlocal judged
+        if programs[position] is None:
+            return None
+        if verdicts[position] is None:
+            judged += 1
+            verdicts[position] = judge(programs[position])
+        return verdicts[position]
+
+    def nearest(position: int, direction: int) -> Optional[int]:
+        """The closest snapshot-bearing index from *position* towards *direction*."""
+        while 0 <= position < len(steps):
+            if programs[position] is not None:
+                return position
+            position += direction
+        return None
+
+    last = nearest(len(steps) - 1, -1)
+    assert last is not None
+    if not broken(last):
+        return BisectionOutcome(
+            step_index=None,
+            judged=judged,
+            detail="judge cannot distinguish the final program from the original",
+        )
+
+    # Invariant: everything at or before `low` judges equivalent (or is the
+    # original), everything at or after `high` judges broken.
+    low, high = -1, last
+    while True:
+        candidates = [i for i in range(low + 1, high) if programs[i] is not None]
+        if not candidates:
+            break
+        middle = candidates[len(candidates) // 2]
+        if broken(middle):
+            high = middle
+        else:
+            low = middle
+    step = steps[high]
+    return BisectionOutcome(
+        step_index=high,
+        step_name=step.name,
+        step_detail=step.detail,
+        judged=judged,
+    )

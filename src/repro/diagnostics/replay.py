@@ -1,0 +1,190 @@
+"""Concrete replay: execute both programs and pin down the divergence.
+
+The checker decides equivalence symbolically; this module re-decides it
+*operationally* on synthesized inputs (the same deterministic pseudo-random
+providers the scenario oracle uses, so witness seeds are interchangeable
+between the two layers).  A replay yields
+
+* the full map of diverging cells between the two output environments,
+* the first diverging cell in deterministic ``(array, index)`` order, with
+  the labels of the statements that wrote it on each side (recorded by the
+  traced interpreter), and
+* for any concrete cell, its **dependency path** through an ADDG: element →
+  defining statement → read element → … down to the input arrays, following
+  the statements' dependency mappings exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..addg.graph import ADDG
+from ..lang import Program, random_input_provider, run_program_traced
+from ..lang.errors import InterpreterError
+from ..presburger import Set
+from ..presburger.errors import PresburgerError
+from .report import ReplayResult, WitnessCell
+
+__all__ = ["dependency_path", "divergent_cells", "replay_divergence"]
+
+#: index tuple -> (original value | None, transformed value | None)
+CellDiffs = Dict[str, Dict[Tuple[int, ...], Tuple[Optional[int], Optional[int]]]]
+
+
+def divergent_cells(
+    original_outputs: Mapping[str, Mapping[Tuple[int, ...], int]],
+    transformed_outputs: Mapping[str, Mapping[Tuple[int, ...], int]],
+) -> CellDiffs:
+    """Every output cell on which the two environments disagree.
+
+    Cells defined on one side only are diverging (a missing value is
+    observable behaviour in the allowed class) and carry ``None`` for the
+    side that never wrote them.
+    """
+    diffs: CellDiffs = {}
+    for array in sorted(set(original_outputs) | set(transformed_outputs)):
+        first = dict(original_outputs.get(array, {}))
+        second = dict(transformed_outputs.get(array, {}))
+        cells = {}
+        for index in set(first) | set(second):
+            left, right = first.get(index), second.get(index)
+            if left != right:
+                cells[index] = (left, right)
+        if cells:
+            diffs[array] = cells
+    return diffs
+
+
+def _first_cell(diffs: CellDiffs) -> Optional[Tuple[str, Tuple[int, ...]]]:
+    best: Optional[Tuple[str, Tuple[int, ...]]] = None
+    for array, cells in diffs.items():
+        index = min(cells)
+        if best is None or (array, index) < best:
+            best = (array, index)
+    return best
+
+
+def replay_divergence(
+    original: Program,
+    transformed: Program,
+    seeds: Sequence[int],
+    low: int = -64,
+    high: int = 64,
+) -> Tuple[ReplayResult, CellDiffs]:
+    """Run both programs on the given input seeds until one distinguishes them.
+
+    Returns the :class:`ReplayResult` of the first distinguishing seed (or of
+    the last seed, with ``diverged=False``, when none does) together with the
+    full cell-difference map of that run.  The input providers are pure
+    functions of ``(seed, array, index)``, so re-running under the reported
+    seed reproduces the divergence exactly.
+    """
+    if not seeds:
+        raise ValueError("replay needs at least one input seed")
+    last: Optional[ReplayResult] = None
+    inconclusive: Optional[ReplayResult] = None
+    for seed in seeds:
+        provider = random_input_provider(seed, low, high)
+        try:
+            reference, reference_trace = run_program_traced(original, provider)
+        except InterpreterError as error:
+            # Remember the first original-side failure: if no later seed
+            # distinguishes the pair, the report must still say the sweep
+            # was partly inconclusive rather than silently "no divergence".
+            result = ReplayResult(
+                seed=seed,
+                diverged=False,
+                original_error=str(error),
+                original_error_statement=error.statement_label,
+            )
+            if inconclusive is None:
+                inconclusive = result
+            last = result
+            continue
+        provider = random_input_provider(seed, low, high)
+        try:
+            candidate, candidate_trace = run_program_traced(transformed, provider)
+        except InterpreterError as error:
+            # A runtime failure of the transformed program on an input the
+            # original handles is itself an observable divergence.
+            return (
+                ReplayResult(
+                    seed=seed,
+                    diverged=True,
+                    transformed_error=str(error),
+                    transformed_error_statement=error.statement_label,
+                ),
+                {},
+            )
+        diffs = divergent_cells(reference, candidate)
+        if diffs:
+            array, index = _first_cell(diffs)
+            left, right = diffs[array][index]
+            cell = WitnessCell(
+                array=array,
+                index=index,
+                original_value=left,
+                transformed_value=right,
+                original_statement=reference_trace.writer_of(array, index),
+                transformed_statement=candidate_trace.writer_of(array, index),
+            )
+            count = sum(len(cells) for cells in diffs.values())
+            return (
+                ReplayResult(
+                    seed=seed, diverged=True, divergence_count=count, first_divergence=cell
+                ),
+                diffs,
+            )
+        last = ReplayResult(seed=seed, diverged=False)
+    assert last is not None
+    return inconclusive if inconclusive is not None else last, {}
+
+
+def dependency_path(
+    addg: ADDG, array: str, index: Sequence[int], limit: int = 12
+) -> Tuple[str, ...]:
+    """The cell's provenance chain through *addg*, rendered as path entries.
+
+    Starting from ``array[index]``, each hop finds the statement whose
+    iteration domain defines the cell and follows the statement's first
+    dependency mapping to a concrete read element, until an input array (or
+    a cycle / the *limit*) stops the walk.  Entries alternate between cells
+    (``"A[2, 3]"``) and statement labels (``"s4"``).
+    """
+    path: List[str] = []
+    current_array = array
+    current_index = tuple(int(i) for i in index)
+    seen = set()
+    while len(path) < 2 * limit:
+        path.append(f"{current_array}[{', '.join(str(i) for i in current_index)}]")
+        if addg.is_input(current_array) or (current_array, current_index) in seen:
+            break
+        seen.add((current_array, current_index))
+        defining = None
+        for statement in addg.defining_statements(current_array):
+            try:
+                if statement.written.contains(current_index):
+                    defining = statement
+                    break
+            except PresburgerError:
+                continue
+        if defining is None:
+            break
+        path.append(defining.label)
+        reads = defining.reads()
+        if not reads:
+            break
+        next_hop = None
+        for read in reads:
+            try:
+                point = Set.from_points(read.dependency.in_names, [current_index])
+                image = read.dependency.apply(point)
+                if not image.is_empty():
+                    next_hop = (read.array, image.lexmin())
+                    break
+            except (PresburgerError, ValueError):
+                continue
+        if next_hop is None:
+            break
+        current_array, current_index = next_hop
+    return tuple(path)

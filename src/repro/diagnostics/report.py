@@ -1,0 +1,313 @@
+"""The failure-report model: every non-equivalent verdict made actionable.
+
+A :class:`FailureReport` is the diagnosis of one failed equivalence check.
+It closes the loop the paper opens in its error-localization section: the
+checker's *symbolic* evidence (the Presburger mismatch sets behind each
+failing output) is turned into *concrete* evidence a designer can replay —
+
+* an :class:`OutputWitness` per failing output array: a concrete element
+  sampled from the mismatch set, whether interpreter replay confirmed that
+  very cell diverges, and the cell's dependency path through each ADDG;
+* a :class:`ReplayResult`: the seeded input on which the two programs were
+  executed, the first diverging cell with its values and the labels of the
+  statements that wrote it on both sides (or the runtime error, attributed
+  to its statement, when one side crashes);
+* a :class:`BisectionOutcome`: for pairs produced by a recorded
+  transformation pipeline, the exact step that broke equivalence.
+
+All values are plain serialisable dataclasses (``to_dict``/``from_dict``
+round-trips), so reports travel through the service JSONL reports and the
+``diagnose --json`` CLI unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "BisectionOutcome",
+    "FailureReport",
+    "OutputWitness",
+    "ReplayResult",
+    "WitnessCell",
+]
+
+
+def _as_index(value: Optional[Any]) -> Optional[Tuple[int, ...]]:
+    return None if value is None else tuple(int(x) for x in value)
+
+
+def _render_cell(array: str, index: Tuple[int, ...]) -> str:
+    return f"{array}[{', '.join(str(i) for i in index)}]"
+
+
+@dataclass
+class WitnessCell:
+    """One concrete array element on which the two programs disagree.
+
+    ``None`` values mean "this side never wrote the element" (an observable
+    difference in the allowed program class); the statement fields carry the
+    labels of the writing assignments recorded by the traced interpreter.
+    """
+
+    array: str
+    index: Tuple[int, ...]
+    original_value: Optional[int] = None
+    transformed_value: Optional[int] = None
+    original_statement: Optional[str] = None
+    transformed_statement: Optional[str] = None
+
+    def describe(self) -> str:
+        def side(value: Optional[int], statement: Optional[str]) -> str:
+            rendered = "undefined" if value is None else str(value)
+            return f"{rendered} (by {statement})" if statement else rendered
+
+        return (
+            f"{_render_cell(self.array, self.index)}: "
+            f"{side(self.original_value, self.original_statement)} in the original vs "
+            f"{side(self.transformed_value, self.transformed_statement)} in the transformed program"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["index"] = list(self.index)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WitnessCell":
+        return cls(
+            array=data["array"],
+            index=_as_index(data["index"]) or (),
+            original_value=data.get("original_value"),
+            transformed_value=data.get("transformed_value"),
+            original_statement=data.get("original_statement"),
+            transformed_statement=data.get("transformed_statement"),
+        )
+
+
+@dataclass
+class ReplayResult:
+    """The concrete differential run that (dis)confirmed the verdict.
+
+    ``seed`` names the :func:`repro.lang.random_input_provider` input on
+    which the divergence was observed — re-running both programs under that
+    provider reproduces it exactly.  A runtime failure of the transformed
+    program counts as a divergence (the error message and its originating
+    statement label are recorded); a failure of the *original* program makes
+    the replay inconclusive (``diverged`` stays false, the error is noted).
+    """
+
+    seed: int
+    diverged: bool
+    divergence_count: int = 0
+    first_divergence: Optional[WitnessCell] = None
+    original_error: Optional[str] = None
+    transformed_error: Optional[str] = None
+    original_error_statement: Optional[str] = None
+    transformed_error_statement: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "diverged": self.diverged,
+            "divergence_count": self.divergence_count,
+            "first_divergence": (
+                None if self.first_divergence is None else self.first_divergence.to_dict()
+            ),
+            "original_error": self.original_error,
+            "transformed_error": self.transformed_error,
+            "original_error_statement": self.original_error_statement,
+            "transformed_error_statement": self.transformed_error_statement,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReplayResult":
+        cell = data.get("first_divergence")
+        return cls(
+            seed=int(data["seed"]),
+            diverged=bool(data["diverged"]),
+            divergence_count=int(data.get("divergence_count", 0)),
+            first_divergence=None if cell is None else WitnessCell.from_dict(cell),
+            original_error=data.get("original_error"),
+            transformed_error=data.get("transformed_error"),
+            original_error_statement=data.get("original_error_statement"),
+            transformed_error_statement=data.get("transformed_error_statement"),
+        )
+
+
+@dataclass
+class OutputWitness:
+    """The symbolic-to-concrete bridge for one failing output array.
+
+    ``witness_point`` is an element sampled from the checker's Presburger
+    mismatch set (``failing_domain``); ``point_confirmed`` records whether
+    the interpreter replay observed a divergence *at that very cell* — the
+    cross-check between the symbolic and concrete layers.  The dependency
+    paths walk the cell backwards through each ADDG (array element →
+    defining statement → read element → …) down to the input arrays.
+    """
+
+    array: str
+    failing_domain: Optional[str] = None
+    witness_point: Optional[Tuple[int, ...]] = None
+    point_confirmed: Optional[bool] = None
+    original_path: Tuple[str, ...] = ()
+    transformed_path: Tuple[str, ...] = ()
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "array": self.array,
+            "failing_domain": self.failing_domain,
+            "witness_point": None if self.witness_point is None else list(self.witness_point),
+            "point_confirmed": self.point_confirmed,
+            "original_path": list(self.original_path),
+            "transformed_path": list(self.transformed_path),
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OutputWitness":
+        return cls(
+            array=data["array"],
+            failing_domain=data.get("failing_domain"),
+            witness_point=_as_index(data.get("witness_point")),
+            point_confirmed=data.get("point_confirmed"),
+            original_path=tuple(data.get("original_path", ())),
+            transformed_path=tuple(data.get("transformed_path", ())),
+            note=data.get("note", ""),
+        )
+
+
+@dataclass
+class BisectionOutcome:
+    """Which step of a recorded transformation pipeline broke equivalence.
+
+    ``step_index`` is the 0-based position in the trace (``None`` when the
+    trace could not be bisected — no snapshots, or the judge cannot
+    distinguish even the final program).  ``judged`` counts judge
+    evaluations: bisection pays ``O(log n)`` differential runs instead of
+    ``n``.
+    """
+
+    step_index: Optional[int]
+    step_name: str = ""
+    step_detail: str = ""
+    judged: int = 0
+    judge: str = "oracle"
+    detail: str = ""
+
+    @property
+    def localized(self) -> bool:
+        return self.step_index is not None
+
+    def describe(self) -> str:
+        if not self.localized:
+            return f"bisection inconclusive: {self.detail or 'no step could be blamed'}"
+        return (
+            f"step {self.step_index + 1} broke equivalence: "
+            f"{self.step_name} ({self.step_detail}) "
+            f"[{self.judged} {self.judge} evaluation(s)]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BisectionOutcome":
+        return cls(
+            step_index=data.get("step_index"),
+            step_name=data.get("step_name", ""),
+            step_detail=data.get("step_detail", ""),
+            judged=int(data.get("judged", 0)),
+            judge=data.get("judge", "oracle"),
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass
+class FailureReport:
+    """The full diagnosis of one non-equivalent verdict.
+
+    ``confirmed`` is the end-to-end guarantee: the interpreter replay
+    reproduced an observable divergence on a concrete input, so the checker's
+    NOT-EQUIVALENT verdict is backed by executable evidence (when it stays
+    false the verdict may still be right — the checker is conservative — but
+    the report says so via ``notes``).
+    """
+
+    equivalent: bool
+    confirmed: bool
+    outputs: List[OutputWitness] = field(default_factory=list)
+    replay: Optional[ReplayResult] = None
+    bisection: Optional[BisectionOutcome] = None
+    notes: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        """A multi-line human readable rendering (what the CLI prints)."""
+        lines: List[str] = []
+        if self.equivalent:
+            lines.append("EQUIVALENT — nothing to diagnose")
+        elif self.confirmed:
+            lines.append("NOT EQUIVALENT — witness confirmed by interpreter replay")
+        else:
+            lines.append("NOT EQUIVALENT — no concrete witness found (verdict may be conservative)")
+        if self.replay is not None:
+            lines.append(f"  replay seed      : {self.replay.seed}")
+            if self.replay.first_divergence is not None:
+                lines.append(f"  first divergence : {self.replay.first_divergence.describe()}")
+                lines.append(f"  diverging cells  : {self.replay.divergence_count}")
+            if self.replay.transformed_error:
+                lines.append(f"  transformed error: {self.replay.transformed_error}")
+            if self.replay.original_error:
+                lines.append(f"  original error   : {self.replay.original_error}")
+        for witness in self.outputs:
+            lines.append(f"  output {witness.array}:")
+            if witness.failing_domain:
+                lines.append(f"    mismatch set    : {witness.failing_domain}")
+            if witness.witness_point is not None:
+                confirmed = {True: "confirmed", False: "NOT confirmed", None: "not checked"}[
+                    witness.point_confirmed
+                ]
+                lines.append(
+                    f"    sampled witness : {_render_cell(witness.array, witness.witness_point)}"
+                    f"  ({confirmed} by replay)"
+                )
+            if witness.original_path:
+                lines.append(f"    original path   : {' -> '.join(witness.original_path)}")
+            if witness.transformed_path:
+                lines.append(f"    transformed path: {' -> '.join(witness.transformed_path)}")
+            if witness.note:
+                lines.append(f"    note            : {witness.note}")
+        if self.bisection is not None:
+            lines.append(f"  bisection        : {self.bisection.describe()}")
+        for note in self.notes:
+            lines.append(f"  note             : {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "equivalent": self.equivalent,
+            "confirmed": self.confirmed,
+            "outputs": [witness.to_dict() for witness in self.outputs],
+            "replay": None if self.replay is None else self.replay.to_dict(),
+            "bisection": None if self.bisection is None else self.bisection.to_dict(),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureReport":
+        replay = data.get("replay")
+        bisection = data.get("bisection")
+        return cls(
+            equivalent=bool(data["equivalent"]),
+            confirmed=bool(data["confirmed"]),
+            outputs=[OutputWitness.from_dict(entry) for entry in data.get("outputs", [])],
+            replay=None if replay is None else ReplayResult.from_dict(replay),
+            bisection=None if bisection is None else BisectionOutcome.from_dict(bisection),
+            notes=tuple(data.get("notes", ())),
+        )

@@ -1,0 +1,71 @@
+"""Witness synthesis: concrete points from the checker's mismatch sets.
+
+Each failing :class:`~repro.checker.result.OutputReport` carries the
+Presburger set on which the checker could not match the two programs
+(``failing_domain``, in the textual OMEGA notation the whole project uses).
+This module parses that set back and samples a concrete element from it via
+:meth:`repro.presburger.Set.sample_point` — the symbolic half of the witness
+that the replay layer then confirms (or refutes) operationally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..checker.result import EquivalenceResult, OutputReport
+from ..presburger import ParseError, Set, parse_set
+from ..presburger.errors import PresburgerError
+from .report import OutputWitness
+
+__all__ = ["sample_failing_domain", "synthesize_witnesses"]
+
+
+def sample_failing_domain(
+    domain_text: str, seed: int = 0
+) -> Tuple[Optional[Tuple[int, ...]], str]:
+    """Sample one concrete point from a rendered mismatch set.
+
+    Returns ``(point, note)``; ``point`` is ``None`` when the text does not
+    parse back into a sampleable set (exotic renderings, empty or unbounded
+    domains), in which case ``note`` says why.  Never raises.
+    """
+    try:
+        domain: Set = parse_set(domain_text)
+    except (ParseError, PresburgerError) as error:
+        return None, f"mismatch set does not parse back: {error}"
+    if domain.is_empty():
+        return None, "mismatch set is empty after simplification"
+    try:
+        return domain.sample_point(seed), ""
+    except (PresburgerError, ValueError) as error:
+        return None, f"cannot sample the mismatch set: {error}"
+
+
+def synthesize_witnesses(result: EquivalenceResult, seed: int = 0) -> list:
+    """One :class:`OutputWitness` skeleton per failing output of *result*.
+
+    The witnesses carry the sampled point and parse/sample notes; the caller
+    (:func:`repro.diagnostics.api.build_failure_report`) fills in replay
+    confirmation and dependency paths.
+    """
+    witnesses = []
+    for report in result.outputs:
+        if report.equivalent:
+            continue
+        witnesses.append(_witness_for(report, seed))
+    return witnesses
+
+
+def _witness_for(report: OutputReport, seed: int) -> OutputWitness:
+    if not report.failing_domain:
+        return OutputWitness(
+            array=report.array,
+            note="no mismatch set recorded (output missing on one side or structural failure)",
+        )
+    point, note = sample_failing_domain(report.failing_domain, seed)
+    return OutputWitness(
+        array=report.array,
+        failing_domain=report.failing_domain,
+        witness_point=point,
+        note=note,
+    )

@@ -43,7 +43,13 @@ from .errors import (
     ParseSyntaxError,
     ProgramClassError,
 )
-from .interpreter import outputs_equal, random_input_provider, run_program
+from .interpreter import (
+    ExecutionTrace,
+    outputs_equal,
+    random_input_provider,
+    run_program,
+    run_program_traced,
+)
 from .parser import parse_program
 from .printer import condition_to_text, expr_to_text, program_to_text, statement_to_text
 from .validate import check_program_class, require_program_class
@@ -57,6 +63,7 @@ __all__ = [
     "Call",
     "Comparison",
     "Condition",
+    "ExecutionTrace",
     "Expr",
     "ForLoop",
     "IfThenElse",
@@ -87,6 +94,7 @@ __all__ = [
     "random_input_provider",
     "require_program_class",
     "run_program",
+    "run_program_traced",
     "statement_to_text",
     "substitute_vars",
     "walk_expr",

@@ -22,4 +22,14 @@ class ProgramClassError(LangError):
 
 
 class InterpreterError(LangError):
-    """Raised by the reference interpreter (e.g. reading an unwritten element)."""
+    """Raised by the reference interpreter (e.g. reading an unwritten element).
+
+    ``statement_label`` names the assignment being executed when the error
+    occurred (``None`` when the failure happened outside any labelled
+    statement, e.g. while evaluating a loop bound).  The label lets witness
+    traces map a runtime failure back to its source statement.
+    """
+
+    def __init__(self, message: str, statement_label: "str | None" = None):
+        super().__init__(message)
+        self.statement_label = statement_label

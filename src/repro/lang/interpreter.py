@@ -34,9 +34,39 @@ from .ast import (
 )
 from .errors import InterpreterError
 
-__all__ = ["run_program", "random_input_provider", "outputs_equal", "InputProvider"]
+__all__ = [
+    "ExecutionTrace",
+    "run_program",
+    "run_program_traced",
+    "random_input_provider",
+    "outputs_equal",
+    "InputProvider",
+]
 
 InputProvider = Callable[[str, Tuple[int, ...]], int]
+
+
+class ExecutionTrace:
+    """Per-cell provenance of one interpreter run.
+
+    ``writers`` maps ``array -> index tuple -> statement label`` for every
+    element written by a labelled assignment during the run.  In the allowed
+    (single-assignment) program class each cell has exactly one writer, so
+    the trace answers "which statement produced this value?" — the question
+    witness replay needs when mapping a diverging output cell back to source.
+    """
+
+    __slots__ = ("writers",)
+
+    def __init__(self) -> None:
+        self.writers: Dict[str, Dict[Tuple[int, ...], str]] = {}
+
+    def record(self, array: str, index: Tuple[int, ...], label: str) -> None:
+        self.writers.setdefault(array, {})[index] = label
+
+    def writer_of(self, array: str, index: Sequence[int]) -> Optional[str]:
+        """The label of the statement that wrote ``array[index]`` (or ``None``)."""
+        return self.writers.get(array, {}).get(tuple(int(i) for i in index))
 
 
 _DEFAULT_FUNCTIONS: Dict[str, Callable[..., int]] = {
@@ -74,8 +104,10 @@ class _Machine:
         inputs: Union[Mapping[str, object], InputProvider],
         functions: Optional[Mapping[str, Callable[..., int]]] = None,
         check_single_assignment: bool = False,
+        trace: Optional[ExecutionTrace] = None,
     ):
         self.program = program
+        self.trace = trace
         self.functions = dict(_DEFAULT_FUNCTIONS)
         if functions:
             self.functions.update(functions)
@@ -105,14 +137,28 @@ class _Machine:
     # ------------------------------------------------------------------ #
     def _execute(self, statement: Statement) -> None:
         if isinstance(statement, Assignment):
-            indices = tuple(self._eval(index) for index in statement.target.indices)
-            value = self._eval(statement.rhs)
+            try:
+                indices = tuple(self._eval(index) for index in statement.target.indices)
+                value = self._eval(statement.rhs)
+            except InterpreterError as error:
+                # Attribute the failure to the statement being executed; the
+                # innermost labelled assignment wins (errors re-raised here
+                # already carry their label and pass through unchanged).
+                if error.statement_label is None and statement.label:
+                    raise InterpreterError(
+                        f"{error} (at statement {statement.label})",
+                        statement_label=statement.label,
+                    ) from None
+                raise
             target = self.arrays.setdefault(statement.target.name, {})
             if self.check_single_assignment and indices in target:
                 raise InterpreterError(
-                    f"single-assignment violation: {statement.target.name}{list(indices)} written twice"
+                    f"single-assignment violation: {statement.target.name}{list(indices)} written twice",
+                    statement_label=statement.label,
                 )
             target[indices] = value
+            if self.trace is not None and statement.label:
+                self.trace.record(statement.target.name, indices, statement.label)
             return
         if isinstance(statement, ForLoop):
             value = self._eval(statement.init)
@@ -243,6 +289,23 @@ def run_program(
     """
     machine = _Machine(program, inputs, functions, check_single_assignment)
     return machine.run()
+
+
+def run_program_traced(
+    program: Program,
+    inputs: Union[Mapping[str, object], InputProvider],
+    functions: Optional[Mapping[str, Callable[..., int]]] = None,
+    check_single_assignment: bool = False,
+) -> Tuple[Dict[str, Dict[Tuple[int, ...], int]], ExecutionTrace]:
+    """Like :func:`run_program`, additionally returning an :class:`ExecutionTrace`.
+
+    The trace records, for every written array element, the label of the
+    assignment that produced it; :mod:`repro.diagnostics` uses it to map a
+    diverging output cell of a witness replay back to the source statement.
+    """
+    trace = ExecutionTrace()
+    machine = _Machine(program, inputs, functions, check_single_assignment, trace=trace)
+    return machine.run(), trace
 
 
 def outputs_equal(

@@ -15,11 +15,12 @@ dimensions positionally and only require equal arities.
 from __future__ import annotations
 
 import itertools
+import random
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .conjunct import Conjunct, Vector
 from .constraints import AffineConstraint
-from .errors import SpaceMismatchError, UnboundedSetError
+from .errors import SpaceMismatchError, UnboundedSetError, UnsupportedOperationError
 from .linexpr import LinExpr
 from . import omega
 from . import opcache as _opcache
@@ -106,6 +107,99 @@ def _union_subtract_uncached(a: Sequence[Conjunct], b: Sequence[Conjunct]) -> Tu
         if not pieces:
             break
     return tuple(pieces)
+
+
+#: How far a 1-D feasibility scan may walk above the rational lower bound
+#: before giving up (divisibility constraints can shift the first integer
+#: solution above the bound, but only by a bounded amount; this cap turns a
+#: pathological gap into a loud error instead of a hang).
+_LEXMIN_SCAN_LIMIT = 4096
+
+
+def _min_value_1d(pieces: Sequence[Conjunct]) -> Optional[int]:
+    """The smallest integer of a union of 1-public-dimension conjuncts.
+
+    Returns ``None`` when every piece is infeasible.  Raises
+    :class:`UnboundedSetError` when a feasible piece has no finite lower
+    bound and :class:`UnsupportedOperationError` when the scan above the
+    rational bound exceeds :data:`_LEXMIN_SCAN_LIMIT` candidates.
+    """
+    best: Optional[int] = None
+    for piece in pieces:
+        normalized = omega.normalize(piece)
+        if normalized is None:
+            continue
+        # Bound the public dimension by rationally eliminating the divs.
+        div_cols = list(range(normalized.n_vars, normalized.const_col))
+        shadow = omega.real_shadow_eliminate(normalized, div_cols) if div_cols else normalized
+        lower: Optional[int] = None
+        upper: Optional[int] = None
+        bounded_source = shadow.ineqs + tuple(shadow.eqs) + tuple(
+            tuple(-x for x in eq) for eq in shadow.eqs
+        )
+        for vec in bounded_source:
+            coefficient, constant = vec[0], vec[-1]
+            if coefficient > 0:
+                bound = (-constant + coefficient - 1) // coefficient
+                lower = bound if lower is None else max(lower, bound)
+            elif coefficient < 0:
+                bound = constant // (-coefficient)
+                upper = bound if upper is None else min(upper, bound)
+        if lower is None:
+            if omega.is_feasible(normalized):
+                raise UnboundedSetError("set is unbounded below; lexmin does not exist")
+            continue
+        # The scan is capped even below a finite upper bound: a huge
+        # divisibility gap must fail loudly, not degrade into an O(gap)
+        # feasibility sweep.
+        scan_end = lower + _LEXMIN_SCAN_LIMIT
+        exhaustive = upper is not None and upper <= scan_end
+        if exhaustive:
+            scan_end = upper
+        found: Optional[int] = None
+        pruned = False
+        for value in range(lower, scan_end + 1):
+            if best is not None and value >= best:
+                pruned = True  # cannot improve on another piece's minimum
+                break
+            if omega.is_feasible(normalized.substitute_vars([value])):
+                found = value
+                break
+        if found is not None:
+            if best is None or found < best:
+                best = found
+            continue
+        if pruned or exhaustive:
+            continue  # piece cannot contribute / was scanned completely
+        if omega.is_feasible(normalized):
+            raise UnsupportedOperationError(
+                f"lexmin scan exceeded {_LEXMIN_SCAN_LIMIT} candidates above the rational bound"
+            )
+    return best
+
+
+def _lexmin_conjunct(conjunct: Conjunct) -> Optional[Tuple[int, ...]]:
+    """The lexicographically smallest integer point of one conjunct (or ``None``)."""
+    if conjunct.n_vars == 0:
+        return () if omega.is_feasible(conjunct) else None
+    projected = omega.project_cols(conjunct, list(range(1, conjunct.n_vars)))
+    value = _min_value_1d(projected)
+    if value is None:
+        return None
+    fix = (1,) + (0,) * (conjunct.n_vars - 1 + conjunct.n_div) + (-value,)
+    rest = _lexmin_union(omega.eliminate_col(conjunct.with_constraints(eqs=[fix]), 0))
+    if rest is None:  # cannot happen: *value* came from the exact projection
+        return None
+    return (value,) + rest
+
+
+def _lexmin_union(pieces: Sequence[Conjunct]) -> Optional[Tuple[int, ...]]:
+    best: Optional[Tuple[int, ...]] = None
+    for piece in pieces:
+        point = _lexmin_conjunct(piece)
+        if point is not None and (best is None or point < best):
+            best = point
+    return best
 
 
 def _lower_constraints(
@@ -356,6 +450,41 @@ class Set:
     def count(self, limit: int = 1_000_000) -> int:
         """The number of integer points of a bounded set."""
         return sum(1 for _ in self.points(limit))
+
+    def lexmin(self) -> Tuple[int, ...]:
+        """The lexicographically smallest integer point of the set (memoized).
+
+        Works on unbounded-above sets (only finite *lower* bounds are
+        required).  Raises :class:`ValueError` for an empty set and
+        :class:`UnboundedSetError` when some prefix of the lexicographic
+        order is unbounded below, so no minimum exists.
+        """
+        if self.is_empty():
+            raise ValueError("empty set has no lexicographic minimum")
+        point = _opcache.memoized(
+            "lexmin", self.conjuncts, lambda: _lexmin_union(self.conjuncts)
+        )
+        if point is None:
+            raise ValueError("empty set has no lexicographic minimum")
+        return point
+
+    def sample_point(self, seed: int = 0, limit: int = 4096) -> Tuple[int, ...]:
+        """A deterministic concrete point of the set (witness synthesis).
+
+        When the bounding box holds at most *limit* candidates the point is
+        drawn pseudo-randomly (seeded, hash-seed independent) from the full
+        enumeration; unbounded or very large sets fall back to
+        :meth:`lexmin`.  The returned point always satisfies :meth:`contains`.
+        Raises :class:`ValueError` for an empty set.
+        """
+        if self.is_empty():
+            raise ValueError("cannot sample a point from an empty set")
+        try:
+            points = list(self.points(limit=limit))
+        except (UnboundedSetError, ValueError):
+            return self.lexmin()
+        rng = random.Random(f"sample:{seed}:{len(points)}")
+        return points[rng.randrange(len(points))]
 
     # --------------------------- dunder api ---------------------------- #
     def __and__(self, other: "Set") -> "Set":

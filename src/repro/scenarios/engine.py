@@ -148,7 +148,11 @@ def build_scenarios(spec: ScenarioSpec) -> List[ScenarioPair]:
         mutated, info, bug_verdict = validated
         mutated = _canonical(mutated)
         bug_trace = list(trace) + [
-            TransformStep("mutation", f"{info['kind']} at {info['label']}: {info['description']}")
+            TransformStep(
+                "mutation",
+                f"{info['kind']} at {info['label']}: {info['description']}",
+                snapshot_source=program_to_text(mutated),
+            )
         ]
         pairs.append(
             ScenarioPair(

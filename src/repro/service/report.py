@@ -76,6 +76,20 @@ def scenario_summary(results: Sequence[JobResult]) -> Optional[Dict[str, Any]]:
     * ``incompleteness`` — the checker could not prove a pair that both the
       label and the oracle consider equivalent.  The checker is conservative
       by design, so these are tracked but not errors.
+
+    Results whose metadata carries a ``failure_report`` block (attached by
+    :func:`repro.diagnostics.attach_failure_report`, e.g. by the ``fuzz``
+    CLI) additionally populate a ``witness`` sub-block gating the *diagnosis*
+    layer:
+
+    * ``witness_errors`` — the oracle holds a concrete witness input but the
+      checker-side diagnosis could not reproduce any divergence by replay.
+      Hard error: the symbolic and concrete layers disagree about a pair
+      both call non-equivalent.
+    * ``bisection_misses`` — a mutated twin whose pipeline bisection failed
+      to name the injected mutation step.  Hard error: every proper prefix
+      of a twin's trace is equivalence-preserving by construction, so the
+      bisection must land on the mutation.
     """
     labelled = [
         outcome
@@ -131,13 +145,55 @@ def scenario_summary(results: Sequence[JobResult]) -> Optional[Dict[str, Any]]:
             and oracle_label == _LABEL_EQUIVALENT
         ):
             incompleteness.append(outcome.name)
-    return {
+    summary = {
         "labelled": len(labelled),
         "confusion": confusion,
         "oracle": oracle_counts,
         "soundness_errors": soundness_errors,
         "label_disputes": label_disputes,
         "incompleteness": incompleteness,
+    }
+    witness = _witness_summary(labelled)
+    if witness is not None:
+        summary["witness"] = witness
+    return summary
+
+
+def _witness_summary(labelled: Sequence[JobResult]) -> Optional[Dict[str, Any]]:
+    """Aggregate the ``failure_report`` diagnosis blocks of a labelled batch."""
+    diagnosed = 0
+    confirmed = 0
+    unconfirmed: List[str] = []
+    witness_errors: List[str] = []
+    bisection_hits = 0
+    bisection_misses: List[str] = []
+    for outcome in labelled:
+        failure = outcome.metadata.get("failure_report")
+        if not failure:
+            continue
+        diagnosed += 1
+        if failure.get("confirmed"):
+            confirmed += 1
+        else:
+            unconfirmed.append(outcome.name)
+            oracle = outcome.metadata.get("oracle") or {}
+            if oracle.get("witness_seed") is not None:
+                witness_errors.append(outcome.name)
+        if outcome.metadata.get("mutation") is not None:
+            bisection = failure.get("bisection") or {}
+            if bisection.get("step_name") == "mutation":
+                bisection_hits += 1
+            else:
+                bisection_misses.append(outcome.name)
+    if not diagnosed:
+        return None
+    return {
+        "diagnosed": diagnosed,
+        "confirmed": confirmed,
+        "unconfirmed": unconfirmed,
+        "witness_errors": witness_errors,
+        "bisection_hits": bisection_hits,
+        "bisection_misses": bisection_misses,
     }
 
 
@@ -311,6 +367,23 @@ def format_summary(summary: Dict[str, Any]) -> str:
                 "incomplete  : equivalent pairs the checker could not prove: "
                 + ", ".join(scenarios["incompleteness"])
             )
+        witness = scenarios.get("witness")
+        if witness:
+            lines.append(
+                f"witness     : {witness['confirmed']}/{witness['diagnosed']} failures "
+                f"confirmed by replay, {witness['bisection_hits']} bisection(s) named "
+                "the mutation"
+            )
+            if witness["witness_errors"]:
+                lines.append(
+                    "WITNESS ERRS: oracle witness exists but replay found no divergence: "
+                    + ", ".join(witness["witness_errors"])
+                )
+            if witness["bisection_misses"]:
+                lines.append(
+                    "BISECT MISS : bisection failed to name the injected mutation: "
+                    + ", ".join(witness["bisection_misses"])
+                )
     if summary["expectation_mismatches"]:
         lines.append(
             "MISMATCHES  : " + ", ".join(summary["expectation_mismatches"])

@@ -51,21 +51,29 @@ __all__ = [
 
 
 class TransformStep:
-    """A record of one applied transformation (for reporting / debugging)."""
+    """A record of one applied transformation (for reporting / debugging).
 
-    def __init__(self, name: str, detail: str):
+    ``snapshot_source`` optionally carries the mini-C source text of the
+    program *after* this step was applied.  Pipelines that capture snapshots
+    (:func:`compose_random_pipeline` does) make their traces replayable:
+    :mod:`repro.diagnostics` bisects the snapshot sequence to name the exact
+    step that broke equivalence.
+    """
+
+    def __init__(self, name: str, detail: str, snapshot_source: Optional[str] = None):
         self.name = name
         self.detail = detail
+        self.snapshot_source = snapshot_source
 
     def __repr__(self) -> str:
         return f"TransformStep({self.name}: {self.detail})"
 
     def to_dict(self) -> dict:
-        return {"name": self.name, "detail": self.detail}
+        return {"name": self.name, "detail": self.detail, "snapshot_source": self.snapshot_source}
 
     @classmethod
     def from_dict(cls, data: dict) -> "TransformStep":
-        return cls(data["name"], data.get("detail", ""))
+        return cls(data["name"], data.get("detail", ""), data.get("snapshot_source"))
 
 
 class Probe:
@@ -385,6 +393,10 @@ def compose_random_pipeline(
         if probe.guarded and check_dataflow(candidate):
             continue
         current = candidate
+        if step.snapshot_source is None:
+            from ..lang import program_to_text
+
+            step.snapshot_source = program_to_text(current)
         applied.append(step)
     return current, applied
 

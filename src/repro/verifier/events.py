@@ -16,7 +16,12 @@ called *while the check runs*:
   after the traversal, so an observer that retains them sees the final form;
 * :meth:`~CheckObserver.on_stats` — once at the end of the check, with the
   finalised :class:`~repro.checker.result.CheckStats` (frontend/engine time
-  split included).
+  split included);
+* :meth:`~CheckObserver.on_failure_report` — once per
+  :meth:`~repro.verifier.session.Verifier.diagnose` call, with the
+  :class:`~repro.diagnostics.report.FailureReport` after the diagnosis
+  stages (witness synthesis, replay, bisection) completed.  Plain
+  :meth:`~repro.verifier.session.Verifier.check` calls never emit it.
 
 Observers are caller-owned code: exceptions they raise propagate out of the
 check.  Keep callbacks cheap — they run on the checking thread.
@@ -24,9 +29,13 @@ check.  Keep callbacks cheap — they run on the checking thread.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..checker.result import CheckStats, Diagnostic, OutputReport
+
+if TYPE_CHECKING:  # annotation-only: the verifier must not import the
+    # higher-level diagnostics package at runtime (layering / cycle risk)
+    from ..diagnostics.report import FailureReport
 
 __all__ = ["CheckObserver", "CallbackObserver"]
 
@@ -43,6 +52,9 @@ class CheckObserver:
     def on_stats(self, stats: CheckStats) -> None:
         """The check finished; *stats* carries the finalised counters."""
 
+    def on_failure_report(self, report: FailureReport) -> None:
+        """A :meth:`Verifier.diagnose` run produced its failure report."""
+
 
 class CallbackObserver(CheckObserver):
     """A :class:`CheckObserver` assembled from plain callables.
@@ -58,10 +70,12 @@ class CallbackObserver(CheckObserver):
         on_output_checked: Optional[Callable[[OutputReport], None]] = None,
         on_diagnostic: Optional[Callable[[Diagnostic], None]] = None,
         on_stats: Optional[Callable[[CheckStats], None]] = None,
+        on_failure_report: Optional[Callable[[FailureReport], None]] = None,
     ):
         self._on_output_checked = on_output_checked
         self._on_diagnostic = on_diagnostic
         self._on_stats = on_stats
+        self._on_failure_report = on_failure_report
 
     def on_output_checked(self, report: OutputReport) -> None:
         if self._on_output_checked is not None:
@@ -74,6 +88,10 @@ class CallbackObserver(CheckObserver):
     def on_stats(self, stats: CheckStats) -> None:
         if self._on_stats is not None:
             self._on_stats(stats)
+
+    def on_failure_report(self, report: FailureReport) -> None:
+        if self._on_failure_report is not None:
+            self._on_failure_report(report)
 
 
 class _Broadcast(CheckObserver):
@@ -93,3 +111,7 @@ class _Broadcast(CheckObserver):
     def on_stats(self, stats: CheckStats) -> None:
         for observer in self._observers:
             observer.on_stats(stats)
+
+    def on_failure_report(self, report: FailureReport) -> None:
+        for observer in self._observers:
+            observer.on_failure_report(report)

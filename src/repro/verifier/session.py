@@ -243,6 +243,55 @@ class Verifier:
         broadcast.on_stats(result.stats)
         return result
 
+    def diagnose(
+        self,
+        original: ProgramLike,
+        transformed: ProgramLike,
+        options: Optional[CheckOptions] = None,
+        observer: Optional[CheckObserver] = None,
+        result: Optional[EquivalenceResult] = None,
+        trace: Optional[Sequence] = None,
+        replay_trials: int = 3,
+        replay_seed: int = 0,
+        witness_seed: Optional[int] = None,
+    ) -> "FailureReport":
+        """Check the pair (unless *result* is given) and explain the verdict.
+
+        Runs the :mod:`repro.diagnostics` stages over the session's compiled
+        artifacts: witness synthesis from the Presburger mismatch sets,
+        concrete interpreter replay (``replay_trials`` seeded inputs starting
+        at ``replay_seed``; a ``witness_seed`` from an external oracle
+        replays first) and — when *trace* carries the pair's recorded
+        :class:`~repro.transforms.pipeline.TransformStep` sequence — pipeline
+        bisection.  The check itself streams through the observer protocol as
+        usual; the finished :class:`~repro.diagnostics.report.FailureReport`
+        is additionally broadcast via
+        :meth:`~repro.verifier.events.CheckObserver.on_failure_report`.
+        An equivalent verdict yields an empty report (nothing to diagnose).
+        """
+        from ..diagnostics import build_failure_report
+
+        broadcast = self._broadcast(observer)
+        original_compiled = self.compile(original)
+        transformed_compiled = self.compile(transformed)
+        if result is None:
+            result = self.check(
+                original_compiled, transformed_compiled, options=options, observer=observer
+            )
+        report = build_failure_report(
+            original_compiled.program,
+            transformed_compiled.program,
+            result,
+            trace=trace,
+            trials=replay_trials,
+            base_seed=replay_seed,
+            witness_seed=witness_seed,
+            original_addg=_addg_if_built(original_compiled),
+            transformed_addg=_addg_if_built(transformed_compiled),
+        )
+        broadcast.on_failure_report(report)
+        return report
+
     def check_addgs(
         self,
         original: ADDG,
@@ -263,6 +312,14 @@ class Verifier:
         if observer is not None:
             observers.append(observer)
         return _Broadcast(observers)
+
+
+def _addg_if_built(compiled: CompiledProgram) -> Optional[ADDG]:
+    """The compiled ADDG, or ``None`` when extraction fails (handled downstream)."""
+    try:
+        return compiled.addg
+    except Exception:
+        return None
 
 
 def _traverse(

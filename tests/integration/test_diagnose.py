@@ -1,0 +1,195 @@
+"""End-to-end diagnosis: the acceptance contract of :mod:`repro.diagnostics`.
+
+For every mutated pair of the fuzz smoke corpus, ``diagnose`` must yield a
+concrete input on which interpreter replay reproduces the divergence (the
+witness is confirmed end to end), and pipeline bisection must name the
+injected mutation step.  The CLI surfaces (``diagnose`` subcommand, ``check
+--json``, the fuzz witness gates) are exercised on top.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import ScenarioSpec, build_scenarios
+from repro.verifier import Verifier
+
+ORIGINAL = """
+#define N 8
+void f(int A[N], int C[N])
+{
+  int i;
+  int tmp[N];
+  for (i = 0; i < N; i++) {
+s1: tmp[i] = A[i] * 2;
+  }
+  for (i = 0; i < N; i++) {
+s2: C[i] = tmp[i] + 1;
+  }
+}
+"""
+
+BUGGY = """
+#define N 8
+void f(int A[N], int C[N])
+{
+  int i;
+  for (i = 0; i < N; i++) {
+t1: C[i] = A[i] * 2 + 2;
+  }
+}
+"""
+
+EQUIVALENT = """
+#define N 8
+void f(int A[N], int C[N])
+{
+  int i;
+  for (i = 0; i < N; i++) {
+t1: C[i] = A[i] * 2 + 1;
+  }
+}
+"""
+
+#: The fuzz smoke corpus shape (kept in sync with `fuzz --smoke`).
+SMOKE_SPEC = ScenarioSpec(seed=0, pairs=12, size=14, max_depth=3)
+
+
+@pytest.fixture(scope="module")
+def smoke_pairs():
+    return build_scenarios(SMOKE_SPEC)
+
+
+class TestSmokeCorpusAcceptance:
+    def test_every_mutated_pair_yields_a_confirmed_witness_and_named_mutation(
+        self, smoke_pairs
+    ):
+        buggy = [pair for pair in smoke_pairs if not pair.expected_equivalent]
+        assert buggy, "smoke corpus must contain mutated twins"
+        verifier = Verifier()
+        for pair in buggy:
+            result = verifier.check(pair.original, pair.transformed)
+            assert not result.equivalent, f"{pair.name}: checker missed the mutation"
+            report = verifier.diagnose(
+                pair.original, pair.transformed, result=result, trace=pair.trace
+            )
+            assert report.confirmed, f"{pair.name}: replay found no divergence"
+            assert report.replay is not None and report.replay.diverged
+            assert report.bisection is not None, f"{pair.name}: no bisection ran"
+            assert report.bisection.localized, f"{pair.name}: bisection inconclusive"
+            assert report.bisection.step_name == "mutation", (
+                f"{pair.name}: bisection blamed {report.bisection.step_name!r} "
+                "instead of the injected mutation"
+            )
+            assert report.bisection.step_index == len(pair.trace) - 1
+
+    def test_checker_and_oracle_witnesses_agree(self, smoke_pairs):
+        """The two independent witness layers point at the same divergence."""
+        verifier = Verifier()
+        for pair in smoke_pairs:
+            if pair.expected_equivalent or pair.oracle is None:
+                continue
+            assert pair.oracle.witness_seed is not None
+            report = verifier.diagnose(
+                pair.original, pair.transformed, replay_seed=pair.oracle.witness_seed
+            )
+            # Replaying the oracle's own witness seed must reproduce the
+            # divergence the oracle saw.
+            assert report.confirmed
+            assert report.replay.seed == pair.oracle.witness_seed
+
+
+class TestDiagnoseCli:
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_diagnose_subcommand_prints_a_confirmed_report(self, tmp_path, capsys):
+        original = self._write(tmp_path, "orig.c", ORIGINAL)
+        buggy = self._write(tmp_path, "buggy.c", BUGGY)
+        exit_code = main(["diagnose", original, buggy, "--quiet"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "witness confirmed" in out
+        assert "first divergence" in out
+        assert "by s2" in out and "by t1" in out
+
+    def test_diagnose_json_is_a_failure_report(self, tmp_path, capsys):
+        original = self._write(tmp_path, "orig.c", ORIGINAL)
+        buggy = self._write(tmp_path, "buggy.c", BUGGY)
+        exit_code = main(["diagnose", original, buggy, "--json", "--quiet"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["confirmed"] is True
+        assert payload["replay"]["diverged"] is True
+
+    def test_diagnose_equivalent_pair_exits_zero(self, tmp_path, capsys):
+        original = self._write(tmp_path, "orig.c", ORIGINAL)
+        equivalent = self._write(tmp_path, "equiv.c", EQUIVALENT)
+        exit_code = main(["diagnose", original, equivalent, "--quiet"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "nothing to diagnose" in out
+
+    def test_check_json_emits_the_result_schema(self, tmp_path, capsys):
+        original = self._write(tmp_path, "orig.c", ORIGINAL)
+        buggy = self._write(tmp_path, "buggy.c", BUGGY)
+        exit_code = main(["check", original, buggy, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        # The same schema the batch JSONL rows embed per result.
+        assert payload["equivalent"] is False
+        assert {"outputs", "diagnostics", "stats", "method"} <= set(payload)
+        from repro.checker import EquivalenceResult
+
+        assert not EquivalenceResult.from_dict(payload).equivalent
+
+    def test_check_json_equivalent_pair(self, tmp_path, capsys):
+        original = self._write(tmp_path, "orig.c", ORIGINAL)
+        equivalent = self._write(tmp_path, "equiv.c", EQUIVALENT)
+        exit_code = main(["check", original, equivalent, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0 and payload["equivalent"] is True
+
+
+class TestFuzzWitnessGates:
+    def test_smoke_report_carries_failure_reports_and_witness_block(self, tmp_path):
+        report = tmp_path / "report.jsonl"
+        exit_code = main(["fuzz", "--smoke", "--report", str(report), "--quiet"])
+        assert exit_code == 0
+        rows, summary = [], None
+        with open(report, "r", encoding="utf-8") as handle:
+            for line in handle:
+                row = json.loads(line)
+                if row.get("type") == "summary":
+                    summary = row
+                else:
+                    rows.append(row)
+        failing = [row for row in rows if row["equivalent"] is False]
+        assert failing, "smoke corpus must contain caught mutations"
+        for row in failing:
+            block = row["metadata"]["failure_report"]
+            assert block["confirmed"] is True
+            assert block["bisection"]["step_name"] == "mutation"
+        witness = summary["scenarios"]["witness"]
+        assert witness["diagnosed"] == len(failing)
+        assert witness["confirmed"] == len(failing)
+        assert witness["witness_errors"] == []
+        assert witness["bisection_misses"] == []
+
+    def test_no_diagnose_skips_the_witness_block(self, tmp_path):
+        report = tmp_path / "report.jsonl"
+        exit_code = main(
+            ["fuzz", "--pairs", "4", "--size", "12", "--no-diagnose",
+             "--report", str(report), "--quiet"]
+        )
+        assert exit_code == 0
+        with open(report, "r", encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle]
+        summary = next(row for row in rows if row.get("type") == "summary")
+        assert "witness" not in summary["scenarios"]
+        for row in rows:
+            if row.get("type") != "summary":
+                assert "failure_report" not in row["metadata"]

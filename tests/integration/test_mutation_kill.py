@@ -100,3 +100,47 @@ def test_mutator_is_killed_on_kernel(kernel, mutator):
         f"checker proved {kernel} equivalent to its {mutator} mutant "
         f"({mutation.description}) — soundness bug"
     )
+
+
+@pytest.mark.parametrize("mutator", MUTATORS)
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_checker_and_oracle_witnesses_agree(kernel, mutator):
+    """The symbolic and the concrete witness name the same divergence.
+
+    For every killed mutant, diagnosing the checker verdict must reproduce
+    the divergence by interpreter replay on the oracle's own witness seed,
+    and every concrete point sampled from a checker mismatch set must be a
+    cell on which the replay actually observed different values — the two
+    independent witness layers agree.
+    """
+    original = kernel_pair(kernel, **SMALL_KERNEL_PARAMS.get(kernel, {})).original
+    applied = _apply_mutator(original, mutator)
+    if applied is None:
+        pytest.skip(f"{mutator} applies nowhere in kernel {kernel}")
+    mutated, _mutation = applied
+
+    verdict = differential_label(original, mutated, trials=3)
+    assert verdict.distinguished and verdict.witness_seed is not None
+
+    verifier = Verifier()
+    result = verifier.check(original, mutated)
+    assert not result.equivalent
+
+    report = verifier.diagnose(
+        original, mutated, result=result, replay_seed=verdict.witness_seed
+    )
+    assert report.confirmed, (
+        f"checker-side replay cannot reproduce the {mutator} divergence on "
+        f"{kernel} although the oracle holds witness seed {verdict.witness_seed}"
+    )
+    assert report.replay.seed == verdict.witness_seed
+    if report.replay.transformed_error is not None:
+        # A runtime-crashing mutant is its own witness; the error must be
+        # attributed to a statement for the trace to be actionable.
+        assert report.replay.transformed_error_statement is not None
+    for witness in report.outputs:
+        if witness.witness_point is not None and report.replay.first_divergence is not None:
+            assert witness.point_confirmed is True, (
+                f"sampled checker witness {witness.array}{list(witness.witness_point)} "
+                f"does not diverge under replay on {kernel}/{mutator}"
+            )

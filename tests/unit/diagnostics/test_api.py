@@ -1,0 +1,143 @@
+"""The assembled diagnosis: build_failure_report, Verifier.diagnose, the
+service hook and the observer protocol extension."""
+
+from repro.diagnostics import FailureReport, attach_failure_report, build_failure_report, diagnose
+from repro.lang import parse_program
+from repro.service import BatchExecutor, VerificationJob
+from repro.verifier import CallbackObserver, CheckObserver, Verifier
+
+ORIGINAL = """
+#define N 8
+void f(int A[N], int C[N])
+{
+  int i;
+  int tmp[N];
+  for (i = 0; i < N; i++) {
+s1: tmp[i] = A[i] * 2;
+  }
+  for (i = 0; i < N; i++) {
+s2: C[i] = tmp[i] + 1;
+  }
+}
+"""
+
+BUGGY = """
+#define N 8
+void f(int A[N], int C[N])
+{
+  int i;
+  for (i = 0; i < N; i++) {
+t1: C[i] = A[i] * 2 + 2;
+  }
+}
+"""
+
+EQUIVALENT = """
+#define N 8
+void f(int A[N], int C[N])
+{
+  int i;
+  for (i = 0; i < N; i++) {
+t1: C[i] = A[i] * 2 + 1;
+  }
+}
+"""
+
+
+class TestBuildFailureReport:
+    def test_non_equivalent_pair_is_confirmed_with_paths(self):
+        verifier = Verifier()
+        result = verifier.check(ORIGINAL, BUGGY)
+        assert not result.equivalent
+        report = build_failure_report(ORIGINAL, BUGGY, result)
+        assert not report.equivalent
+        assert report.confirmed
+        assert report.replay is not None and report.replay.diverged
+        cell = report.replay.first_divergence
+        assert cell.array == "C"
+        assert cell.original_statement == "s2"
+        assert cell.transformed_statement == "t1"
+        [witness] = report.outputs
+        assert witness.array == "C"
+        assert witness.original_path[0].startswith("C[")
+        assert witness.original_path[-1].startswith("A[")
+
+    def test_equivalent_result_yields_an_empty_report(self):
+        verifier = Verifier()
+        result = verifier.check(ORIGINAL, EQUIVALENT)
+        assert result.equivalent
+        report = build_failure_report(ORIGINAL, EQUIVALENT, result)
+        assert report.equivalent
+        assert not report.confirmed
+        assert report.outputs == [] and report.replay is None
+
+    def test_accepts_source_text_and_programs(self):
+        verifier = Verifier()
+        result = verifier.check(ORIGINAL, BUGGY)
+        from_text = build_failure_report(ORIGINAL, BUGGY, result)
+        from_programs = build_failure_report(
+            parse_program(ORIGINAL), parse_program(BUGGY), result
+        )
+        assert from_text.confirmed == from_programs.confirmed
+
+    def test_witness_seed_replays_first(self):
+        verifier = Verifier()
+        result = verifier.check(ORIGINAL, BUGGY)
+        report = build_failure_report(ORIGINAL, BUGGY, result, witness_seed=17)
+        assert report.replay.seed == 17
+
+
+class TestVerifierDiagnose:
+    def test_diagnose_runs_the_check_when_no_result_is_given(self):
+        report = Verifier().diagnose(ORIGINAL, BUGGY)
+        assert isinstance(report, FailureReport)
+        assert report.confirmed
+
+    def test_diagnose_streams_through_the_observer_protocol(self):
+        reports = []
+        observer = CallbackObserver(on_failure_report=reports.append)
+        verifier = Verifier(observers=[observer])
+        verifier.diagnose(ORIGINAL, BUGGY)
+        assert len(reports) == 1 and reports[0].confirmed
+
+    def test_base_observer_hook_is_a_no_op(self):
+        CheckObserver().on_failure_report(FailureReport(equivalent=False, confirmed=False))
+
+    def test_one_shot_diagnose_convenience(self):
+        report = diagnose(ORIGINAL, BUGGY)
+        assert report.confirmed
+
+    def test_diagnose_reuses_a_given_result(self):
+        verifier = Verifier()
+        result = verifier.check(ORIGINAL, BUGGY)
+        report = verifier.diagnose(ORIGINAL, BUGGY, result=result)
+        assert report.confirmed
+
+
+class TestAttachFailureReport:
+    def _run(self, name, original, transformed, expected=None):
+        job = VerificationJob(
+            name=name,
+            original_source=original,
+            transformed_source=transformed,
+            expected_equivalent=expected,
+        )
+        [outcome] = BatchExecutor(cache=None).run([job])
+        return job, outcome
+
+    def test_attaches_a_serialised_report_to_failing_jobs(self):
+        job, outcome = self._run("pair/buggy", ORIGINAL, BUGGY, expected=False)
+        report = attach_failure_report(outcome, job)
+        assert report is not None and report.confirmed
+        block = outcome.metadata["failure_report"]
+        assert block["confirmed"] is True
+        assert FailureReport.from_dict(block).confirmed
+
+    def test_skips_equivalent_outcomes(self):
+        job, outcome = self._run("pair/ok", ORIGINAL, EQUIVALENT, expected=True)
+        assert attach_failure_report(outcome, job) is None
+        assert "failure_report" not in outcome.metadata
+
+    def test_skips_unmatched_jobs(self):
+        _job, outcome = self._run("pair/buggy", ORIGINAL, BUGGY)
+        assert attach_failure_report(outcome, None) is None

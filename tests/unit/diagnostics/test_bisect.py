@@ -1,0 +1,116 @@
+"""Pipeline bisection over recorded transformation traces."""
+
+import random
+
+from repro.diagnostics import bisect_trace
+from repro.lang import parse_program, program_to_text
+from repro.transforms import TransformStep, compose_random_pipeline, extended_probes
+from repro.transforms.mutate import perturb_write_index
+
+BASE = """
+#define N 10
+void f(int A[N], int C[N])
+{
+  int i;
+  int tmp[N];
+  for (i = 0; i < N; i++) {
+s1: tmp[i] = A[i] * 2;
+  }
+  for (i = 0; i < N; i++) {
+s2: C[i] = tmp[i] + 1;
+  }
+}
+"""
+
+
+def _pipeline_with_mutation(seed=0, steps=3):
+    """An equivalence-preserving pipeline followed by one injected mutation."""
+    original = parse_program(BASE)
+    rng = random.Random(seed)
+    transformed, trace = compose_random_pipeline(
+        original, rng, steps=steps, probes=extended_probes()
+    )
+    labels = [a.label for a in transformed.assignments() if a.label]
+    mutated, mutation = perturb_write_index(transformed, labels[-1])
+    trace = list(trace) + [
+        TransformStep(
+            "mutation", mutation.description, snapshot_source=program_to_text(mutated)
+        )
+    ]
+    return original, trace
+
+
+class TestBisectTrace:
+    def test_names_the_injected_mutation(self):
+        original, trace = _pipeline_with_mutation()
+        assert len(trace) >= 2  # at least one preserving step + the mutation
+        outcome = bisect_trace(original, trace)
+        assert outcome.localized
+        assert outcome.step_index == len(trace) - 1
+        assert outcome.step_name == "mutation"
+
+    def test_logarithmic_judge_count(self):
+        original, trace = _pipeline_with_mutation(seed=1, steps=5)
+        outcome = bisect_trace(original, trace)
+        assert outcome.localized
+        # Bisection pays O(log n) judge evaluations, never one per step.
+        assert outcome.judged <= len(trace).bit_length() + 1
+
+    def test_compose_random_pipeline_records_snapshots(self):
+        original = parse_program(BASE)
+        _, trace = compose_random_pipeline(
+            original, random.Random(0), steps=3, probes=extended_probes()
+        )
+        assert trace
+        for step in trace:
+            assert step.snapshot_source
+            parse_program(step.snapshot_source)  # snapshots re-parse
+
+    def test_equivalent_trace_is_inconclusive(self):
+        original = parse_program(BASE)
+        transformed, trace = compose_random_pipeline(
+            original, random.Random(2), steps=3, probes=extended_probes()
+        )
+        outcome = bisect_trace(original, trace)
+        assert outcome is not None
+        assert not outcome.localized
+        assert "cannot distinguish" in outcome.detail
+
+    def test_empty_trace_returns_none(self):
+        assert bisect_trace(parse_program(BASE), []) is None
+
+    def test_trace_without_snapshots_is_inconclusive(self):
+        original, trace = _pipeline_with_mutation()
+        stripped = [TransformStep(step.name, step.detail) for step in trace]
+        outcome = bisect_trace(original, stripped)
+        assert not outcome.localized
+        assert "no replayable snapshots" in outcome.detail
+
+    def test_partial_snapshots_still_localize(self):
+        original, trace = _pipeline_with_mutation(seed=3, steps=4)
+        # Drop the snapshots of the preserving steps; the mutation keeps its
+        # own, so bisection can still land on it.
+        for step in trace[:-1]:
+            step.snapshot_source = None
+        outcome = bisect_trace(original, trace)
+        assert outcome.localized
+        assert outcome.step_name == "mutation"
+
+    def test_custom_judge_is_honoured(self):
+        original, trace = _pipeline_with_mutation(seed=4, steps=2)
+        calls = []
+
+        def never_broken(_program):
+            calls.append(1)
+            return False
+
+        outcome = bisect_trace(original, trace, judge=never_broken)
+        assert not outcome.localized
+        assert calls  # the custom judge actually ran
+
+    def test_step_snapshot_round_trips_through_dict(self):
+        step = TransformStep("loop-shift", "loop of s1 by 1", snapshot_source="void f() {}")
+        rebuilt = TransformStep.from_dict(step.to_dict())
+        assert rebuilt.snapshot_source == step.snapshot_source
+        legacy = TransformStep.from_dict({"name": "x", "detail": "y"})
+        assert legacy.snapshot_source is None

@@ -1,0 +1,105 @@
+"""Serialisation round-trips and rendering of the failure-report model."""
+
+from repro.diagnostics import (
+    BisectionOutcome,
+    FailureReport,
+    OutputWitness,
+    ReplayResult,
+    WitnessCell,
+)
+
+
+def _full_report() -> FailureReport:
+    cell = WitnessCell(
+        array="C",
+        index=(2, 3),
+        original_value=7,
+        transformed_value=9,
+        original_statement="s2",
+        transformed_statement="t4",
+    )
+    replay = ReplayResult(seed=5, diverged=True, divergence_count=4, first_divergence=cell)
+    witness = OutputWitness(
+        array="C",
+        failing_domain="{ [i, j] : 0 <= i < 4 and 0 <= j < 4 }",
+        witness_point=(2, 3),
+        point_confirmed=True,
+        original_path=("C[2, 3]", "s2", "A[2, 3]"),
+        transformed_path=("C[2, 3]", "t4", "A[2, 4]"),
+    )
+    bisection = BisectionOutcome(
+        step_index=3, step_name="mutation", step_detail="write-index at t4", judged=3
+    )
+    return FailureReport(
+        equivalent=False,
+        confirmed=True,
+        outputs=[witness],
+        replay=replay,
+        bisection=bisection,
+        notes=("a note",),
+    )
+
+
+class TestRoundTrips:
+    def test_full_report_round_trips(self):
+        report = _full_report()
+        rebuilt = FailureReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.confirmed is True
+        assert rebuilt.outputs[0].witness_point == (2, 3)
+        assert rebuilt.replay.first_divergence.index == (2, 3)
+        assert rebuilt.bisection.step_index == 3
+
+    def test_json_serialisable(self):
+        import json
+
+        payload = json.dumps(_full_report().to_dict(), sort_keys=True)
+        assert FailureReport.from_dict(json.loads(payload)).confirmed is True
+
+    def test_minimal_report_round_trips(self):
+        report = FailureReport(equivalent=True, confirmed=False)
+        rebuilt = FailureReport.from_dict(report.to_dict())
+        assert rebuilt.equivalent is True
+        assert rebuilt.outputs == []
+        assert rebuilt.replay is None and rebuilt.bisection is None
+
+    def test_error_replay_round_trips(self):
+        replay = ReplayResult(
+            seed=1,
+            diverged=True,
+            transformed_error="read of undefined element C[9] (at statement t2)",
+            transformed_error_statement="t2",
+        )
+        rebuilt = ReplayResult.from_dict(replay.to_dict())
+        assert rebuilt.transformed_error_statement == "t2"
+        assert rebuilt.first_divergence is None
+
+
+class TestRendering:
+    def test_format_mentions_the_evidence(self):
+        text = _full_report().format()
+        assert "witness confirmed" in text
+        assert "C[2, 3]" in text
+        assert "by s2" in text and "by t4" in text
+        assert "mutation" in text
+        assert "a note" in text
+
+    def test_equivalent_report_renders_as_nothing_to_diagnose(self):
+        assert "nothing to diagnose" in FailureReport(equivalent=True, confirmed=False).format()
+
+    def test_unconfirmed_report_says_so(self):
+        report = FailureReport(equivalent=False, confirmed=False)
+        assert "no concrete witness" in report.format()
+
+    def test_bisection_describe(self):
+        hit = BisectionOutcome(step_index=0, step_name="loop-shift", step_detail="s1", judged=2)
+        assert "step 1" in hit.describe()
+        assert hit.localized
+        miss = BisectionOutcome(step_index=None, detail="no snapshots")
+        assert not miss.localized
+        assert "inconclusive" in miss.describe()
+
+    def test_witness_cell_describe_undefined_side(self):
+        cell = WitnessCell(array="y", index=(0,), original_value=3, original_statement="s9")
+        text = cell.describe()
+        assert "undefined" in text and "by s9" in text

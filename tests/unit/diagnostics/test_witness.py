@@ -1,0 +1,61 @@
+"""Witness synthesis from rendered Presburger mismatch sets."""
+
+from repro.checker.result import EquivalenceResult, OutputReport
+from repro.diagnostics import sample_failing_domain, synthesize_witnesses
+from repro.presburger import parse_set
+
+
+class TestSampleFailingDomain:
+    def test_samples_a_member_of_the_set(self):
+        text = "{ [i] : 0 <= i < 16 }"
+        point, note = sample_failing_domain(text)
+        assert note == ""
+        assert parse_set(text).contains(point)
+
+    def test_rendered_existentials_round_trip(self):
+        # The checker renders div variables as plain `e0` names; the parser
+        # treats unknown names as implicitly existential, so sampling works.
+        text = "{ [w0] : exists e0 : w0 = 2e0 and 0 <= w0 < 10 }"
+        point, note = sample_failing_domain(text)
+        assert note == ""
+        assert point[0] % 2 == 0
+
+    def test_garbage_text_degrades_gracefully(self):
+        point, note = sample_failing_domain("not a set at all")
+        assert point is None
+        assert "does not parse" in note
+
+    def test_empty_set_degrades_gracefully(self):
+        point, note = sample_failing_domain("{ [i] : i > 0 and i < 0 }")
+        assert point is None
+        assert "empty" in note
+
+    def test_deterministic_per_seed(self):
+        text = "{ [i, j] : 0 <= i < 9 and 0 <= j < 9 }"
+        assert sample_failing_domain(text, seed=4) == sample_failing_domain(text, seed=4)
+
+
+class TestSynthesizeWitnesses:
+    def test_one_witness_per_failing_output(self):
+        result = EquivalenceResult(
+            equivalent=False,
+            outputs=[
+                OutputReport(array="C", equivalent=True),
+                OutputReport(
+                    array="D", equivalent=False, failing_domain="{ [i] : 0 <= i < 4 }"
+                ),
+                OutputReport(array="E", equivalent=False),
+            ],
+        )
+        witnesses = synthesize_witnesses(result)
+        assert [w.array for w in witnesses] == ["D", "E"]
+        assert witnesses[0].witness_point is not None
+        assert parse_set("{ [i] : 0 <= i < 4 }").contains(witnesses[0].witness_point)
+        assert witnesses[1].witness_point is None
+        assert "no mismatch set" in witnesses[1].note
+
+    def test_equivalent_result_yields_no_witnesses(self):
+        result = EquivalenceResult(
+            equivalent=True, outputs=[OutputReport(array="C", equivalent=True)]
+        )
+        assert synthesize_witnesses(result) == []

@@ -1,0 +1,111 @@
+"""Traced execution and statement-label attribution of the interpreter.
+
+Witness replay (:mod:`repro.diagnostics.replay`) maps diverging cells and
+runtime failures back to source statements; these tests pin the two
+contracts it relies on: :func:`run_program_traced` records the writing
+assignment of every cell, and :class:`InterpreterError` carries the label of
+the statement it originated in.
+"""
+
+import pytest
+
+from repro.lang import (
+    parse_program,
+    random_input_provider,
+    run_program,
+    run_program_traced,
+)
+from repro.lang.errors import InterpreterError
+
+SOURCE = """
+#define N 6
+void f(int A[N], int C[N])
+{
+  int i;
+  int tmp[N];
+  for (i = 0; i < N; i++) {
+s1: tmp[i] = A[i] * 2;
+  }
+  for (i = 0; i < N; i++) {
+s2: C[i] = tmp[i] + 1;
+  }
+}
+"""
+
+BROKEN_SOURCE = """
+#define N 6
+void f(int A[N], int C[N])
+{
+  int i;
+  int tmp[N];
+  for (i = 0; i < N; i++) {
+s1: tmp[i] = A[i] * 2;
+  }
+  for (i = 0; i < N; i++) {
+s2: C[i] = tmp[i + 1] + 1;
+  }
+}
+"""
+
+
+class TestTracedRun:
+    def test_outputs_match_untraced_run(self):
+        program = parse_program(SOURCE)
+        provider = random_input_provider(0)
+        plain = run_program(program, provider)
+        traced, trace = run_program_traced(program, random_input_provider(0))
+        assert plain == traced
+        assert trace.writers  # something was recorded
+
+    def test_writers_name_the_assignments(self):
+        program = parse_program(SOURCE)
+        _, trace = run_program_traced(program, random_input_provider(0))
+        for i in range(6):
+            assert trace.writer_of("tmp", (i,)) == "s1"
+            assert trace.writer_of("C", (i,)) == "s2"
+
+    def test_writer_of_unknown_cell_is_none(self):
+        program = parse_program(SOURCE)
+        _, trace = run_program_traced(program, random_input_provider(0))
+        assert trace.writer_of("C", (99,)) is None
+        assert trace.writer_of("nope", (0,)) is None
+
+    def test_input_cells_have_no_writer(self):
+        program = parse_program(SOURCE)
+        _, trace = run_program_traced(program, random_input_provider(0))
+        assert trace.writer_of("A", (0,)) is None
+
+
+class TestErrorAttribution:
+    def test_undefined_read_carries_the_statement_label(self):
+        program = parse_program(BROKEN_SOURCE)
+        with pytest.raises(InterpreterError) as excinfo:
+            run_program(program, random_input_provider(0))
+        assert excinfo.value.statement_label == "s2"
+        assert "s2" in str(excinfo.value)
+
+    def test_traced_run_attributes_errors_too(self):
+        program = parse_program(BROKEN_SOURCE)
+        with pytest.raises(InterpreterError) as excinfo:
+            run_program_traced(program, random_input_provider(0))
+        assert excinfo.value.statement_label == "s2"
+
+    def test_single_assignment_violation_carries_the_label(self):
+        source = """
+        #define N 4
+        void f(int A[N], int C[N])
+        {
+          int i;
+          for (i = 0; i < N; i++) {
+        s1: C[0] = A[i];
+          }
+        }
+        """
+        program = parse_program(source)
+        with pytest.raises(InterpreterError) as excinfo:
+            run_program(program, random_input_provider(0), check_single_assignment=True)
+        assert excinfo.value.statement_label == "s1"
+
+    def test_label_defaults_to_none(self):
+        error = InterpreterError("boom")
+        assert error.statement_label is None

@@ -1,0 +1,165 @@
+"""Point sampling and lexicographic minima of integer sets.
+
+The witness-synthesis layer (:mod:`repro.diagnostics.witness`) relies on two
+contracts of :meth:`Set.sample_point` / :meth:`Set.lexmin`: every returned
+point is a member of the set, and the lexicographic minimum really is the
+smallest point under tuple order.  Both are checked here on hand-written
+edge cases (empty, unbounded, single-point, divisibility-constrained) and by
+a differential sweep against full enumeration.
+"""
+
+import random
+
+import pytest
+
+from repro.presburger import (
+    Set,
+    UnboundedSetError,
+    eq_,
+    ge_,
+    le_,
+    lt_,
+    parse_set,
+)
+from repro.presburger.linexpr import LinExpr
+
+
+class TestLexmin:
+    def test_simple_box(self):
+        s = parse_set("{ [i, j] : 0 <= i < 8 and 0 <= j < 8 }")
+        assert s.lexmin() == (0, 0)
+
+    def test_triangular_domain(self):
+        s = parse_set("{ [i, j] : 0 <= i < 8 and i < j < 8 }")
+        assert s.lexmin() == (0, 1)
+
+    def test_single_point_set(self):
+        s = parse_set("{ [i, j] : i = 2 and j = -3 }")
+        assert s.lexmin() == (2, -3)
+
+    def test_union_takes_the_smaller_piece(self):
+        s = parse_set("{ [k] : 0 <= k < 8 ; [k] : -5 <= k < -2 }")
+        assert s.lexmin() == (-5,)
+
+    def test_unbounded_above_is_fine(self):
+        s = parse_set("{ [i] : i >= 4 }")
+        assert s.lexmin() == (4,)
+
+    def test_divisibility_shifts_the_minimum(self):
+        s = parse_set("{ [i] : exists e : i = 3e and 5 <= i < 50 }")
+        assert s.lexmin() == (6,)
+
+    def test_negative_first_dimension_dominates(self):
+        s = parse_set("{ [i, j] : -3 <= i <= 3 and 10 - i <= j <= 20 }")
+        assert s.lexmin() == (-3, 13)
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            parse_set("{ [i] : i > 0 and i < 0 }").lexmin()
+        with pytest.raises(ValueError):
+            Set.empty(["i"]).lexmin()
+
+    def test_unbounded_below_raises(self):
+        with pytest.raises(UnboundedSetError):
+            parse_set("{ [i] : i <= 4 }").lexmin()
+        with pytest.raises(UnboundedSetError):
+            Set.universe(["i", "j"]).lexmin()
+
+    def test_second_dimension_unbounded_below_raises(self):
+        with pytest.raises(UnboundedSetError):
+            parse_set("{ [i, j] : 0 <= i < 4 and j <= i }").lexmin()
+
+    def test_zero_dimensional_set(self):
+        assert Set.universe([]).lexmin() == ()
+
+    def test_huge_divisibility_gap_fails_loudly_not_slowly(self):
+        # The scan above the rational lower bound is capped even when a
+        # finite upper bound exists — a pathological modulus must raise, not
+        # degrade into an O(gap) feasibility sweep.
+        from repro.presburger import UnsupportedOperationError
+
+        s = parse_set("{ [x] : 1 <= x and x <= 2000000 and exists d : x = 500000 d }")
+        with pytest.raises(UnsupportedOperationError):
+            s.lexmin()
+
+    def test_moderate_divisibility_gap_within_the_cap_succeeds(self):
+        s = parse_set("{ [x] : 1 <= x <= 20000 and exists d : x = 3000 d }")
+        assert s.lexmin() == (3000,)
+
+    def test_matches_enumeration_on_random_boxes(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            low_i, low_j = rng.randint(-6, 2), rng.randint(-6, 2)
+            size_i, size_j = rng.randint(1, 5), rng.randint(1, 5)
+            constraints = [
+                ge_(LinExpr.var("i"), LinExpr.constant(low_i)),
+                lt_(LinExpr.var("i"), LinExpr.constant(low_i + size_i)),
+                ge_(LinExpr.var("j"), LinExpr.constant(low_j)),
+                lt_(LinExpr.var("j"), LinExpr.constant(low_j + size_j)),
+                ge_(LinExpr.var("i") + LinExpr.var("j"), LinExpr.constant(low_i + low_j)),
+            ]
+            s = Set.build(["i", "j"], constraints)
+            if s.is_empty():
+                continue
+            assert s.lexmin() == min(s.points())
+
+
+class TestSamplePoint:
+    def test_member_of_simple_sets(self):
+        s = parse_set("{ [i, j] : 0 <= i < 10 and i <= j < 10 }")
+        for seed in range(10):
+            assert s.contains(s.sample_point(seed))
+
+    def test_deterministic_per_seed(self):
+        s = parse_set("{ [i] : 0 <= i < 100 }")
+        assert s.sample_point(3) == s.sample_point(3)
+        assert {s.sample_point(seed) for seed in range(20)} != {s.sample_point(0)}
+
+    def test_single_point_set(self):
+        s = Set.from_points(["i", "j"], [(4, 5)])
+        assert s.sample_point() == (4, 5)
+        assert s.sample_point(99) == (4, 5)
+
+    def test_unbounded_set_falls_back_to_lexmin(self):
+        s = parse_set("{ [i] : i >= 7 }")
+        assert s.sample_point() == (7,)
+        assert s.sample_point(12) == (7,)
+
+    def test_huge_box_falls_back_to_lexmin(self):
+        s = parse_set("{ [i, j] : 0 <= i < 10000 and 0 <= j < 10000 }")
+        assert s.sample_point(limit=100) == (0, 0)
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            Set.empty(["i"]).sample_point()
+
+    def test_divisibility_sample_satisfies_the_constraint(self):
+        s = parse_set("{ [i] : exists e : i = 4e and 0 <= i < 64 }")
+        for seed in range(8):
+            point = s.sample_point(seed)
+            assert point[0] % 4 == 0
+            assert s.contains(point)
+
+    def test_differential_sweep_every_sample_satisfies_its_conjunct(self):
+        """Every sampled point of a random set is a member of that set."""
+        rng = random.Random(123)
+        for round_index in range(30):
+            names = ["i", "j"][: rng.randint(1, 2)]
+            constraints = []
+            for name in names:
+                low = rng.randint(-5, 5)
+                constraints.append(ge_(LinExpr.var(name), LinExpr.constant(low)))
+                constraints.append(
+                    le_(LinExpr.var(name), LinExpr.constant(low + rng.randint(0, 6)))
+                )
+            if len(names) == 2 and rng.random() < 0.5:
+                constraints.append(le_(LinExpr.var("i"), LinExpr.var("j")))
+            if rng.random() < 0.3:
+                constraints.append(
+                    eq_(LinExpr.var(names[0]) - LinExpr.var(names[0]), LinExpr.constant(0))
+                )
+            s = Set.build(names, constraints)
+            if s.is_empty():
+                continue
+            for seed in range(3):
+                assert s.contains(s.sample_point(seed + round_index))

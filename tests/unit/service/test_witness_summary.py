@@ -1,0 +1,97 @@
+"""The witness sub-block of the scenario summary (diagnosis gates)."""
+
+from repro.service import JobStatus, aggregate_results, format_summary
+from repro.service.job import JobResult
+
+
+def _outcome(name, equivalent, metadata):
+    return JobResult(
+        name=name,
+        status=JobStatus.OK,
+        equivalent=equivalent,
+        expected_equivalent=equivalent,
+        metadata=metadata,
+    )
+
+
+def _report_block(confirmed=True, bisection_step="mutation"):
+    return {
+        "equivalent": False,
+        "confirmed": confirmed,
+        "outputs": [],
+        "replay": None,
+        "bisection": None if bisection_step is None else {"step_index": 2, "step_name": bisection_step},
+        "notes": [],
+    }
+
+
+class TestWitnessSummary:
+    def test_no_failure_reports_no_witness_block(self):
+        summary = aggregate_results(
+            [_outcome("a", True, {"expected_label": "EQUIVALENT"})]
+        )
+        assert "witness" not in summary["scenarios"]
+
+    def test_confirmed_witness_and_bisection_hit(self):
+        metadata = {
+            "expected_label": "NOT_EQUIVALENT",
+            "oracle": {"label": "NOT_EQUIVALENT", "witness_seed": 0},
+            "mutation": {"kind": "write-index"},
+            "failure_report": _report_block(confirmed=True),
+        }
+        summary = aggregate_results([_outcome("bug", False, metadata)])
+        witness = summary["scenarios"]["witness"]
+        assert witness["diagnosed"] == 1 and witness["confirmed"] == 1
+        assert witness["witness_errors"] == []
+        assert witness["bisection_hits"] == 1 and witness["bisection_misses"] == []
+        text = format_summary(summary)
+        assert "1/1 failures confirmed" in text
+        assert "WITNESS ERRS" not in text
+
+    def test_oracle_witness_without_replay_confirmation_is_a_hard_error(self):
+        metadata = {
+            "expected_label": "NOT_EQUIVALENT",
+            "oracle": {"label": "NOT_EQUIVALENT", "witness_seed": 3},
+            "failure_report": _report_block(confirmed=False, bisection_step=None),
+        }
+        summary = aggregate_results([_outcome("bad", False, metadata)])
+        witness = summary["scenarios"]["witness"]
+        assert witness["witness_errors"] == ["bad"]
+        assert "WITNESS ERRS" in format_summary(summary)
+
+    def test_unconfirmed_without_oracle_witness_is_tracked_not_fatal(self):
+        # Checker incompleteness: checker says NOT-EQUIVALENT, the oracle
+        # holds no witness — no replay divergence is expected, so this is not
+        # a gate violation.
+        metadata = {
+            "expected_label": "EQUIVALENT",
+            "oracle": {"label": "EQUIVALENT", "witness_seed": None},
+            "failure_report": _report_block(confirmed=False, bisection_step=None),
+        }
+        summary = aggregate_results([_outcome("conservative", False, metadata)])
+        witness = summary["scenarios"]["witness"]
+        assert witness["unconfirmed"] == ["conservative"]
+        assert witness["witness_errors"] == []
+
+    def test_mutated_twin_bisection_missing_the_mutation_is_flagged(self):
+        metadata = {
+            "expected_label": "NOT_EQUIVALENT",
+            "oracle": {"label": "NOT_EQUIVALENT", "witness_seed": 1},
+            "mutation": {"kind": "operator"},
+            "failure_report": _report_block(confirmed=True, bisection_step="loop-shift"),
+        }
+        summary = aggregate_results([_outcome("twin", False, metadata)])
+        witness = summary["scenarios"]["witness"]
+        assert witness["bisection_misses"] == ["twin"]
+        assert "BISECT MISS" in format_summary(summary)
+
+    def test_witness_block_survives_the_jsonl_round_trip(self):
+        import json
+
+        metadata = {
+            "expected_label": "NOT_EQUIVALENT",
+            "oracle": {"label": "NOT_EQUIVALENT", "witness_seed": 0},
+            "failure_report": _report_block(),
+        }
+        summary = aggregate_results([_outcome("bug", False, metadata)])
+        assert json.loads(json.dumps(summary))["scenarios"]["witness"]["diagnosed"] == 1
