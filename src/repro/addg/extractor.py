@@ -18,6 +18,7 @@ from ..lang.ast import (
 )
 from ..lang.errors import ProgramClassError
 from ..lang.validate import require_program_class
+from ..telemetry import TRACER
 from .graph import ADDG, ConstNode, ExprNode, OpNode, ReadNode, StatementNode
 
 __all__ = ["build_addg", "build_expr_node"]
@@ -70,6 +71,11 @@ def build_addg(program: Program, validate: bool = True) -> ADDG:
     def-use order) are checked separately by :func:`repro.analysis.check_dataflow`
     as in the verification scheme of Fig. 6.
     """
+    with TRACER.span("frontend.extract", "frontend", program=program.name):
+        return _build_addg(program, validate)
+
+
+def _build_addg(program: Program, validate: bool) -> ADDG:
     if validate:
         require_program_class(program)
     contexts = statement_contexts(program)

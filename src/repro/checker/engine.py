@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set as PySet, Tupl
 
 from ..presburger import Map, Set, SpaceMismatchError, opcache
 from ..presburger.errors import PresburgerError
+from ..telemetry import METRICS as _METRICS, TRACER as _TRACER
 from ..addg.graph import ADDG, ConstNode, ExprNode, OpNode, ReadNode, StatementNode
 from .properties import OperatorProperties, OperatorRegistry, default_registry
 from .result import CheckStats, Diagnostic, DiagnosticKind
@@ -337,6 +338,10 @@ class Engine:
             key = (self._term_key(first), self._term_key(second))
             if key in self._table:
                 self.stats.table_hits += 1
+                if _TRACER.enabled:
+                    _TRACER.event("engine.table_hit", "engine", output=self.current_output)
+                if _METRICS.enabled:
+                    _METRICS.inc("engine.table_hits")
                 return self._table[key]
 
         entry_assumptions = len(self._assumptions)
@@ -355,6 +360,8 @@ class Engine:
             if independent and (result or not trial):
                 self._table[key] = result
                 self.stats.table_entries = len(self._table)
+                if _METRICS.enabled:
+                    _METRICS.inc("engine.table_entries")
         return result
 
     def _compare_inner(self, first: Term, second: Term, trial: bool, depth: int) -> bool:

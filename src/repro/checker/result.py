@@ -134,6 +134,11 @@ class CheckStats:
     this check — a session-cached :class:`~repro.verifier.session.CompiledProgram`
     contributes ~0) and ``engine_seconds`` (the synchronized traversal);
     ``elapsed_seconds`` is kept as their sum for schema compatibility.
+    ``phase_seconds`` refines the split further when :mod:`repro.telemetry`
+    tracing is active during the check: a per-phase breakdown (``frontend`` /
+    ``engine`` / ``presburger`` / …) aggregated from the very spans the trace
+    file carries.  It stays empty when tracing is off, and readers must treat
+    it as schema-tolerant: keys may come and go as instrumentation evolves.
     """
 
     elapsed_seconds: float = 0.0
@@ -152,9 +157,22 @@ class CheckStats:
     opcache_hits: int = 0
     opcache_misses: int = 0
     intern_hits: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    # Keys from other schema versions, preserved verbatim by the round trip
+    # (never interpreted here); see ``from_dict``.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, float]:
-        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            f.name: getattr(self, f.name) for f in dataclass_fields(self) if f.name != "extra"
+        }
+        data["phase_seconds"] = dict(self.phase_seconds)
+        # Unknown keys ride along at the top level so a row written by a
+        # different stats schema re-serialises losslessly; known keys always
+        # win over a stale extra entry of the same name.
+        for key, value in self.extra.items():
+            data.setdefault(key, value)
+        return data
 
     # ``as_dict`` predates the cache; ``to_dict``/``from_dict`` complete the
     # round trip used by the verification service.
@@ -162,10 +180,14 @@ class CheckStats:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CheckStats":
-        known = {f.name for f in dataclass_fields(cls)}
+        known = {f.name for f in dataclass_fields(cls)} - {"extra"}
         # Tolerate rows written by other versions of the stats schema: extra
-        # keys are dropped, missing ones keep their defaults.
-        return cls(**{key: value for key, value in data.items() if key in known})
+        # keys are parked in ``extra`` (and re-emitted by ``to_dict``, so the
+        # round trip is lossless), missing ones keep their defaults.
+        stats = cls(**{key: value for key, value in data.items() if key in known})
+        stats.phase_seconds = dict(stats.phase_seconds)
+        stats.extra = {key: value for key, value in data.items() if key not in known}
+        return stats
 
 
 @dataclass

@@ -120,10 +120,29 @@ def _add_checker_option_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flags every subcommand shares (see docs/observability.md)."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record spans for the whole run and write Chrome trace-event JSON "
+        "(load in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="record counters/gauges/histograms and write them as JSONL "
+        "(one metric object per line, plus an aggregate opcache row)",
+    )
+
+
 def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("original", help="path to the original function (mini-C)")
     parser.add_argument("transformed", help="path to the transformed function (mini-C)")
     _add_checker_option_arguments(parser)
+    _add_telemetry_arguments(parser)
     parser.add_argument(
         "--dump-addg",
         nargs=2,
@@ -142,6 +161,7 @@ def _add_diagnose_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("original", help="path to the original function (mini-C)")
     parser.add_argument("transformed", help="path to the transformed function (mini-C)")
     _add_checker_option_arguments(parser)
+    _add_telemetry_arguments(parser)
     parser.add_argument(
         "--trials",
         type=int,
@@ -227,6 +247,7 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary (no per-job lines)"
     )
+    _add_telemetry_arguments(parser)
 
 
 def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
@@ -316,6 +337,7 @@ def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary (no per-pair lines)"
     )
+    _add_telemetry_arguments(parser)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -625,9 +647,13 @@ def _run_batch(args: argparse.Namespace) -> int:
         flag = "  << UNEXPECTED" if outcome.matches_expectation is False else ""
         return f"  {outcome.name:<32} {verdict:<14} ({origin}){flag}"
 
+    from .presburger import opcache
+
+    opcache_before = opcache.cache().stats.copy()
     results = executor.run(jobs, progress=_make_progress(report_handle, args.quiet, format_line))
     cache_stats = cache.stats if cache is not None else None
-    summary = aggregate_results(results, cache_stats)
+    opcache_delta = opcache.cache().stats.delta(opcache_before) if args.workers <= 1 else None
+    summary = aggregate_results(results, cache_stats, opcache_stats=opcache_delta)
     _finish_report(report_handle, summary, args.report, args.quiet)
     print(format_summary(summary))
 
@@ -749,8 +775,12 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                     ]
             base_progress(outcome)
 
+    from .presburger import opcache
+
+    opcache_before = opcache.cache().stats.copy()
     results = executor.run(jobs, progress=progress)
-    summary = aggregate_results(results)
+    opcache_delta = opcache.cache().stats.delta(opcache_before) if args.workers <= 1 else None
+    summary = aggregate_results(results, opcache_stats=opcache_delta)
     _finish_report(report_handle, summary, args.report, args.quiet)
     print(format_summary(summary))
 
@@ -775,6 +805,56 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if ok and not hard_errors and not missed_bugs and not strict_violations else 1
 
 
+def _run_with_telemetry(args: argparse.Namespace, runner) -> int:
+    """Run a subcommand under the global tracer when --trace/--metrics ask for it.
+
+    Telemetry wraps the *whole* run — corpus building, frontend, traversal,
+    workers — so the exported trace shows the run end to end.  The files are
+    written (and the per-phase summary printed to stderr) even when the run
+    exits non-zero: a failing batch is exactly the one worth profiling.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        return runner(args)
+
+    from . import telemetry
+    from .presburger import opcache
+
+    telemetry.reset()
+    telemetry.enable()
+    opcache_before = opcache.cache().stats.copy()
+    try:
+        return runner(args)
+    finally:
+        telemetry.disable()
+        records = telemetry.spans()
+        if trace_path:
+            try:
+                telemetry.write_chrome_trace(trace_path, records)
+                print(f"trace written to {trace_path}", file=sys.stderr)
+            except OSError as error:
+                print(f"error: cannot write trace: {error}", file=sys.stderr)
+        if metrics_path:
+            opcache_delta = opcache.cache().stats.delta(opcache_before)
+            try:
+                telemetry.write_metrics_jsonl(
+                    metrics_path,
+                    telemetry.METRICS.snapshot(),
+                    extra_rows=[{"type": "opcache", **opcache_delta.as_dict()}],
+                )
+                print(f"metrics written to {metrics_path}", file=sys.stderr)
+            except OSError as error:
+                print(f"error: cannot write metrics: {error}", file=sys.stderr)
+        summary = telemetry.format_phase_summary(
+            telemetry.aggregate_phase_seconds(records),
+            len(records),
+            telemetry.METRICS.counters(),
+        )
+        print(summary, file=sys.stderr)
+        telemetry.reset()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Bare --help (and an empty command line) go to the subcommand parser so
@@ -783,14 +863,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not argv or argv[0] in _SUBCOMMANDS or argv[0] in ("-h", "--help"):
         args = build_cli_parser().parse_args(argv)
         if args.command == "batch":
-            return _run_batch(args)
+            return _run_with_telemetry(args, _run_batch)
         if args.command == "fuzz":
-            return _run_fuzz(args)
+            return _run_with_telemetry(args, _run_fuzz)
         if args.command == "diagnose":
-            return _run_diagnose(args)
-        return _run_check(args)
+            return _run_with_telemetry(args, _run_diagnose)
+        return _run_with_telemetry(args, _run_check)
     args = build_arg_parser().parse_args(argv)
-    return _run_check(args)
+    return _run_with_telemetry(args, _run_check)
 
 
 if __name__ == "__main__":

@@ -405,4 +405,12 @@ def _evaluate_constant(expr: Expr) -> Optional[int]:
 
 def parse_program(source: str) -> Program:
     """Parse a mini-C function definition into a :class:`~repro.lang.ast.Program`."""
-    return _ProgramParser(source).parse()
+    from ..telemetry import TRACER
+
+    if not TRACER.enabled:
+        return _ProgramParser(source).parse()
+    with TRACER.span("frontend.parse_program", "frontend", chars=len(source)):
+        with TRACER.span("frontend.lex", "frontend"):
+            parser = _ProgramParser(source)
+        with TRACER.span("frontend.parse", "frontend"):
+            return parser.parse()

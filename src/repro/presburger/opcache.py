@@ -54,6 +54,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterator, Tuple
 
+from ..telemetry import METRICS as _METRICS, TRACER as _TRACER
+
 __all__ = [
     "OpCacheStats",
     "OpCache",
@@ -218,9 +220,17 @@ class OpCache:
         if full_key in entries:
             entries.move_to_end(full_key)
             self.stats.record(op, hit=True)
+            if _METRICS.enabled:
+                _METRICS.inc("opcache.hits")
             return entries[full_key]
         self.stats.record(op, hit=False)
-        result = compute()
+        if _METRICS.enabled:
+            _METRICS.inc("opcache.misses")
+        if _TRACER.enabled:
+            with _TRACER.span("opcache." + op, "presburger"):
+                result = compute()
+        else:
+            result = compute()
         entries[full_key] = result
         if len(entries) > self.maxsize:
             entries.popitem(last=False)

@@ -40,6 +40,8 @@ from .oracle import LABEL_EQUIVALENT, LABEL_NOT_EQUIVALENT, OracleReference, Ora
 from .pair import ScenarioPair
 from .spec import SMALL_KERNEL_PARAMS, ScenarioSpec
 
+from ..telemetry import TRACER as _TRACER
+
 __all__ = ["build_scenarios"]
 
 
@@ -108,15 +110,21 @@ def _validated_mutation(
 
 def build_scenarios(spec: ScenarioSpec) -> List[ScenarioPair]:
     """Manufacture the labelled scenario corpus described by *spec*."""
+    with _TRACER.span("scenario.build", "scenario", pairs=spec.pairs):
+        return _build_scenarios(spec)
+
+
+def _build_scenarios(spec: ScenarioSpec) -> List[ScenarioPair]:
     probes = extended_probes()
     pairs: List[ScenarioPair] = []
     for index in range(spec.pairs):
         rng = random.Random(spec.scenario_seed(index))
         base_id, base = _base_program(spec, index, rng)
         depth = rng.randint(1, spec.max_depth)
-        transformed, trace = compose_random_pipeline(
-            base, rng, steps=depth, probes=probes
-        )
+        with _TRACER.span("scenario.pipeline", "scenario", index=index, base=base_id, steps=depth):
+            transformed, trace = compose_random_pipeline(
+                base, rng, steps=depth, probes=probes
+            )
         base = _canonical(base)
         transformed = _canonical(transformed)
         # One reference per scenario: the oracle executes the base program
@@ -125,7 +133,8 @@ def build_scenarios(spec: ScenarioSpec) -> List[ScenarioPair]:
         oracle = OracleReference(
             base, trials=spec.oracle_trials, base_seed=spec.oracle_seed
         )
-        verdict = oracle.label(transformed)
+        with _TRACER.span("scenario.oracle", "scenario", index=index):
+            verdict = oracle.label(transformed)
         pairs.append(
             ScenarioPair(
                 name=f"scenario/{index:04d}",
@@ -142,7 +151,8 @@ def build_scenarios(spec: ScenarioSpec) -> List[ScenarioPair]:
         if rng.random() >= spec.mutation_rate:
             continue
         mutation_rng = random.Random(spec.scenario_seed(index, "mutation"))
-        validated = _validated_mutation(spec, oracle, transformed, mutation_rng)
+        with _TRACER.span("scenario.mutation", "scenario", index=index):
+            validated = _validated_mutation(spec, oracle, transformed, mutation_rng)
         if validated is None:
             continue
         mutated, info, bug_verdict = validated

@@ -29,6 +29,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, List, Optional, Sequence
 
+from ..telemetry import METRICS as _METRICS, TRACER as _TRACER
 from .cache import ResultCache
 from .fingerprint import job_fingerprint
 from .job import JobResult, JobStatus, VerificationJob
@@ -81,17 +82,57 @@ def _run_with_timeout(job: VerificationJob, timeout: Optional[float]):
     raise _JobTimeout()
 
 
+def _worker_init(collect_telemetry: bool) -> None:
+    """Pool-worker initializer: start every worker from a clean tracer.
+
+    With the ``fork`` start method a worker inherits the parent's record
+    buffer (and its ``pid`` stamp); shipping those inherited spans home again
+    would duplicate them, so the buffers are cleared — and re-stamped with
+    the worker's own pid — before the first job runs.
+    """
+    _TRACER.clear()
+    _METRICS.clear()
+    _TRACER.enabled = collect_telemetry
+    _METRICS.enabled = collect_telemetry
+
+
 def execute_job(
-    job: VerificationJob, timeout: Optional[float] = None, fingerprint: str = ""
+    job: VerificationJob,
+    timeout: Optional[float] = None,
+    fingerprint: str = "",
+    collect_telemetry: bool = False,
 ) -> JobResult:
     """Execute one job in the current process, capturing failure and timeout.
 
     *timeout* is the executor-wide default budget; a job whose
     :class:`~repro.verifier.options.CheckOptions` carry their own ``timeout``
-    overrides it.
+    overrides it.  With *collect_telemetry* (set by the pool path of the
+    executor while tracing is on in the parent) the job's spans and metric
+    increments are drained into ``JobResult.telemetry`` for the parent
+    process to ingest.
     """
     if job.options is not None and job.options.timeout is not None:
         timeout = job.options.timeout
+    if not (collect_telemetry or _TRACER.enabled):
+        return _execute_job_body(job, timeout, fingerprint)
+    mark = _TRACER.mark()
+    with _TRACER.span("service.job", "service", job=job.name) as span:
+        outcome = _execute_job_body(job, timeout, fingerprint)
+        span.set(status=outcome.status)
+    if collect_telemetry:
+        # Ship this job's share and reset, so the worker's buffers do not
+        # grow across jobs and each job carries exactly its own increments.
+        outcome.telemetry = {
+            "spans": [record.to_dict() for record in _TRACER.drain_since(mark)],
+            "metrics": _METRICS.snapshot(),
+        }
+        _METRICS.clear()
+    return outcome
+
+
+def _execute_job_body(
+    job: VerificationJob, timeout: Optional[float], fingerprint: str
+) -> JobResult:
     started = time.perf_counter()
     try:
         result = _run_with_timeout(job, timeout)
@@ -227,6 +268,10 @@ class BatchExecutor:
         progress: Optional[Callable[[JobResult], None]],
     ) -> None:
         results[index] = outcome
+        if outcome.telemetry is not None:
+            _TRACER.ingest(outcome.telemetry.get("spans", ()))
+            _METRICS.merge(outcome.telemetry.get("metrics", ()))
+            outcome.telemetry = None
         if (
             self.cache is not None
             and outcome.status == JobStatus.OK
@@ -271,9 +316,14 @@ class BatchExecutor:
         results: List[Optional[JobResult]],
         progress: Optional[Callable[[JobResult], None]],
     ) -> None:
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        collect = _TRACER.enabled or _METRICS.enabled
+        with ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_worker_init, initargs=(collect,)
+        ) as pool:
             future_index = {
-                pool.submit(execute_job, jobs[index], self.timeout, fingerprints[index]): index
+                pool.submit(
+                    execute_job, jobs[index], self.timeout, fingerprints[index], collect
+                ): index
                 for index in pending
             }
             not_done = set(future_index)

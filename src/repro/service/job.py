@@ -192,6 +192,10 @@ class JobResult:
     result: Optional[EquivalenceResult] = None
     error: Optional[str] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
+    # Spans/metrics drained by the worker that executed the job, shipped home
+    # for the parent tracer to ingest.  Transient: the executor consumes (and
+    # clears) it, and it never appears in ``to_dict`` / the JSONL reports.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def matches_expectation(self) -> Optional[bool]:

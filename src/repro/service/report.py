@@ -198,9 +198,20 @@ def _witness_summary(labelled: Sequence[JobResult]) -> Optional[Dict[str, Any]]:
 
 
 def aggregate_results(
-    results: Sequence[JobResult], cache_stats: Optional[CacheStats] = None
+    results: Sequence[JobResult],
+    cache_stats: Optional[CacheStats] = None,
+    opcache_stats: Optional["OpCacheStats"] = None,
 ) -> Dict[str, Any]:
-    """Aggregate per-job results into the batch summary."""
+    """Aggregate per-job results into the batch summary.
+
+    *opcache_stats*, when given, is the process-wide
+    :class:`~repro.presburger.opcache.OpCacheStats` delta of the run; it
+    enriches the ``opcache`` block with evictions, intern misses and the
+    per-operation hit/miss breakdown (counters the per-job
+    :class:`~repro.checker.result.CheckStats` do not carry).  With worker
+    processes the parent's delta covers only its own share, so callers
+    should pass it for serial runs.
+    """
     total = len(results)
     by_status = {status: 0 for status in JobStatus.ALL}
     equivalent = not_equivalent = 0
@@ -257,6 +268,13 @@ def aggregate_results(
             "max_seconds": max(times) if times else 0.0,
         },
     }
+    if opcache_stats is not None:
+        summary["opcache"]["evictions"] = opcache_stats.evictions
+        summary["opcache"]["intern_misses"] = opcache_stats.intern_misses
+        summary["opcache"]["per_op"] = {
+            op: {"hits": h, "misses": m}
+            for op, (h, m) in sorted(opcache_stats.per_op.items())
+        }
     scenarios = scenario_summary(results)
     if scenarios is not None:
         summary["scenarios"] = scenarios
@@ -316,6 +334,24 @@ def read_report(path: str) -> Tuple[List[JobResult], Optional[Dict[str, Any]]]:
     return results, summary
 
 
+def _format_opcache_line(opcache: Dict[str, Any]) -> str:
+    line = (
+        f"opcache     : {opcache.get('hits', 0)} hit(s), "
+        f"{opcache.get('hit_rate', 0.0):.1%} hit rate, "
+        f"{opcache.get('intern_hits', 0)} intern hit(s)"
+    )
+    if "evictions" in opcache:
+        line += f", {opcache['evictions']} eviction(s)"
+    per_op = opcache.get("per_op")
+    if per_op:
+        parts = [
+            f"{op} {counts['hits']}/{counts['hits'] + counts['misses']}"
+            for op, counts in sorted(per_op.items())
+        ]
+        line += "\n  per-op    : " + ", ".join(parts)
+    return line
+
+
 def format_summary(summary: Dict[str, Any]) -> str:
     """A compact human readable rendering of the batch summary."""
     by_status = summary["by_status"]
@@ -328,9 +364,7 @@ def format_summary(summary: Dict[str, Any]) -> str:
         f"{summary['not_equivalent']} not proven equivalent",
         f"cache       : {summary['cache_hits']} hit(s), "
         f"{summary['cache_hit_rate']:.1%} hit rate",
-        f"opcache     : {summary.get('opcache', {}).get('hits', 0)} hit(s), "
-        f"{summary.get('opcache', {}).get('hit_rate', 0.0):.1%} hit rate, "
-        f"{summary.get('opcache', {}).get('intern_hits', 0)} intern hit(s)",
+        _format_opcache_line(summary.get("opcache", {})),
         f"wall time   : total {timing['total_seconds']:.3f} s, "
         f"p50 {timing['p50_seconds']:.3f} s, p90 {timing['p90_seconds']:.3f} s, "
         f"max {timing['max_seconds']:.3f} s",

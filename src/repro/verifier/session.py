@@ -39,6 +39,13 @@ from ..checker.result import (
     EquivalenceResult,
     OutputReport,
 )
+from ..telemetry import (
+    METRICS,
+    TRACER,
+    TelemetrySnapshot,
+    aggregate_phase_seconds,
+    delta_counters,
+)
 from .events import CheckObserver, _Broadcast
 from .options import CheckOptions
 
@@ -86,7 +93,8 @@ class CompiledProgram:
         """Def-use / single-assignment prerequisite violations (Fig. 6), if any."""
         if self._dataflow_issues is None:
             started = time.perf_counter()
-            self._dataflow_issues = tuple(str(issue) for issue in check_dataflow(self.program))
+            with TRACER.span("frontend.defuse", "frontend"):
+                self._dataflow_issues = tuple(str(issue) for issue in check_dataflow(self.program))
             self.frontend_seconds += time.perf_counter() - started
         return self._dataflow_issues
 
@@ -196,10 +204,34 @@ class Verifier:
         from the session's compile cache when available; its per-call cost is
         reported in ``stats.frontend_seconds``, the traversal in
         ``stats.engine_seconds`` (``elapsed_seconds`` is their sum).
+
+        While :mod:`repro.telemetry` tracing is enabled the check additionally
+        fills ``stats.phase_seconds`` from its recorded spans and broadcasts a
+        :class:`~repro.telemetry.TelemetrySnapshot` via
+        :meth:`~repro.verifier.events.CheckObserver.on_telemetry` just before
+        :meth:`~repro.verifier.events.CheckObserver.on_stats`.
         """
         resolved = options if options is not None else self.options
         broadcast = self._broadcast(observer)
+        if not TRACER.enabled:
+            result = self._check_impl(original, transformed, resolved, broadcast)
+            broadcast.on_stats(result.stats)
+            return result
+        mark = TRACER.mark()
+        counters_before = METRICS.counters() if METRICS.enabled else {}
+        with TRACER.span("verifier.check", "verifier"):
+            result = self._check_impl(original, transformed, resolved, broadcast)
+        self._finish_telemetry(broadcast, result, mark, counters_before)
+        return result
 
+    def _check_impl(
+        self,
+        original: ProgramLike,
+        transformed: ProgramLike,
+        resolved: CheckOptions,
+        broadcast: _Broadcast,
+    ) -> EquivalenceResult:
+        """The check pipeline body; the caller broadcasts ``on_stats``."""
         frontend_started = time.perf_counter()
         original_compiled = self.compile(original)
         transformed_compiled = self.compile(transformed)
@@ -224,7 +256,6 @@ class Verifier:
                 )
                 for diagnostic in precondition_diagnostics:
                     broadcast.on_diagnostic(diagnostic)
-                broadcast.on_stats(stats)
                 return EquivalenceResult(
                     equivalent=False,
                     outputs=[],
@@ -237,10 +268,10 @@ class Verifier:
         transformed_addg = transformed_compiled.addg
         frontend = time.perf_counter() - frontend_started
 
-        result = _traverse(original_addg, transformed_addg, resolved, broadcast)
+        with TRACER.span("engine.traverse", "engine"):
+            result = _traverse(original_addg, transformed_addg, resolved, broadcast)
         result.stats.frontend_seconds = frontend
         result.stats.elapsed_seconds = frontend + result.stats.engine_seconds
-        broadcast.on_stats(result.stats)
         return result
 
     def diagnose(
@@ -302,9 +333,47 @@ class Verifier:
         """Check two already-extracted ADDGs (enter the pipeline after the frontend)."""
         resolved = options if options is not None else self.options
         broadcast = self._broadcast(observer)
-        result = _traverse(original, transformed, resolved, broadcast)
-        broadcast.on_stats(result.stats)
+        if not TRACER.enabled:
+            result = _traverse(original, transformed, resolved, broadcast)
+            broadcast.on_stats(result.stats)
+            return result
+        mark = TRACER.mark()
+        counters_before = METRICS.counters() if METRICS.enabled else {}
+        with TRACER.span("verifier.check_addgs", "verifier"), TRACER.span(
+            "engine.traverse", "engine"
+        ):
+            result = _traverse(original, transformed, resolved, broadcast)
+        self._finish_telemetry(broadcast, result, mark, counters_before)
         return result
+
+    def _finish_telemetry(
+        self,
+        broadcast: _Broadcast,
+        result: EquivalenceResult,
+        mark: int,
+        counters_before: Dict[str, int],
+    ) -> None:
+        """Attach the traced check's phase breakdown and broadcast it.
+
+        Runs only when tracing was on for the whole check: computes the
+        per-phase wall-time split from the spans recorded since *mark*,
+        stores it into ``result.stats.phase_seconds`` and emits the
+        ``on_telemetry`` milestone followed by ``on_stats``.
+        """
+        records = TRACER.records_since(mark)
+        phase_seconds = aggregate_phase_seconds(records)
+        result.stats.phase_seconds = dict(phase_seconds)
+        counters = (
+            delta_counters(METRICS.counters(), counters_before) if METRICS.enabled else {}
+        )
+        broadcast.on_telemetry(
+            TelemetrySnapshot(
+                phase_seconds=dict(phase_seconds),
+                span_count=len(records),
+                counters=counters,
+            )
+        )
+        broadcast.on_stats(result.stats)
 
     # ------------------------------------------------------------------ #
     def _broadcast(self, observer: Optional[CheckObserver]) -> _Broadcast:
@@ -392,88 +461,90 @@ def _traverse(
             flush_diagnostics()
 
     for name in to_check:
-        engine.current_output = name
-        diagnostics_before = len(engine.diagnostics)
-        defined1 = original.written_set(name)
-        defined2 = transformed.written_set(name)
-        common = defined1.intersect(defined2.rename(defined1.names))
-        if not defined1.is_equal(defined2.rename(defined1.names)):
-            engine.diagnostics.append(
-                Diagnostic(
-                    DiagnosticKind.DOMAIN_MISMATCH,
-                    f"the two programs define different element sets of output array {name!r}",
-                    output_array=name,
-                    original_mapping=str(defined1),
-                    transformed_mapping=str(defined2),
-                    mismatch_domain=str(
-                        defined1.subtract(defined2.rename(defined1.names)).union(
-                            defined2.rename(defined1.names).subtract(defined1)
-                        )
-                    ),
+        with TRACER.span("engine.output", "engine", array=name):
+            engine.current_output = name
+            diagnostics_before = len(engine.diagnostics)
+            defined1 = original.written_set(name)
+            defined2 = transformed.written_set(name)
+            common = defined1.intersect(defined2.rename(defined1.names))
+            if not defined1.is_equal(defined2.rename(defined1.names)):
+                engine.diagnostics.append(
+                    Diagnostic(
+                        DiagnosticKind.DOMAIN_MISMATCH,
+                        f"the two programs define different element sets of output array {name!r}",
+                        output_array=name,
+                        original_mapping=str(defined1),
+                        transformed_mapping=str(defined2),
+                        mismatch_domain=str(
+                            defined1.subtract(defined2.rename(defined1.names)).union(
+                                defined2.rename(defined1.names).subtract(defined1)
+                            )
+                        ),
+                    )
                 )
+            identity = Map.identity(common.names, domain=common)
+            term1 = engine.output_term(0, name, identity)
+            term2 = engine.output_term(1, name, identity)
+            ok = engine.compare(term1, term2)
+            new_diagnostics = engine.diagnostics[diagnostics_before:]
+            output_ok = ok and not new_diagnostics
+            overall = overall and output_ok
+            failing_domain = None
+            for diagnostic in new_diagnostics:
+                if diagnostic.mismatch_domain:
+                    failing_domain = diagnostic.mismatch_domain
+                    break
+            report = OutputReport(
+                array=name,
+                equivalent=output_ok,
+                checked_domain=str(common),
+                failing_domain=failing_domain,
             )
-        identity = Map.identity(common.names, domain=common)
-        term1 = engine.output_term(0, name, identity)
-        term2 = engine.output_term(1, name, identity)
-        ok = engine.compare(term1, term2)
-        new_diagnostics = engine.diagnostics[diagnostics_before:]
-        output_ok = ok and not new_diagnostics
-        overall = overall and output_ok
-        failing_domain = None
-        for diagnostic in new_diagnostics:
-            if diagnostic.mismatch_domain:
-                failing_domain = diagnostic.mismatch_domain
-                break
-        report = OutputReport(
-            array=name,
-            equivalent=output_ok,
-            checked_domain=str(common),
-            failing_domain=failing_domain,
-        )
-        reports.append(report)
-        observer.on_output_checked(report)
-        flush_diagnostics()
+            reports.append(report)
+            observer.on_output_checked(report)
+            flush_diagnostics()
     engine.current_output = None
 
     # Verify declared intermediate correspondences as separate obligations —
     # both the ones actually used as cut points during the traversal and the
     # ones the designer declared but the traversal never reached.
     obligations = set(engine.correspondence_obligations()) | set(engine.correspondences)
-    for name1, name2 in sorted(obligations):
-        diagnostics_before = len(engine.diagnostics)
-        try:
-            defined1 = original.written_set(name1)
-            defined2 = transformed.written_set(name2)
-        except KeyError:
-            engine.diagnostics.append(
-                Diagnostic(
-                    DiagnosticKind.PRECONDITION,
-                    f"declared correspondence ({name1!r}, {name2!r}) refers to an array that is never written",
+    with TRACER.span("engine.correspondences", "engine", count=len(obligations)):
+        for name1, name2 in sorted(obligations):
+            diagnostics_before = len(engine.diagnostics)
+            try:
+                defined1 = original.written_set(name1)
+                defined2 = transformed.written_set(name2)
+            except KeyError:
+                engine.diagnostics.append(
+                    Diagnostic(
+                        DiagnosticKind.PRECONDITION,
+                        f"declared correspondence ({name1!r}, {name2!r}) refers to an array that is never written",
+                    )
                 )
-            )
-            overall = False
+                overall = False
+                flush_diagnostics()
+                continue
+            # The obligation is checked on the intersection of the defined element
+            # sets: a declared correspondence may legitimately be partial (e.g.
+            # when one program only materialises part of the temporary).
+            common = defined1.intersect(defined2.rename(defined1.names))
+            identity = Map.identity(common.names, domain=common)
+            engine.current_output = name1
+            term1 = engine.output_term(0, name1, identity)
+            term2 = engine.output_term(1, name2, identity)
+            # While discharging the obligation for this pair, the pair itself must
+            # not be usable as a cut point (that would be circular).
+            engine.correspondences.discard((name1, name2))
+            try:
+                ok = engine.compare(term1, term2)
+            finally:
+                engine.correspondences.add((name1, name2))
+            new_diagnostics = engine.diagnostics[diagnostics_before:]
+            if not (ok and not new_diagnostics):
+                overall = False
+            engine.current_output = None
             flush_diagnostics()
-            continue
-        # The obligation is checked on the intersection of the defined element
-        # sets: a declared correspondence may legitimately be partial (e.g.
-        # when one program only materialises part of the temporary).
-        common = defined1.intersect(defined2.rename(defined1.names))
-        identity = Map.identity(common.names, domain=common)
-        engine.current_output = name1
-        term1 = engine.output_term(0, name1, identity)
-        term2 = engine.output_term(1, name2, identity)
-        # While discharging the obligation for this pair, the pair itself must
-        # not be usable as a cut point (that would be circular).
-        engine.correspondences.discard((name1, name2))
-        try:
-            ok = engine.compare(term1, term2)
-        finally:
-            engine.correspondences.add((name1, name2))
-        new_diagnostics = engine.diagnostics[diagnostics_before:]
-        if not (ok and not new_diagnostics):
-            overall = False
-        engine.current_output = None
-        flush_diagnostics()
 
     engine.apply_suspect_heuristic()
     flush_diagnostics()

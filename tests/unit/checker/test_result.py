@@ -46,6 +46,24 @@ class TestStatsAndResult:
         assert data["elapsed_seconds"] == 1.5
         assert data["compare_calls"] == 10
 
+    def test_stats_round_trip_preserves_unknown_keys(self):
+        data = {
+            "compare_calls": 5,
+            "phase_seconds": {"engine": 1.0, "frontend": 0.25},
+            "future_field": 42,
+            "nested_future": {"a": [1, 2]},
+        }
+        stats = CheckStats.from_dict(data)
+        assert stats.compare_calls == 5
+        assert stats.phase_seconds == {"engine": 1.0, "frontend": 0.25}
+        assert stats.extra == {"future_field": 42, "nested_future": {"a": [1, 2]}}
+        rendered = stats.to_dict()
+        assert rendered["future_field"] == 42
+        assert rendered["nested_future"] == {"a": [1, 2]}
+        assert rendered["phase_seconds"] == {"engine": 1.0, "frontend": 0.25}
+        # A second trip through the same path stays stable.
+        assert CheckStats.from_dict(rendered).to_dict() == rendered
+
     def test_result_bool_and_summary(self):
         result = EquivalenceResult(
             equivalent=True,

@@ -57,6 +57,36 @@ class TestAggregate:
         assert summary["cache"]["hits"] == 3
         assert summary["cache"]["hit_rate"] == 0.75
 
+    def test_opcache_delta_enriches_the_block(self):
+        from repro.presburger.opcache import OpCacheStats
+
+        delta = OpCacheStats(
+            hits=10,
+            misses=4,
+            evictions=2,
+            intern_hits=30,
+            intern_misses=7,
+            per_op={"compose": (6, 3), "feasible": (4, 1)},
+        )
+        summary = aggregate_results(make_results(), opcache_stats=delta)
+        block = summary["opcache"]
+        assert block["evictions"] == 2
+        assert block["intern_misses"] == 7
+        assert block["per_op"] == {
+            "compose": {"hits": 6, "misses": 3},
+            "feasible": {"hits": 4, "misses": 1},
+        }
+        rendered = format_summary(summary)
+        assert "2 eviction(s)" in rendered
+        assert "per-op" in rendered
+        assert "compose 6/9" in rendered
+
+    def test_opcache_block_without_delta_keeps_legacy_shape(self):
+        summary = aggregate_results(make_results())
+        assert "per_op" not in summary["opcache"]
+        assert "evictions" not in summary["opcache"]
+        assert "opcache" in format_summary(summary)
+
     def test_empty_batch(self):
         summary = aggregate_results([])
         assert summary["total_jobs"] == 0

@@ -1,0 +1,14 @@
+"""Shared fixture: every telemetry test starts and ends with a clean, disabled tracer."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()

@@ -1,0 +1,153 @@
+"""Integration-level unit tests: the instrumented stack under active tracing.
+
+Covers the tentpole wiring end to end at unit-test scale: frontend and
+engine spans during a ``Verifier.check``, the ``on_telemetry`` observer
+milestone, ``CheckStats.phase_seconds``, and the cross-process span merge
+from ``BatchExecutor`` pool workers.
+"""
+
+import os
+
+from repro import telemetry
+from repro.telemetry import METRICS, TRACER
+from repro.verifier import CallbackObserver, Verifier
+from repro.service import BatchExecutor, VerificationJob
+
+ORIGINAL = """
+#define N 8
+f(int A[], int B[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+s1:     B[k] = A[k] + A[k+1];
+}
+"""
+
+TRANSFORMED = """
+#define N 8
+f(int A[], int B[])
+{
+    int k;
+    for (k = 0; k < N; k++)
+s1:     B[k] = A[k+1] + A[k];
+}
+"""
+
+
+class TestVerifierTelemetry:
+    def test_check_emits_nested_frontend_and_engine_spans(self):
+        telemetry.enable()
+        result = Verifier().check(ORIGINAL, TRANSFORMED)
+        assert result.equivalent
+        names = {record.name for record in telemetry.spans()}
+        assert "verifier.check" in names
+        assert "frontend.parse_program" in names
+        assert "frontend.lex" in names
+        assert "frontend.defuse" in names
+        assert "frontend.extract" in names
+        assert "engine.traverse" in names
+        assert "engine.output" in names
+        by_name = {record.name: record for record in telemetry.spans()}
+        check_id = by_name["verifier.check"].span_id
+        assert by_name["engine.traverse"].parent_id == check_id
+
+    def test_phase_seconds_filled_under_tracing(self):
+        telemetry.enable()
+        result = Verifier().check(ORIGINAL, TRANSFORMED)
+        assert set(result.stats.phase_seconds) >= {"frontend", "engine"}
+        assert all(value >= 0 for value in result.stats.phase_seconds.values())
+
+    def test_phase_seconds_empty_when_disabled(self):
+        result = Verifier().check(ORIGINAL, TRANSFORMED)
+        assert result.stats.phase_seconds == {}
+
+    def test_on_telemetry_fires_before_on_stats_under_tracing(self):
+        telemetry.enable()
+        milestones = []
+        observer = CallbackObserver(
+            on_stats=lambda stats: milestones.append(("stats", stats)),
+            on_telemetry=lambda snapshot: milestones.append(("telemetry", snapshot)),
+        )
+        Verifier().check(ORIGINAL, TRANSFORMED, observer=observer)
+        kinds = [kind for kind, _ in milestones]
+        assert kinds == ["telemetry", "stats"]
+        snapshot = milestones[0][1]
+        assert snapshot.span_count > 0
+        assert "engine" in snapshot.phase_seconds
+
+    def test_on_telemetry_not_fired_when_disabled(self):
+        snapshots = []
+        observer = CallbackObserver(on_telemetry=snapshots.append)
+        Verifier().check(ORIGINAL, TRANSFORMED, observer=observer)
+        assert snapshots == []
+
+    def test_metrics_counters_flow_into_the_snapshot(self):
+        telemetry.enable()
+        snapshots = []
+        observer = CallbackObserver(on_telemetry=snapshots.append)
+        Verifier().check(ORIGINAL, TRANSFORMED, observer=observer)
+        (snapshot,) = snapshots
+        # The engine always performs FM eliminations on this pair.
+        assert snapshot.counters.get("presburger.fm_eliminations", 0) > 0
+
+    def test_check_addgs_also_traces(self):
+        from repro.addg import build_addg
+        from repro.lang import parse_program
+
+        telemetry.enable()
+        original = build_addg(parse_program(ORIGINAL))
+        transformed = build_addg(parse_program(TRANSFORMED))
+        telemetry.reset()  # keep only the check's spans
+        result = Verifier().check_addgs(original, transformed)
+        assert result.equivalent
+        names = {record.name for record in telemetry.spans()}
+        assert "verifier.check_addgs" in names
+        assert result.stats.phase_seconds.get("engine", 0) >= 0
+
+
+def _jobs(count):
+    return [
+        VerificationJob(
+            name=f"pair-{index}",
+            original_source=ORIGINAL,
+            transformed_source=TRANSFORMED.replace("#define N 8", f"#define N {8 + index}"),
+            expected_equivalent=True,
+        )
+        for index in range(count)
+    ]
+
+
+class TestCrossProcessMerge:
+    def test_pool_workers_ship_spans_home(self):
+        telemetry.enable()
+        results = BatchExecutor(cache=None, workers=2).run(_jobs(3))
+        assert all(outcome.status == "ok" for outcome in results)
+        spans = telemetry.spans()
+        job_spans = [record for record in spans if record.name == "service.job"]
+        assert len(job_spans) == 3
+        worker_pids = {record.pid for record in job_spans}
+        assert os.getpid() not in worker_pids  # the jobs ran in workers
+        # The shipped telemetry must be consumed, not serialised onward.
+        assert all(outcome.telemetry is None for outcome in results)
+        # Worker metrics merged into the parent registry.
+        assert METRICS.counters().get("presburger.fm_eliminations", 0) > 0
+
+    def test_worker_spans_keep_their_own_track(self):
+        telemetry.enable()
+        BatchExecutor(cache=None, workers=2).run(_jobs(2))
+        payload = telemetry.chrome_trace(telemetry.spans())
+        pids = {event["pid"] for event in payload["traceEvents"]}
+        assert len(pids) >= 2  # at least one worker track beside the parent
+
+    def test_serial_executor_records_in_process(self):
+        telemetry.enable()
+        results = BatchExecutor(cache=None, workers=1).run(_jobs(2))
+        assert all(outcome.status == "ok" for outcome in results)
+        job_spans = [r for r in telemetry.spans() if r.name == "service.job"]
+        assert len(job_spans) == 2
+        assert {record.pid for record in job_spans} == {os.getpid()}
+
+    def test_untraced_batch_ships_no_telemetry(self):
+        results = BatchExecutor(cache=None, workers=2).run(_jobs(2))
+        assert all(outcome.status == "ok" for outcome in results)
+        assert telemetry.spans() == []

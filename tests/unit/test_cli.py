@@ -86,3 +86,53 @@ class TestMain:
     def test_bad_correspond_syntax(self, fig1_files):
         with pytest.raises(SystemExit):
             main(["--correspond", "broken", fig1_files["a"], fig1_files["b"]])
+
+
+class TestTelemetryFlags:
+    def test_check_trace_and_metrics_files(self, fig1_files, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.jsonl"
+        status = main([
+            "check", "--quiet",
+            "--trace", str(trace_path),
+            "--metrics", str(metrics_path),
+            fig1_files["a"], fig1_files["b"],
+        ])
+        assert status == 0
+
+        payload = json.loads(trace_path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        names = {event.get("name") for event in payload["traceEvents"]}
+        assert "verifier.check" in names
+        assert "frontend.parse_program" in names
+        assert "engine.traverse" in names
+
+        rows = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+        assert rows[-1]["type"] == "opcache"
+        assert any(row.get("type") == "counter" for row in rows)
+
+        # The phase summary lands on stderr, not stdout.
+        err = capsys.readouterr().err
+        assert "telemetry" in err or "phase" in err
+
+    def test_trace_flag_leaves_telemetry_disabled_afterwards(self, fig1_files, tmp_path):
+        from repro.telemetry import METRICS, TRACER
+
+        main(["check", "--quiet", "--trace", str(tmp_path / "t.json"),
+              fig1_files["a"], fig1_files["b"]])
+        assert TRACER.enabled is False
+        assert METRICS.enabled is False
+        assert TRACER.records() == []
+
+    def test_legacy_invocation_accepts_trace_flag(self, fig1_files, tmp_path):
+        trace_path = tmp_path / "legacy.json"
+        assert main(["--quiet", "--trace", str(trace_path),
+                     fig1_files["a"], fig1_files["b"]]) == 0
+        assert trace_path.exists()
+
+    def test_no_flags_produces_no_files(self, fig1_files, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--quiet", fig1_files["a"], fig1_files["b"]]) == 0
+        assert list(tmp_path.glob("*.json")) == []
