@@ -1,0 +1,261 @@
+"""Experiment E11: verification server throughput, warm daemon vs cold processes.
+
+The server's value proposition is amortisation: a long-lived daemon keeps the
+frontend artifacts, the Presburger operation cache and the verdict cache hot
+across requests, where a per-check process pays interpreter start-up, imports
+and a cold checker every single time.  This harness measures both sides over
+the small-kernel corpus and doubles as the CI perf gate::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke
+
+which exits non-zero unless the warm server sustains at least
+``SPEEDUP_THRESHOLD``x the cold per-process throughput.  A soak mode drives
+the daemon with concurrent clients for a fixed duration and reports sustained
+req/s, latency percentiles and the warm-state hit rates::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --soak --duration 10 --clients 4
+
+Under pytest (``-o python_files='bench_*.py' -o python_functions='bench_*'``)
+the same scenarios run through pytest-benchmark with the qualitative
+assertions (verdicts correct, warm pass served without re-checking) attached.
+"""
+
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.server import ServerClient, ServerConfig, ServerThread
+from repro.service import CorpusSpec, JobStatus, build_corpus
+
+from conftest import run_once
+
+SPEEDUP_THRESHOLD = 2.0
+
+# Small-parameter kernels: the checker's work tracks ADDG shape, not domain
+# size, so these keep the workload honest while a cold subprocess per pair
+# stays in CI-friendly territory.
+CORPUS = CorpusSpec(
+    kernels=("fir", "prefix_sum", "downsample"),
+    kernel_params={
+        "fir": {"n": 12, "taps": 4},
+        "prefix_sum": {"n": 12},
+        "downsample": {"n": 16},
+    },
+)
+
+
+def corpus_jobs():
+    return build_corpus(CORPUS)
+
+
+@pytest.fixture(scope="module", name="jobs")
+def jobs_fixture():
+    return corpus_jobs()
+
+
+# --------------------------------------------------------------------------- #
+# Cold side: one OS process per check, the pre-server workflow
+# --------------------------------------------------------------------------- #
+def time_cold_processes(jobs) -> float:
+    """Wall-clock one ``repro-eqcheck check`` subprocess per job.
+
+    Every invocation pays interpreter start-up + imports + a fully cold
+    checker — exactly what a Makefile looping over pairs used to pay.
+    """
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="eqcheck-bench-cold-") as directory:
+        pairs = []
+        for index, job in enumerate(jobs):
+            original = os.path.join(directory, f"{index}-orig.c")
+            transformed = os.path.join(directory, f"{index}-trans.c")
+            with open(original, "w") as handle:
+                handle.write(job.original_source)
+            with open(transformed, "w") as handle:
+                handle.write(job.transformed_source)
+            pairs.append((original, transformed))
+        started = time.perf_counter()
+        for original, transformed in pairs:
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "check", original, transformed, "--quiet"],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+            )
+            assert completed.returncode == 0, completed.stderr.decode()
+        return time.perf_counter() - started
+
+
+# --------------------------------------------------------------------------- #
+# Warm side: the same jobs against a long-lived daemon
+# --------------------------------------------------------------------------- #
+def time_warm_server(jobs, passes: int = 1):
+    """Warm a fresh in-process daemon with one pass, then time *passes* more.
+
+    Returns ``(seconds, stats)`` where *stats* is the server's final counter
+    snapshot.  The timed passes are what a client re-verifying a corpus
+    against a running daemon experiences: verdict-cache hits over an
+    already-hot session pool.
+    """
+    with ServerThread(ServerConfig(port=0, workers=2)) as handle:
+        with ServerClient(handle.address) as client:
+            warmup = client.run_jobs(jobs, timeout=120.0)
+            assert all(outcome.status == JobStatus.OK for outcome in warmup)
+            started = time.perf_counter()
+            for _ in range(passes):
+                results = client.run_jobs(jobs, timeout=120.0)
+                assert all(outcome.status == JobStatus.OK for outcome in results)
+            elapsed = time.perf_counter() - started
+            stats = client.stats()
+    return elapsed, stats
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entries
+# --------------------------------------------------------------------------- #
+def bench_e11_cold_process_per_check(benchmark, jobs):
+    """Cold baseline: a fresh OS process (and cold caches) for every pair."""
+    seconds = run_once(benchmark, time_cold_processes, jobs, rounds=1)
+    benchmark.extra_info["jobs"] = len(jobs)
+    benchmark.extra_info["seconds_per_check"] = seconds / len(jobs)
+
+
+def bench_e11_warm_server_pass(benchmark, jobs):
+    """Warm pass: the daemon answers the whole corpus from its hot state."""
+
+    def warm():
+        return time_warm_server(jobs, passes=1)
+
+    _seconds, stats = run_once(benchmark, warm, rounds=2)
+    assert stats["cache_hits"] >= len(jobs)  # the timed pass never re-checked
+    benchmark.extra_info["cache_hit_rate"] = stats["cache_hit_rate"]
+
+
+def bench_e11_concurrent_clients(benchmark, jobs):
+    """Four clients pipeline the corpus concurrently at one warm daemon."""
+
+    def soak():
+        with ServerThread(ServerConfig(port=0, workers=2)) as handle:
+            def one_client():
+                with ServerClient(handle.address) as client:
+                    return client.run_jobs(jobs, timeout=120.0)
+
+            threads = []
+            results = []
+            for _ in range(4):
+                thread = threading.Thread(target=lambda: results.append(one_client()))
+                threads.append(thread)
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            return results
+
+    results = run_once(benchmark, soak, rounds=1)
+    assert len(results) == 4
+    for batch in results:
+        assert all(outcome.status == JobStatus.OK for outcome in batch)
+
+
+# --------------------------------------------------------------------------- #
+# Standalone modes: --smoke (CI gate) and --soak (sustained-load report)
+# --------------------------------------------------------------------------- #
+def _smoke() -> int:
+    """CI gate: the warm daemon must beat cold per-process checks >= 2x."""
+    jobs = corpus_jobs()
+    cold_seconds = time_cold_processes(jobs)
+    warm_seconds, stats = time_warm_server(jobs, passes=1)
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    print(f"corpus      : {len(jobs)} kernel pair(s)")
+    print(f"cold        : {cold_seconds:.3f} s  (one process per check)")
+    print(
+        f"warm server : {warm_seconds:.3f} s  "
+        f"({stats['cache_hits']} verdict-cache hit(s), "
+        f"{stats['checks_executed']} executed)"
+    )
+    print(f"speedup     : {speedup:.2f}x  (threshold {SPEEDUP_THRESHOLD}x)")
+    if speedup < SPEEDUP_THRESHOLD:
+        print("FAIL: warm-server speedup below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def _soak(duration: float, clients: int) -> int:
+    """Drive one daemon with *clients* concurrent loops for *duration* s."""
+    jobs = corpus_jobs()
+    latencies = []
+    lock = threading.Lock()
+    with ServerThread(ServerConfig(port=0, workers=2)) as handle:
+        deadline = time.monotonic() + duration
+
+        def one_client(index: int):
+            local = []
+            with ServerClient(handle.address) as client:
+                position = index  # stagger starting offsets across clients
+                while time.monotonic() < deadline:
+                    job = jobs[position % len(jobs)]
+                    position += 1
+                    started = time.perf_counter()
+                    outcome = client.check_job(job, timeout=120.0)
+                    local.append(time.perf_counter() - started)
+                    assert outcome.status == JobStatus.OK
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=one_client, args=(index,)) for index in range(clients)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=duration + 300)
+        elapsed = time.monotonic() - started
+        with ServerClient(handle.address) as client:
+            stats = client.stats()
+
+    if not latencies:
+        print("FAIL: no requests completed", file=sys.stderr)
+        return 1
+    latencies.sort()
+    p50 = statistics.median(latencies)
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    print(f"clients      : {clients}, duration {elapsed:.1f} s")
+    print(f"requests     : {len(latencies)}  ({len(latencies) / elapsed:.1f} req/s)")
+    print(f"latency      : p50 {p50 * 1000:.2f} ms, p99 {p99 * 1000:.2f} ms")
+    print(
+        f"warm state   : {stats['checks_executed']} executed, "
+        f"{stats['cache_hits']} cache hit(s), {stats['dedup_hits']} dedup hit(s), "
+        f"hit rate {stats['cache_hit_rate']:.3f}"
+    )
+    print(f"faults       : {stats['errors']} error(s), {stats['timeouts']} timeout(s)")
+    return 0 if stats["errors"] == 0 else 1
+
+
+def _main(argv) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="run the CI speedup gate")
+    parser.add_argument("--soak", action="store_true", help="run the sustained-load soak")
+    parser.add_argument("--duration", type=float, default=10.0, help="soak duration (s)")
+    parser.add_argument("--clients", type=int, default=4, help="concurrent soak clients")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    if args.soak:
+        return _soak(args.duration, args.clients)
+    print(__doc__)
+    print("run under pytest for the full benchmark suite, or pass --smoke / --soak")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

@@ -10,6 +10,9 @@ Usage::
     repro-eqcheck batch --jobs jobs.json --workers 4 --timeout 60
     repro-eqcheck fuzz --seed 0 --pairs 50 --report fuzz_report.jsonl
     repro-eqcheck fuzz --smoke
+    repro-eqcheck serve --port 8571 --workers 2 --cache-dir .eqcheck_cache
+    repro-eqcheck check original.c transformed.c --server 127.0.0.1:8571
+    repro-eqcheck batch --kernel all --server 127.0.0.1:8571
 
     repro-eqcheck original.c transformed.c          # legacy spelling of `check`
 
@@ -36,6 +39,15 @@ file (``--jobs``) or the built-in corpus (kernels, generated equivalent pairs
 and mutated buggy pairs), with result caching, optional worker processes and
 per-job timeouts, writing a JSONL report.  It exits 0 when every job
 completed and matched its expectation, 1 otherwise.
+
+``serve`` starts the long-lived verification server (:mod:`repro.server`):
+an asyncio daemon speaking newline-delimited JSON over TCP and/or a unix
+socket, holding warm verifier sessions, a shared compiled-artifact store and
+the verdict cache across requests, with cross-request dedup of identical
+in-flight jobs and graceful ``SIGTERM`` draining.  ``check --server`` and
+``batch --server`` send their jobs to such a daemon instead of checking
+in-process — verdicts, output and exit codes are identical, only the
+execution moves; see ``docs/server.md``.
 
 ``fuzz`` is the self-exercising mode (:mod:`repro.scenarios`): it manufactures
 a seeded, labelled corpus of composed-transformation pairs plus mutated buggy
@@ -71,7 +83,7 @@ from .verifier import CheckObserver, CheckOptions, Verifier
 
 __all__ = ["main", "build_arg_parser", "build_cli_parser", "checker_options_from_args"]
 
-_SUBCOMMANDS = ("check", "diagnose", "batch", "fuzz")
+_SUBCOMMANDS = ("check", "diagnose", "batch", "fuzz", "serve")
 
 _DESCRIPTION = (
     "Functional equivalence checker for array-intensive programs related by "
@@ -155,6 +167,20 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
         help="emit the machine-readable EquivalenceResult.to_dict() JSON instead of the summary",
     )
     parser.add_argument("--quiet", action="store_true", help="print only the verdict line")
+    parser.add_argument(
+        "--server",
+        metavar="ADDR",
+        default=None,
+        help="send the check to a running `repro-eqcheck serve` daemon "
+        "(HOST:PORT or unix:PATH) instead of checking in-process",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the check (enforced server-side with --server)",
+    )
 
 
 def _add_diagnose_arguments(parser: argparse.ArgumentParser) -> None:
@@ -247,7 +273,97 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary (no per-job lines)"
     )
+    parser.add_argument(
+        "--server",
+        metavar="ADDR",
+        default=None,
+        help="send the jobs to a running `repro-eqcheck serve` daemon (HOST:PORT or "
+        "unix:PATH); caching, workers and timeouts are then the server's",
+    )
     _add_telemetry_arguments(parser)
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1; use 0.0.0.0 behind a trusted network only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8571,
+        metavar="PORT",
+        help="TCP port (default: 8571; 0 binds an ephemeral port, printed on startup)",
+    )
+    parser.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="also (or instead) listen on a unix domain socket at PATH",
+    )
+    parser.add_argument(
+        "--no-tcp",
+        action="store_true",
+        help="do not bind a TCP listener (requires --unix-socket)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="verifier worker threads; each holds one warm session (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the verdict cache under DIR (default: in-memory only)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the verdict cache")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job budget when a request carries none (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="ceiling clamped onto every request's budget (default: none)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-connection in-flight request budget; excess is rejected "
+        "with a rate_limited error (default: 16)",
+    )
+    parser.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="grace period for in-flight jobs on shutdown (default: 30)",
+    )
+    parser.add_argument(
+        "--compiled-entries",
+        type=int,
+        default=512,
+        metavar="N",
+        help="shared compiled-artifact store capacity (default: 512)",
+    )
+    parser.add_argument(
+        "--session-entries",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-session compiled-program cache capacity (default: 64)",
+    )
 
 
 def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
@@ -385,6 +501,18 @@ def build_cli_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_fuzz_arguments(fuzz)
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived verification server (warm sessions, shared "
+        "caches, request dedup)",
+        description=(
+            "A JSON-over-TCP/unix-socket daemon that keeps verifier sessions, "
+            "compiled artifacts and the verdict cache warm across requests, "
+            "coalesces identical in-flight jobs, and drains gracefully on "
+            "SIGTERM.  Point `check --server` / `batch --server` at it."
+        ),
+    )
+    _add_serve_arguments(serve)
     return parser
 
 
@@ -464,11 +592,49 @@ def _print_json(payload) -> None:
     print(json.dumps(payload, sort_keys=True))
 
 
+def _check_on_server(args: argparse.Namespace, original_source: str, transformed_source: str) -> int:
+    """The `check --server` path: ship the pair to a daemon, render as usual."""
+    from .server import ServerClient, ServerError
+    from .service import JobStatus, VerificationJob
+
+    if args.dump_addg:
+        print("error: --dump-addg is not available with --server", file=sys.stderr)
+        return 2
+    job = VerificationJob(
+        name=args.original,
+        original_source=original_source,
+        transformed_source=transformed_source,
+        options=checker_options_from_args(args),
+    )
+    try:
+        with ServerClient(args.server) as client:
+            outcome = client.check_job(job, timeout=args.timeout)
+    except (ServerError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if outcome.status != JobStatus.OK or outcome.result is None:
+        print(
+            f"error: server check {outcome.status}: {outcome.error or 'no result'}",
+            file=sys.stderr,
+        )
+        return 2
+    result = outcome.result
+    if args.json:
+        _print_json(result.to_dict())
+    elif args.quiet:
+        print("Equivalent" if result.equivalent else "Not equivalent")
+    else:
+        print(result.summary())
+    return 0 if result.equivalent else 1
+
+
 def _run_check(args: argparse.Namespace) -> int:
     sources = _read_pair(args)
     if sources is None:
         return 2
     original_source, transformed_source = sources
+    if getattr(args, "server", None):
+        return _check_on_server(args, original_source, transformed_source)
 
     original = parse_program(original_source)
     transformed = parse_program(transformed_source)
@@ -484,7 +650,16 @@ def _run_check(args: argparse.Namespace) -> int:
             handle.write(addg_to_dot(verifier.compile(transformed).addg, "transformed"))
 
     observer = None if args.quiet or args.json else _ProgressObserver(sys.stderr)
-    result = verifier.check(original, transformed, observer=observer)
+    from .service import JobTimeoutError, call_with_timeout
+
+    try:
+        result = call_with_timeout(
+            lambda: verifier.check(original, transformed, observer=observer),
+            getattr(args, "timeout", None),
+        )
+    except JobTimeoutError:
+        print(f"error: check exceeded the {args.timeout:g} s budget", file=sys.stderr)
+        return 2
 
     if args.json:
         _print_json(result.to_dict())
@@ -564,13 +739,107 @@ def _finish_report(report_handle, summary, path: Optional[str], quiet: bool) -> 
         print(f"report written to {path}")
 
 
+def _batch_format_line(outcome) -> str:
+    """The per-job progress line of ``batch`` (local and ``--server`` alike)."""
+    from .service import JobStatus
+
+    if outcome.status != JobStatus.OK:
+        verdict = outcome.status.upper()
+    elif outcome.equivalent:
+        verdict = "equivalent"
+    else:
+        verdict = "NOT EQUIVALENT"
+    origin = "cache" if outcome.cache_hit else f"{outcome.elapsed_seconds:.3f} s"
+    flag = "  << UNEXPECTED" if outcome.matches_expectation is False else ""
+    return f"  {outcome.name:<32} {verdict:<14} ({origin}){flag}"
+
+
+def _batch_exit_code(results, summary) -> int:
+    """The shared ``batch`` success contract (local and ``--server`` alike)."""
+    from .service import JobStatus
+
+    ok = all(outcome.status == JobStatus.OK for outcome in results)
+    no_mismatch = not summary["expectation_mismatches"]
+    # Jobs without an expectation fail the batch when not proven equivalent
+    # (same contract as `check`).
+    unexpected_nonequivalent = any(
+        outcome.expected_equivalent is None
+        and outcome.status == JobStatus.OK
+        and not outcome.equivalent
+        for outcome in results
+    )
+    return 0 if ok and no_mismatch and not unexpected_nonequivalent else 1
+
+
+def _run_batch_on_server(args: argparse.Namespace, jobs) -> int:
+    """The `batch --server` path: pipeline the jobs over one daemon connection."""
+    from .server import ServerClient, ServerError
+    from .service import aggregate_results, format_summary
+
+    ignored = [
+        flag
+        for flag, given in (
+            ("--workers", args.workers != 1),
+            ("--cache-dir", args.cache_dir != ".eqcheck_cache"),
+            ("--no-cache", args.no_cache),
+        )
+        if given
+    ]
+    if ignored:
+        print(
+            f"warning: {', '.join(ignored)} ignored with --server "
+            "(the daemon's own pool and cache apply)",
+            file=sys.stderr,
+        )
+
+    report_handle, error_code = _open_report(args.report)
+    if error_code is not None:
+        return error_code
+
+    try:
+        with ServerClient(args.server) as client:
+            results = client.run_jobs(
+                jobs,
+                timeout=args.timeout,
+                progress=_make_progress(report_handle, args.quiet, _batch_format_line),
+            )
+            server_stats = client.stats()
+    except (ServerError, ValueError, OSError) as error:
+        print(f"error: server batch failed: {error}", file=sys.stderr)
+        if report_handle is not None:
+            report_handle.close()
+        return 2
+
+    summary = aggregate_results(results)
+    summary["server"] = {
+        key: server_stats.get(key)
+        for key in (
+            "requests",
+            "checks_executed",
+            "cache_hits",
+            "cache_hit_rate",
+            "dedup_hits",
+            "timeouts",
+            "errors",
+        )
+    }
+    _finish_report(report_handle, summary, args.report, args.quiet)
+    print(format_summary(summary))
+    if not args.quiet:
+        print(
+            f"server: {server_stats.get('checks_executed', 0)} executed, "
+            f"{server_stats.get('cache_hits', 0)} verdict-cache hits, "
+            f"{server_stats.get('dedup_hits', 0)} dedup hits"
+        )
+    return _batch_exit_code(results, summary)
+
+
 def _run_batch(args: argparse.Namespace) -> int:
     # Imported lazily so `check` keeps working even if the service layer is
     # unavailable (e.g. a trimmed install).
     from .service import (
         BatchExecutor,
         CorpusSpec,
-        JobStatus,
         ResultCache,
         aggregate_results,
         build_corpus,
@@ -629,6 +898,9 @@ def _run_batch(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if getattr(args, "server", None):
+        return _run_batch_on_server(args, jobs)
+
     report_handle, error_code = _open_report(args.report)
     if error_code is not None:
         return error_code
@@ -636,36 +908,18 @@ def _run_batch(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = BatchExecutor(cache=cache, workers=args.workers, timeout=args.timeout)
 
-    def format_line(outcome):
-        if outcome.status != JobStatus.OK:
-            verdict = outcome.status.upper()
-        elif outcome.equivalent:
-            verdict = "equivalent"
-        else:
-            verdict = "NOT EQUIVALENT"
-        origin = "cache" if outcome.cache_hit else f"{outcome.elapsed_seconds:.3f} s"
-        flag = "  << UNEXPECTED" if outcome.matches_expectation is False else ""
-        return f"  {outcome.name:<32} {verdict:<14} ({origin}){flag}"
-
     from .presburger import opcache
 
     opcache_before = opcache.cache().stats.copy()
-    results = executor.run(jobs, progress=_make_progress(report_handle, args.quiet, format_line))
+    results = executor.run(
+        jobs, progress=_make_progress(report_handle, args.quiet, _batch_format_line)
+    )
     cache_stats = cache.stats if cache is not None else None
     opcache_delta = opcache.cache().stats.delta(opcache_before) if args.workers <= 1 else None
     summary = aggregate_results(results, cache_stats, opcache_stats=opcache_delta)
     _finish_report(report_handle, summary, args.report, args.quiet)
     print(format_summary(summary))
-
-    ok = all(outcome.status == JobStatus.OK for outcome in results)
-    no_mismatch = not summary["expectation_mismatches"]
-    # Jobs without an expectation fail the batch when not proven equivalent
-    # (same contract as `check`).
-    unexpected_nonequivalent = any(
-        outcome.expected_equivalent is None and outcome.status == JobStatus.OK and not outcome.equivalent
-        for outcome in results
-    )
-    return 0 if ok and no_mismatch and not unexpected_nonequivalent else 1
+    return _batch_exit_code(results, summary)
 
 
 def _run_fuzz(args: argparse.Namespace) -> int:
@@ -805,6 +1059,42 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if ok and not hard_errors and not missed_bugs and not strict_violations else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .server import ServerConfig, run_server
+
+    if args.no_tcp and not args.unix_socket:
+        print("error: --no-tcp requires --unix-socket", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        host=None if args.no_tcp else args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        workers=max(1, args.workers),
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        compiled_entries=args.compiled_entries,
+        session_entries=args.session_entries,
+        default_timeout=args.timeout,
+        max_timeout=args.max_timeout,
+        max_inflight_per_client=args.max_inflight,
+        drain_seconds=args.drain_seconds,
+    )
+
+    def ready(server) -> None:
+        # The parseable startup banner: one `listening on ADDR` line per
+        # listener, flushed before any request is served, so wrappers (CI,
+        # tests, scripts) can wait for it and read the ephemeral port.
+        for address in server.addresses:
+            print(f"listening on {address}", flush=True)
+
+    try:
+        run_server(config, ready=ready)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_with_telemetry(args: argparse.Namespace, runner) -> int:
     """Run a subcommand under the global tracer when --trace/--metrics ask for it.
 
@@ -868,6 +1158,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_with_telemetry(args, _run_fuzz)
         if args.command == "diagnose":
             return _run_with_telemetry(args, _run_diagnose)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_with_telemetry(args, _run_check)
     args = build_arg_parser().parse_args(argv)
     return _run_with_telemetry(args, _run_check)

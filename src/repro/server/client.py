@@ -1,0 +1,209 @@
+"""A small synchronous client for the verification server.
+
+The client speaks the newline-delimited JSON protocol of
+:mod:`repro.server.protocol` over a plain socket — no asyncio on the client
+side, so the CLI (``check --server`` / ``batch --server``), tests and
+benchmarks can stay synchronous.  :meth:`ServerClient.run_jobs` pipelines a
+batch over one connection with a bounded in-flight window and reassembles
+the out-of-order responses by request id, which is what makes the server's
+cross-request dedup observable from a single client.
+
+Addresses are spelled ``HOST:PORT`` for TCP or ``unix:PATH`` for a unix
+domain socket (:func:`parse_address`).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..service.job import JobResult, VerificationJob
+from . import protocol
+
+__all__ = ["ServerClient", "ServerError", "parse_address"]
+
+
+class ServerError(Exception):
+    """A structured error response from the server (or a transport failure)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def parse_address(address: str) -> Tuple[str, Any]:
+    """Parse ``HOST:PORT`` or ``unix:PATH`` into ``(family, target)``.
+
+    Returns ``("unix", path)`` or ``("tcp", (host, port))``; raises
+    :class:`ValueError` on anything else.
+    """
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError("unix: address is missing the socket path")
+        return "unix", path
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"expected HOST:PORT or unix:PATH, got {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in server address {address!r}") from None
+    return "tcp", (host, port)
+
+
+class ServerClient:
+    """One connection to a verification server.
+
+    Parameters
+    ----------
+    address:
+        ``HOST:PORT`` or ``unix:PATH``.
+    connect_timeout:
+        Seconds to wait for the TCP/unix connect.
+    request_timeout:
+        Socket-level ceiling on waiting for any single response frame;
+        ``None`` (default) waits as long as the server is checking.  This is
+        a transport safety net, distinct from the per-job verification
+        budget (``timeout`` on :meth:`check_job`), which the *server*
+        enforces and reports as a structured ``timeout`` job status.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 10.0,
+        request_timeout: Optional[float] = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ):
+        self.address = address
+        self.max_frame_bytes = max_frame_bytes
+        family, target = parse_address(address)
+        if family == "unix":
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._socket.settimeout(connect_timeout)
+            self._socket.connect(target)
+        else:
+            self._socket = socket.create_connection(target, timeout=connect_timeout)
+        self._socket.settimeout(request_timeout)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _send_request(self, method: str, params: Optional[Dict[str, Any]] = None) -> int:
+        self._next_id += 1
+        request_id = self._next_id
+        frame = protocol.encode_frame(protocol.request_frame(method, params, id=request_id))
+        self._socket.sendall(frame)
+        return request_id
+
+    def _read_response(self) -> Dict[str, Any]:
+        line = self._reader.readline(self.max_frame_bytes + 2)
+        if not line:
+            raise ServerError("disconnected", "server closed the connection")
+        if not line.endswith(b"\n"):
+            raise ServerError("disconnected", "truncated response frame")
+        try:
+            return protocol.decode_frame(line, self.max_frame_bytes)
+        except protocol.ProtocolError as error:
+            raise ServerError(error.code, error.message) from None
+
+    @staticmethod
+    def _unwrap(response: Dict[str, Any]) -> Any:
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServerError(
+            str(error.get("code", "unknown")), str(error.get("message", "unspecified error"))
+        )
+
+    def request(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """One synchronous round trip; returns the result or raises."""
+        request_id = self._send_request(method, params)
+        response = self._read_response()
+        if not response.get("ok") and response.get("id") is None:
+            # A connection-level error frame (frame_too_large, parse_error):
+            # it carries no request id, but it *is* the answer.
+            self._unwrap(response)
+        if response.get("id") != request_id:
+            raise ServerError(
+                "protocol", f"response id {response.get('id')!r} does not match request {request_id}"
+            )
+        return self._unwrap(response)
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def reset(self) -> Dict[str, Any]:
+        return self.request("reset")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def check_job(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
+        """Run one job on the server; returns the reconstructed result."""
+        params: Dict[str, Any] = {"job": job.to_dict()}
+        if timeout is not None:
+            params["timeout"] = timeout
+        return JobResult.from_dict(self.request("check", params))
+
+    def run_jobs(
+        self,
+        jobs: Sequence[VerificationJob],
+        timeout: Optional[float] = None,
+        window: int = 8,
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
+        """Pipeline *jobs* over this connection; results in input order.
+
+        Keeps up to *window* requests in flight (stay at or below the
+        server's per-client budget or the excess is rejected), reading
+        responses — which may complete out of order — as they arrive.
+        *progress* fires per completion, in completion order.
+        """
+        jobs = list(jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        index_of: Dict[int, int] = {}
+        sent = 0
+        outstanding = 0
+        while sent < len(jobs) or outstanding:
+            while sent < len(jobs) and outstanding < max(1, window):
+                params: Dict[str, Any] = {"job": jobs[sent].to_dict()}
+                if timeout is not None:
+                    params["timeout"] = timeout
+                index_of[self._send_request("check", params)] = sent
+                sent += 1
+                outstanding += 1
+            response = self._read_response()
+            outstanding -= 1
+            if not response.get("ok") and response.get("id") is None:
+                self._unwrap(response)
+            index = index_of.pop(response.get("id"), None)
+            if index is None:
+                raise ServerError("protocol", f"unsolicited response id {response.get('id')!r}")
+            outcome = JobResult.from_dict(self._unwrap(response))
+            results[index] = outcome
+            if progress is not None:
+                progress(outcome)
+        return [outcome for outcome in results if outcome is not None]

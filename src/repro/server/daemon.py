@@ -1,0 +1,435 @@
+"""The asyncio daemon: listeners, per-client budgets, graceful drain.
+
+:class:`VerificationServer` owns one :class:`~repro.server.pool.WarmVerifierPool`
+plus its :class:`~repro.server.pool.JobDispatcher` and serves the newline-
+delimited JSON protocol of :mod:`repro.server.protocol` over TCP and/or a
+unix domain socket.  The event loop only ever parses frames and books
+futures; every check runs on the pool's worker threads, so a slow job never
+stops the server from answering ``ping`` or accepting new connections.
+
+Lifecycle
+---------
+
+``start()`` binds the listeners (a TCP port of ``0`` picks a free one; the
+bound addresses are in :attr:`addresses`).  ``serve_forever()`` parks until
+:meth:`initiate_shutdown` is called — by the ``shutdown`` RPC, by ``SIGTERM``
+/ ``SIGINT`` (installed by :func:`run_server`), or by a test.  Shutdown is a
+*drain*: listeners close immediately, requests already in flight run to
+completion (bounded by ``config.drain_seconds``), every connection receives
+its remaining responses, new requests are answered with a structured
+``shutting_down`` error, and only then does the loop exit.
+
+Per-client budgets
+------------------
+
+Each connection may have at most ``config.max_inflight_per_client`` checks
+in flight; excess requests are rejected immediately with ``rate_limited``
+(not queued — a client that wants backpressure gets it by bounding its own
+pipeline).  Frames above ``config.max_frame_bytes`` terminate the connection
+after a ``frame_too_large`` error, because a byte stream past an oversized
+frame is no longer self-synchronising.
+
+:class:`ServerThread` runs the whole daemon on a background thread — the
+harness the in-process tests and the soak benchmark use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.cache import ResultCache
+from ..service.job import VerificationJob
+from ..telemetry import METRICS, TRACER
+from . import protocol
+from .pool import JobDispatcher, WarmVerifierPool
+
+__all__ = ["ServerConfig", "VerificationServer", "ServerThread", "run_server"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything a daemon instance can be tuned with."""
+
+    host: Optional[str] = "127.0.0.1"
+    port: int = 8571
+    unix_socket: Optional[str] = None
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    cache_memory_entries: int = 4096
+    no_cache: bool = False
+    compiled_entries: int = 512
+    session_entries: int = 64
+    default_timeout: Optional[float] = None
+    max_timeout: Optional[float] = None
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    max_inflight_per_client: int = 16
+    drain_seconds: float = 30.0
+
+    def build_cache(self) -> Optional[ResultCache]:
+        """The verdict cache this config describes (memory-only by default)."""
+        if self.no_cache:
+            return None
+        return ResultCache(self.cache_dir, memory_entries=self.cache_memory_entries)
+
+
+class _ClientContext:
+    """Per-connection budget accounting."""
+
+    __slots__ = ("peer", "inflight", "write_lock")
+
+    def __init__(self, peer: str):
+        self.peer = peer
+        self.inflight = 0
+        self.write_lock = asyncio.Lock()
+
+
+class VerificationServer:
+    """One daemon instance: warm pool + dispatcher + listeners."""
+
+    def __init__(self, config: Optional[ServerConfig] = None, pool: Optional[WarmVerifierPool] = None):
+        self.config = config or ServerConfig()
+        self.pool = pool or WarmVerifierPool(
+            workers=self.config.workers,
+            cache=self.config.build_cache(),
+            compiled_entries=self.config.compiled_entries,
+            session_entries=self.config.session_entries,
+            default_timeout=self.config.default_timeout,
+        )
+        self.dispatcher = JobDispatcher(self.pool)
+        self.addresses: List[str] = []
+        self._servers: List[asyncio.AbstractServer] = []
+        self._request_tasks: "set[asyncio.Task]" = set()
+        self._connections = 0
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self.draining = False
+        self._started_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the configured listeners; fills :attr:`addresses`."""
+        self._shutdown_event = asyncio.Event()
+        limit = self.config.max_frame_bytes + 2
+        if self.config.host is not None:
+            server = await asyncio.start_server(
+                self._handle_client, host=self.config.host, port=self.config.port, limit=limit
+            )
+            self._servers.append(server)
+            for sock in server.sockets or ():
+                host, port = sock.getsockname()[:2]
+                self.addresses.append(f"{host}:{port}")
+        if self.config.unix_socket:
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=self.config.unix_socket, limit=limit
+            )
+            self._servers.append(server)
+            self.addresses.append(f"unix:{self.config.unix_socket}")
+        if not self._servers:
+            raise ValueError("server config binds neither a TCP host nor a unix socket")
+
+    async def serve_forever(self) -> None:
+        """Park until shutdown is initiated, then drain and close."""
+        assert self._shutdown_event is not None, "call start() first"
+        await self._shutdown_event.wait()
+        await self._drain()
+
+    def initiate_shutdown(self) -> None:
+        """Begin graceful shutdown (idempotent, callable from the loop thread)."""
+        self.draining = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def _drain(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        # A client that sent a frame just before shutdown deserves an answer
+        # (the drained verdict or a structured shutting_down error), but its
+        # bytes may still sit in the socket buffer, not yet turned into a
+        # request task.  Give open connections one short read-grace so those
+        # frames surface before the task wait below concludes.
+        if self._connections and self.config.drain_seconds > 0:
+            await asyncio.sleep(min(0.25, self.config.drain_seconds))
+        # Re-snapshot until quiet: a frame already buffered on an open
+        # connection can spawn a request task *after* draining began (it is
+        # answered with a shutting_down error) and must still be awaited.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_seconds
+        while True:
+            pending = {task for task in self._request_tasks if not task.done()}
+            if not pending:
+                break
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                break
+            await asyncio.wait(pending, timeout=remaining)
+        self.pool.close()
+        if self.config.unix_socket and os.path.exists(self.config.unix_socket):
+            try:
+                os.remove(self.config.unix_socket)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        ctx = _ClientContext(str(peername))
+        self._connections += 1
+        METRICS.inc("server.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as error:
+                    # Client went away mid-frame (or cleanly with no partial
+                    # data); either way this connection is over — silently.
+                    if error.partial:
+                        METRICS.inc("server.disconnects_midframe")
+                    break
+                except asyncio.LimitOverrunError:
+                    # The stream cannot be re-synchronised past an oversized
+                    # frame; answer once, then hang up this connection.
+                    self.pool.stats.rejected += 1
+                    METRICS.inc("server.frames_too_large")
+                    await self._send(
+                        ctx,
+                        writer,
+                        protocol.error_response(
+                            None,
+                            protocol.ERROR_FRAME_TOO_LARGE,
+                            f"frame exceeds the {self.config.max_frame_bytes} byte limit",
+                        ),
+                    )
+                    break
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(self._serve_frame(ctx, writer, line))
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            self._connections -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            except asyncio.CancelledError:
+                # Loop teardown cancelled us while flushing the close; the
+                # transport dies with the loop either way.
+                pass
+
+    async def _send(self, ctx: _ClientContext, writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+        """Write one response frame; a vanished client is not an error."""
+        async with ctx.write_lock:
+            try:
+                writer.write(protocol.encode_frame(frame))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                METRICS.inc("server.responses_dropped")
+
+    async def _serve_frame(self, ctx: _ClientContext, writer: asyncio.StreamWriter, line: bytes) -> None:
+        """Decode, dispatch and answer one frame; never lets an error escape."""
+        self.pool.stats.requests += 1
+        METRICS.inc("server.requests")
+        METRICS.set("server.inflight", self.dispatcher.inflight)
+        request_id: Any = None
+        try:
+            payload = protocol.decode_frame(line, self.config.max_frame_bytes)
+            request_id = payload.get("id")
+            request_id, method, params = protocol.validate_request(payload)
+        except protocol.ProtocolError as error:
+            self.pool.stats.rejected += 1
+            await self._send(ctx, writer, protocol.error_response(request_id, error.code, error.message))
+            return
+        with TRACER.span("server.request", "server", method=method):
+            try:
+                response = await self._dispatch(ctx, request_id, method, params)
+            except protocol.ProtocolError as error:
+                self.pool.stats.rejected += 1
+                response = protocol.error_response(request_id, error.code, error.message)
+            except asyncio.CancelledError:
+                # Drain timeout hit while this request was still running:
+                # tell the client rather than vanish.
+                response = protocol.error_response(
+                    request_id, protocol.ERROR_SHUTTING_DOWN, "server shut down before completion"
+                )
+            except Exception as error:  # the queue must never wedge
+                self.pool.stats.errors += 1
+                METRICS.inc("server.internal_errors")
+                response = protocol.error_response(
+                    request_id, protocol.ERROR_INTERNAL, f"{type(error).__name__}: {error}"
+                )
+        await self._send(ctx, writer, response)
+
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, ctx: _ClientContext, request_id: Any, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        if method == "ping":
+            return protocol.ok_response(
+                request_id,
+                {
+                    "pong": True,
+                    "protocol_version": protocol.PROTOCOL_VERSION,
+                    "uptime_seconds": time.monotonic() - self._started_monotonic,
+                    "draining": self.draining,
+                },
+            )
+        if method == "stats":
+            payload = self.pool.snapshot()
+            payload["inflight"] = self.dispatcher.inflight
+            payload["draining"] = self.draining
+            return protocol.ok_response(request_id, payload)
+        if method == "reset":
+            self.pool.reset()
+            return protocol.ok_response(request_id, {"reset": True})
+        if method == "shutdown":
+            self.initiate_shutdown()
+            return protocol.ok_response(request_id, {"shutting_down": True})
+        if method == "check":
+            return await self._serve_check(ctx, request_id, params)
+        raise protocol.ProtocolError(
+            protocol.ERROR_UNKNOWN_METHOD, f"unknown method {method!r}"
+        )
+
+    async def _serve_check(self, ctx: _ClientContext, request_id: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+        if self.draining:
+            raise protocol.ProtocolError(
+                protocol.ERROR_SHUTTING_DOWN, "server is draining; not accepting new checks"
+            )
+        if ctx.inflight >= self.config.max_inflight_per_client:
+            # Counted as `rejected` by the ProtocolError handler upstream.
+            METRICS.inc("server.rate_limited")
+            raise protocol.ProtocolError(
+                protocol.ERROR_RATE_LIMITED,
+                f"client budget exceeded: {ctx.inflight} checks already in flight "
+                f"(limit {self.config.max_inflight_per_client})",
+            )
+        job_payload = params.get("job")
+        if not isinstance(job_payload, dict):
+            raise protocol.ProtocolError(
+                protocol.ERROR_INVALID_REQUEST, "check params must carry a 'job' object"
+            )
+        try:
+            job = VerificationJob.from_dict(job_payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise protocol.ProtocolError(
+                protocol.ERROR_INVALID_REQUEST, f"malformed job: {type(error).__name__}: {error}"
+            ) from None
+        timeout = params.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise protocol.ProtocolError(
+                protocol.ERROR_INVALID_REQUEST, "'timeout' must be a number of seconds"
+            )
+        if self.config.max_timeout is not None:
+            timeout = min(timeout, self.config.max_timeout) if timeout else self.config.max_timeout
+        ctx.inflight += 1
+        METRICS.set("server.queue_depth", self.dispatcher.inflight)
+        try:
+            outcome = await self.dispatcher.run(job, timeout)
+        finally:
+            ctx.inflight -= 1
+        return protocol.ok_response(request_id, outcome.to_dict())
+
+
+async def _serve(config: ServerConfig, ready=None, install_signals: bool = True) -> None:
+    server = VerificationServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    if install_signals:
+        import signal as _signal
+
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.initiate_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+    if ready is not None:
+        ready(server)
+    await server.serve_forever()
+
+
+def run_server(config: ServerConfig, ready=None, install_signals: bool = True) -> None:
+    """Run a daemon to completion on a fresh event loop (the CLI entry).
+
+    *ready* is called with the started :class:`VerificationServer` once the
+    listeners are bound (used to print the live addresses).  ``SIGTERM`` and
+    ``SIGINT`` trigger a graceful drain when *install_signals* is true.
+    """
+    asyncio.run(_serve(config, ready=ready, install_signals=install_signals))
+
+
+class ServerThread:
+    """A daemon running on a background thread, for tests and benchmarks.
+
+    Usage::
+
+        with ServerThread(ServerConfig(port=0)) as handle:
+            client = ServerClient(handle.address)
+            ...
+
+    ``port=0`` binds an ephemeral port; :attr:`address` is the first bound
+    address (``host:port`` or ``unix:PATH``).  Exiting the context initiates
+    a graceful drain and joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None, start_timeout: float = 10.0):
+        self.config = config or ServerConfig(port=0)
+        self.server: Optional[VerificationServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, name="eqcheck-serverthread", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(start_timeout):
+            raise RuntimeError("server thread did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server thread failed to start: {self._error!r}")
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await _serve(self.config, ready=self._on_ready, install_signals=False)
+            except BaseException as error:
+                self._error = error
+                self._ready.set()
+                raise
+
+        try:
+            asyncio.run(main())
+        except BaseException:
+            if not self._ready.is_set():
+                self._ready.set()
+
+    def _on_ready(self, server: VerificationServer) -> None:
+        self.server = server
+        self._ready.set()
+
+    @property
+    def address(self) -> str:
+        assert self.server is not None
+        return self.server.addresses[0]
+
+    def stop(self, join_timeout: float = 30.0) -> None:
+        """Drain gracefully and join the server thread."""
+        if self._loop is not None and self.server is not None and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self.server.initiate_shutdown)
+            except RuntimeError:
+                pass
+        self._thread.join(join_timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

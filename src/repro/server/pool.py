@@ -1,0 +1,360 @@
+"""The daemon's warm state: compiled artifacts, sessions, verdict cache, dedup.
+
+This module is why the server exists at all.  A cold ``repro-eqcheck check``
+pays parse + def-use + ADDG extraction for both programs, an empty Presburger
+operation cache and interpreter start-up on every invocation; the warm pool
+amortises all of it across the daemon's lifetime:
+
+* :class:`CompiledStore` — a process-wide LRU of
+  :class:`~repro.verifier.session.CompiledProgram` values keyed by the
+  SHA-256 of the raw source text, so a program seen by *any* request is
+  parsed and extracted exactly once no matter which worker thread checks it;
+* :class:`WarmVerifierPool` — a small ``ThreadPoolExecutor`` whose threads
+  each own one long-lived (bounded) :class:`~repro.verifier.session.Verifier`
+  session; all threads share the interpreter-wide Presburger operation cache
+  (:mod:`repro.presburger.opcache`), the compiled store and the
+  content-addressed verdict cache (:class:`~repro.service.cache.ResultCache`);
+* :class:`JobDispatcher` — the asyncio front that coalesces concurrent
+  identical requests: the first request for a ``(job fingerprint, effective
+  timeout)`` key becomes the *leader* and actually executes; every duplicate
+  that arrives while the leader is in flight awaits the same task and fans
+  the verdict out at zero cost.  The key deliberately includes the timeout
+  budget (the same rule :class:`~repro.service.executor.BatchExecutor`
+  applies in-batch): a TIMEOUT outcome is budget-dependent, so a leader's
+  timeout must never be fanned out to a duplicate running under a different
+  budget.
+
+Timeouts inside the pool go through the signal-free path of
+:func:`repro.service.executor.call_with_timeout` — the worker threads are
+never the main thread, so ``SIGALRM`` is not available there by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..service.cache import ResultCache
+from ..service.executor import execute_job
+from ..service.fingerprint import job_fingerprint
+from ..service.job import JobResult, JobStatus, VerificationJob
+from ..telemetry import METRICS
+from ..verifier import CompiledProgram, Verifier
+from ..lang import parse_program
+
+__all__ = ["ServerStats", "CompiledStore", "WarmVerifierPool", "JobDispatcher"]
+
+
+@dataclass
+class ServerStats:
+    """Authoritative lifetime counters of one daemon.
+
+    Kept as plain integers (always on, unlike the opt-in
+    :data:`repro.telemetry.METRICS` registry, which the pool mirrors into
+    when enabled) so the ``stats`` RPC and the soak benchmark can always
+    observe the server, telemetry flags or not.
+    """
+
+    requests: int = 0
+    checks_executed: int = 0
+    dedup_hits: int = 0
+    cache_hits: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+    resets: int = 0
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.checks_executed
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "checks_executed": self.checks_executed,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "resets": self.resets,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+
+class CompiledStore:
+    """A bounded, thread-safe LRU of compiled frontend artifacts.
+
+    Keys are the SHA-256 of the *raw* source text: computing the key never
+    parses, so a hit skips the frontend entirely.  The stored
+    :class:`CompiledProgram` values are shared across worker threads — their
+    lazy ``addg`` / ``dataflow_issues`` properties may race benignly (two
+    threads computing the same value; last write wins, both results are
+    equal) but never corrupt, as each assigns a fully-built object.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = max(1, int(max_entries))
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def get_or_compile(self, source: str) -> CompiledProgram:
+        """The compiled form of *source*, parsing at most once per text."""
+        key = self.key(source)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        # Parse outside the lock: compilation is the expensive part and two
+        # threads racing on the same new program is rarer than one thread
+        # blocking every other on a big parse.
+        started = time.perf_counter()
+        compiled = CompiledProgram(parse_program(source), frontend_seconds=time.perf_counter() - started)
+        with self._lock:
+            winner = self._entries.setdefault(key, compiled)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return winner
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class WarmVerifierPool:
+    """Worker threads with long-lived sessions over shared warm state.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads.  Checks are pure-Python CPU work, so more threads
+        buy queueing fairness and timeout isolation rather than parallel
+        speedup; 1–4 is the useful range.
+    cache:
+        The content-addressed verdict cache consulted before (and filled
+        after) every executed check; ``None`` disables verdict caching.
+    compiled_entries:
+        Bound of the shared :class:`CompiledStore`.
+    session_entries:
+        Per-thread bound of each session's compile cache (belt on top of the
+        shared store, for `Program`-identity keys).
+    default_timeout:
+        Wall-clock budget applied to jobs that carry none of their own.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        compiled_entries: int = 512,
+        session_entries: int = 64,
+        default_timeout: Optional[float] = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.compiled = CompiledStore(compiled_entries)
+        self.session_entries = session_entries
+        self.default_timeout = default_timeout
+        self.stats = ServerStats()
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="eqcheck-server"
+        )
+        self._local = threading.local()
+        self._generation = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _session(self) -> Verifier:
+        """This worker thread's long-lived session (rebuilt after a reset)."""
+        entry = getattr(self._local, "entry", None)
+        if entry is None or entry[0] != self._generation:
+            entry = (self._generation, Verifier(max_cache_entries=self.session_entries))
+            self._local.entry = entry
+        return entry[1]
+
+    def effective_timeout(self, job: VerificationJob, timeout: Optional[float]) -> Optional[float]:
+        """The budget this job would actually run under (the dedup key part)."""
+        if job.options is not None and job.options.timeout is not None:
+            return job.options.timeout
+        if timeout is not None:
+            return timeout
+        return self.default_timeout
+
+    def run_job(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
+        """Execute one job warm, synchronously, in the calling thread.
+
+        Cache front first; a miss runs the check through this thread's
+        session over the shared compiled store, with the job's effective
+        budget enforced by the signal-free timeout path.  Designed to be
+        called from the pool's worker threads (via :meth:`submit`) but safe
+        from any thread, including the main one.
+        """
+        fingerprint = job_fingerprint(job)
+        cached = self.cache.get(fingerprint) if self.cache is not None else None
+        if cached is not None:
+            self.stats.cache_hits += 1
+            METRICS.inc("server.cache_hits")
+            return JobResult(
+                name=job.name,
+                status=JobStatus.OK,
+                equivalent=cached.equivalent,
+                expected_equivalent=job.expected_equivalent,
+                elapsed_seconds=0.0,
+                cache_hit=True,
+                fingerprint=fingerprint,
+                result=cached,
+                metadata=dict(job.metadata),
+            )
+
+        def warm_run():
+            session = self._session()
+            original = self.compiled.get_or_compile(job.original_source)
+            transformed = self.compiled.get_or_compile(job.transformed_source)
+            return session.check(original, transformed, options=job.options)
+
+        outcome = execute_job(
+            job, self.effective_timeout(job, timeout), fingerprint, run=warm_run
+        )
+        self.stats.checks_executed += 1
+        METRICS.inc("server.checks_executed")
+        if outcome.status == JobStatus.TIMEOUT:
+            self.stats.timeouts += 1
+            METRICS.inc("server.timeouts")
+        elif outcome.status == JobStatus.ERROR:
+            self.stats.errors += 1
+            METRICS.inc("server.check_errors")
+        elif self.cache is not None and outcome.result is not None:
+            try:
+                self.cache.put(fingerprint, outcome.result)
+            except OSError:
+                self.cache.stats.store_errors += 1
+        return outcome
+
+    def submit(self, job: VerificationJob, timeout: Optional[float] = None):
+        """Queue *job* on the worker threads; returns a concurrent future."""
+        return self._threads.submit(self.run_job, job, timeout)
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Drop every piece of warm state (verdict cache, artifacts, sessions).
+
+        Existing worker threads lazily rebuild their sessions on the next
+        job (generation check), so no thread coordination is needed; a check
+        running concurrently with the reset keeps its old session for that
+        one job, which is safe — sessions only cache frontend artifacts.
+        """
+        with self._lock:
+            self._generation += 1
+            self.compiled.clear()
+            if self.cache is not None:
+                self.cache.clear()
+            self.stats.resets += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``stats`` RPC payload: counters plus warm-state population."""
+        self.stats.compile_hits = self.compiled.hits
+        self.stats.compile_misses = self.compiled.misses
+        payload = self.stats.as_dict()
+        payload["compiled_store"] = self.compiled.stats()
+        payload["verdict_cache"] = self.cache.stats.as_dict() if self.cache is not None else None
+        payload["workers"] = self.workers
+        return payload
+
+    def close(self) -> None:
+        self._threads.shutdown(wait=True)
+
+
+class JobDispatcher:
+    """Cross-request dedup front over the pool (confined to one event loop).
+
+    All bookkeeping happens on the server's event-loop thread, so the
+    in-flight table needs no lock: the leader registers its task before the
+    first ``await``, and every duplicate arriving until the task completes
+    attaches to it.  Followers observe the leader's :class:`JobResult` and
+    re-label it with their own job name / expectation / metadata.
+    """
+
+    def __init__(self, pool: WarmVerifierPool):
+        self.pool = pool
+        self._inflight: Dict[Tuple[str, Optional[float]], "asyncio.Task"] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
+        loop = asyncio.get_running_loop()
+        fingerprint = job_fingerprint(job)
+        key = (fingerprint, self.pool.effective_timeout(job, timeout))
+        leader = self._inflight.get(key)
+        if leader is not None:
+            self.pool.stats.dedup_hits += 1
+            METRICS.inc("server.dedup_hits")
+            # shield(): a follower whose client vanished must not cancel the
+            # leader out from under every other waiter.
+            outcome = await asyncio.shield(leader)
+            return self._follower_result(job, outcome)
+
+        async def lead() -> JobResult:
+            return await asyncio.wrap_future(self.pool.submit(job, timeout))
+
+        task = loop.create_task(lead())
+        self._inflight[key] = task
+        task.add_done_callback(lambda _t: self._inflight.pop(key, None))
+        return await asyncio.shield(task)
+
+    @staticmethod
+    def _follower_result(job: VerificationJob, outcome: JobResult) -> JobResult:
+        # Mirrors the in-batch fan-out of BatchExecutor._record: the verdict
+        # (or failure) is inherited at zero cost and not counted as a cache
+        # hit, so dedup reuse never inflates the reported hit rate.
+        return JobResult(
+            name=job.name,
+            status=outcome.status,
+            equivalent=outcome.equivalent,
+            expected_equivalent=job.expected_equivalent,
+            elapsed_seconds=0.0,
+            cache_hit=False,
+            fingerprint=outcome.fingerprint,
+            result=outcome.result,
+            error=outcome.error,
+            metadata={**job.metadata, "deduplicated": True},
+        )

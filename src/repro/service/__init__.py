@@ -16,7 +16,8 @@ Module tour
   over normalised sources, the cache key;
 * :mod:`~repro.service.cache` — the on-disk verdict cache with an LRU front;
 * :mod:`~repro.service.executor` — :class:`BatchExecutor`: in-batch
-  deduplication, process pool, per-job ``SIGALRM`` timeouts;
+  deduplication, process pool, per-job timeouts (``SIGALRM`` on the main
+  thread, a signal-free watchdog elsewhere — see :func:`call_with_timeout`);
 * :mod:`~repro.service.corpus` — turns the repo's workloads (kernels,
   generated pairs, mutated buggy pairs) into labelled job lists;
 * :mod:`~repro.service.report` — JSONL report writing/reading and the batch
@@ -29,7 +30,7 @@ The end-to-end workflow is documented in ``docs/batch-verification.md``.
 from ..verifier import CheckOptions
 from .cache import CacheStats, ResultCache
 from .corpus import CorpusSpec, build_corpus, jobs_from_file
-from .executor import BatchExecutor, execute_job
+from .executor import BatchExecutor, JobTimeoutError, call_with_timeout, execute_job
 from .fingerprint import CACHE_FORMAT_VERSION, job_fingerprint, normalize_source
 from .job import JobResult, JobStatus, VerificationJob
 from .report import (
@@ -50,10 +51,12 @@ __all__ = [
     "CorpusSpec",
     "JobResult",
     "JobStatus",
+    "JobTimeoutError",
     "ResultCache",
     "VerificationJob",
     "aggregate_results",
     "build_corpus",
+    "call_with_timeout",
     "execute_job",
     "format_summary",
     "job_fingerprint",

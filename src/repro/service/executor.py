@@ -6,12 +6,14 @@ input order.  Before any work is dispatched, every job is looked up in the
 result cache; only misses are executed — serially for ``workers <= 1`` (no
 pickling, easiest to debug) or on a ``ProcessPoolExecutor`` otherwise.
 
-Timeouts are enforced *inside* the executing process with ``SIGALRM`` (the
-checker is pure Python, so there is no portable way to interrupt it from the
-outside without killing the worker); a job that exceeds its budget yields a
-``timeout`` result instead of poisoning the pool.  Any exception a job raises
-is captured into an ``error`` result with its traceback — one bad program
-never aborts the batch.
+Timeouts are enforced *inside* the executing process (the checker is pure
+Python, so there is no portable way to interrupt it from the outside without
+killing the worker): on the main thread of a POSIX process via ``SIGALRM``,
+anywhere else via a signal-free watchdog timer that raises the timeout into
+the executing thread between bytecodes (see :func:`call_with_timeout`).  A
+job that exceeds its budget yields a ``timeout`` result instead of poisoning
+the pool.  Any exception a job raises is captured into an ``error`` result
+with its traceback — one bad program never aborts the batch.
 
 Each worker process keeps its own Presburger operation cache
 (:mod:`repro.presburger.opcache`) warm across the jobs it executes; the
@@ -22,64 +24,122 @@ per-job share of that activity travels back inside the job's
 
 from __future__ import annotations
 
+import ctypes
 import signal
 import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..telemetry import METRICS as _METRICS, TRACER as _TRACER
 from .cache import ResultCache
 from .fingerprint import job_fingerprint
 from .job import JobResult, JobStatus, VerificationJob
 
-__all__ = ["BatchExecutor", "execute_job"]
+__all__ = ["BatchExecutor", "JobTimeoutError", "call_with_timeout", "execute_job"]
 
 
-class _JobTimeout(BaseException):
+class JobTimeoutError(BaseException):
     # BaseException, not Exception: the checker (e.g. the presburger closure
     # heuristics) uses broad `except Exception` internally, which must not
-    # swallow the alarm and let a job run past its budget.
+    # swallow the timeout and let a job run past its budget.
     pass
 
 
+# Historical internal spelling, kept for callers that imported it.
+_JobTimeout = JobTimeoutError
+
+
 def _alarm_handler(signum, frame):
-    raise _JobTimeout()
+    raise JobTimeoutError()
 
 
-def _run_with_timeout(job: VerificationJob, timeout: Optional[float]):
-    """Run the job's check, raising :class:`_JobTimeout` past *timeout* seconds.
-
-    ``SIGALRM`` can only be installed from the main thread; elsewhere (e.g. a
-    caller running the serial path inside a thread) the timeout is silently
-    skipped rather than refused — the job still runs to completion.
-    """
-    use_alarm = (
-        timeout is not None
-        and timeout > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not use_alarm:
-        return job.run()
+def _call_with_alarm(fn: Callable[[], Any], timeout: float):
+    """The main-thread POSIX path: an ``ITIMER_REAL`` alarm interrupts *fn*."""
     previous = signal.signal(signal.SIGALRM, _alarm_handler)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     # The result is captured into a list so that an alarm delivered in the
-    # narrow window after job.run() returns (but before the timer is cleared)
+    # narrow window after fn() returns (but before the timer is cleared)
     # does not discard a verdict that was actually computed in time.
     outcome = []
     try:
         try:
-            outcome.append(job.run())
-        except _JobTimeout:
+            outcome.append(fn())
+        except JobTimeoutError:
             pass
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
     if outcome:
         return outcome[0]
-    raise _JobTimeout()
+    raise JobTimeoutError()
+
+
+def _call_with_watchdog(fn: Callable[[], Any], timeout: float):
+    """The signal-free path: a watchdog thread raises into the caller.
+
+    ``SIGALRM`` is main-thread-only (and POSIX-only), so worker threads — the
+    verification server's execution path — use a :class:`threading.Timer`
+    that delivers :class:`JobTimeoutError` into the executing thread with
+    ``PyThreadState_SetAsyncExc``.  Like the alarm, the exception surfaces at
+    the next bytecode boundary, which is exactly the granularity the pure-
+    Python checker needs; unlike the alarm, any number of threads can carry
+    independent budgets concurrently.
+    """
+    target = threading.get_ident()
+    fired = threading.Event()
+
+    def interrupt() -> None:
+        fired.set()
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(target), ctypes.py_object(JobTimeoutError)
+        )
+
+    timer = threading.Timer(timeout, interrupt)
+    timer.daemon = True
+    outcome = []
+    timer.start()
+    try:
+        try:
+            try:
+                outcome.append(fn())
+            except JobTimeoutError:
+                pass
+        finally:
+            timer.cancel()
+            if fired.is_set():
+                # The async exception may still be pending delivery (the timer
+                # fired after fn() returned); clearing it stops it surfacing
+                # at some arbitrary later bytecode of this thread.
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(ctypes.c_ulong(target), None)
+    except JobTimeoutError:
+        # Delivered in the cleanup window above; the computed result (if any)
+        # still wins, exactly like the alarm path's list capture.
+        pass
+    if outcome:
+        return outcome[0]
+    raise JobTimeoutError()
+
+
+def call_with_timeout(fn: Callable[[], Any], timeout: Optional[float]):
+    """Call ``fn()``, raising :class:`JobTimeoutError` past *timeout* seconds.
+
+    Dispatches to ``SIGALRM`` on the main thread of a POSIX process and to
+    the signal-free watchdog everywhere else, so callers get an enforced
+    budget regardless of which thread (or platform) they run on.  ``None``
+    or a non-positive *timeout* runs *fn* without a budget.
+    """
+    if timeout is None or timeout <= 0:
+        return fn()
+    if hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread():
+        return _call_with_alarm(fn, timeout)
+    return _call_with_watchdog(fn, timeout)
+
+
+def _run_with_timeout(job: VerificationJob, timeout: Optional[float]):
+    """Run the job's check under :func:`call_with_timeout`."""
+    return call_with_timeout(job.run, timeout)
 
 
 def _worker_init(collect_telemetry: bool) -> None:
@@ -101,6 +161,7 @@ def execute_job(
     timeout: Optional[float] = None,
     fingerprint: str = "",
     collect_telemetry: bool = False,
+    run: Optional[Callable[[], Any]] = None,
 ) -> JobResult:
     """Execute one job in the current process, capturing failure and timeout.
 
@@ -109,15 +170,18 @@ def execute_job(
     overrides it.  With *collect_telemetry* (set by the pool path of the
     executor while tracing is on in the parent) the job's spans and metric
     increments are drained into ``JobResult.telemetry`` for the parent
-    process to ingest.
+    process to ingest.  *run* replaces ``job.run`` as the zero-argument check
+    body — the verification server passes a warm-session closure here so the
+    status/timeout/error capture stays identical between the cold and the
+    warm paths.
     """
     if job.options is not None and job.options.timeout is not None:
         timeout = job.options.timeout
     if not (collect_telemetry or _TRACER.enabled):
-        return _execute_job_body(job, timeout, fingerprint)
+        return _execute_job_body(job, timeout, fingerprint, run)
     mark = _TRACER.mark()
     with _TRACER.span("service.job", "service", job=job.name) as span:
-        outcome = _execute_job_body(job, timeout, fingerprint)
+        outcome = _execute_job_body(job, timeout, fingerprint, run)
         span.set(status=outcome.status)
     if collect_telemetry:
         # Ship this job's share and reset, so the worker's buffers do not
@@ -131,12 +195,15 @@ def execute_job(
 
 
 def _execute_job_body(
-    job: VerificationJob, timeout: Optional[float], fingerprint: str
+    job: VerificationJob,
+    timeout: Optional[float],
+    fingerprint: str,
+    run: Optional[Callable[[], Any]] = None,
 ) -> JobResult:
     started = time.perf_counter()
     try:
-        result = _run_with_timeout(job, timeout)
-    except _JobTimeout:
+        result = call_with_timeout(run if run is not None else job.run, timeout)
+    except JobTimeoutError:
         return JobResult(
             name=job.name,
             status=JobStatus.TIMEOUT,

@@ -1,0 +1,88 @@
+"""Unit tests: the server's newline-delimited JSON frame protocol."""
+
+import pytest
+
+from repro.server import protocol
+
+
+class TestFrameRoundTrip:
+    def test_request_round_trip(self):
+        frame = protocol.request_frame("check", {"job": {"name": "j"}}, id=7)
+        decoded = protocol.decode_frame(protocol.encode_frame(frame))
+        assert decoded == {"id": 7, "method": "check", "params": {"job": {"name": "j"}}}
+
+    def test_request_without_params(self):
+        frame = protocol.request_frame("ping", id=1)
+        decoded = protocol.decode_frame(protocol.encode_frame(frame))
+        assert decoded == {"id": 1, "method": "ping"}
+
+    def test_ok_response_round_trip(self):
+        decoded = protocol.decode_frame(
+            protocol.encode_frame(protocol.ok_response(3, {"equivalent": True}))
+        )
+        assert decoded["ok"] is True
+        assert decoded["id"] == 3
+        assert decoded["result"] == {"equivalent": True}
+
+    def test_error_response_round_trip(self):
+        decoded = protocol.decode_frame(
+            protocol.encode_frame(protocol.error_response(None, protocol.ERROR_PARSE, "bad"))
+        )
+        assert decoded["ok"] is False
+        assert decoded["id"] is None
+        assert decoded["error"] == {"code": "parse_error", "message": "bad"}
+
+    def test_encoded_frame_is_one_line(self):
+        frame = protocol.encode_frame(protocol.request_frame("check", {"text": "a\nb"}, id=1))
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # embedded newlines must be escaped
+
+
+class TestDecodeErrors:
+    def test_oversized_frame(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_frame(b"x" * 100, max_bytes=50)
+        assert excinfo.value.code == protocol.ERROR_FRAME_TOO_LARGE
+
+    def test_malformed_json(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_frame(b"{not json]\n")
+        assert excinfo.value.code == protocol.ERROR_PARSE
+
+    def test_invalid_utf8(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_frame(b"\xff\xfe{}\n")
+        assert excinfo.value.code == protocol.ERROR_PARSE
+
+    def test_non_object_frame(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.decode_frame(b"[1, 2, 3]\n")
+        assert excinfo.value.code == protocol.ERROR_INVALID_REQUEST
+
+
+class TestValidateRequest:
+    def test_valid_request(self):
+        request_id, method, params = protocol.validate_request(
+            {"id": 9, "method": "check", "params": {"timeout": 1.0}}
+        )
+        assert (request_id, method, params) == (9, "check", {"timeout": 1.0})
+
+    def test_params_default_to_empty(self):
+        _, method, params = protocol.validate_request({"id": 1, "method": "ping"})
+        assert method == "ping"
+        assert params == {}
+
+    def test_missing_method(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.validate_request({"id": 1})
+        assert excinfo.value.code == protocol.ERROR_INVALID_REQUEST
+
+    def test_non_string_method(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.validate_request({"id": 1, "method": 42})
+        assert excinfo.value.code == protocol.ERROR_INVALID_REQUEST
+
+    def test_non_object_params(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.validate_request({"id": 1, "method": "check", "params": [1]})
+        assert excinfo.value.code == protocol.ERROR_INVALID_REQUEST
