@@ -1,0 +1,110 @@
+"""Decision-backend comparison: the omega core vs the SMT-LIB2 path.
+
+PR 8 second-sources the Presburger verdicts behind pluggable backends
+(:mod:`repro.solvers`).  These benchmarks measure what that costs: the same
+registered kernel check and the same raw decision-query corpus, decided by
+the omega core, by the SMT-LIB2 emission path (through the bundled
+``builtin`` interpreter — the worst case, since it round-trips text and
+then decides with omega anyway), and by the differential ``crosscheck``
+backend that runs both.
+
+The committed trajectory snapshot lives in ``BENCH_solvers.json``
+(regenerate with ``python tools/bench_snapshot.py --suite solvers``); its
+deterministic half — per-backend verdicts and query counts — is the CI
+drift gate, the timing half records the overhead story.
+"""
+
+import time
+
+from repro.presburger import opcache, parse_set
+from repro.solvers import CrossCheckBackend, OmegaBackend, SmtLibBackend
+from repro.verifier import Verifier
+from repro.verifier.options import CheckOptions
+from repro.workloads import SMALL_KERNEL_PARAMS, kernel_pair
+
+from conftest import run_once
+
+BENCH_KERNEL = "fir"
+
+QUERY_CORPUS = [
+    "{ [i] : 0 <= i < 64 }",
+    "{ [i] : exists a : i = 2a and 0 <= i < 64 }",
+    "{ [i] : exists a : 3a <= i and i <= 3a + 1 and 0 <= i < 48 }",
+    "{ [i, j] : 0 <= i < 16 and 0 <= j < 16 and i <= j }",
+]
+
+
+def _kernel_sources():
+    pair = kernel_pair(BENCH_KERNEL, **SMALL_KERNEL_PARAMS.get(BENCH_KERNEL, {}))
+    return pair.original, pair.transformed
+
+
+def check_kernel(backend: str):
+    """One cold kernel check under *backend*; returns the result."""
+    original, transformed = _kernel_sources()
+    opcache.reset()
+    options = CheckOptions(backend=backend, smt_solver="builtin" if backend != "omega" else None)
+    return Verifier(options=options).check(original, transformed)
+
+
+def run_query_corpus(backend):
+    """All pairwise binary queries of the corpus against *backend*."""
+    sets = [parse_set(text) for text in QUERY_CORPUS]
+    verdicts = []
+    for a in sets:
+        for b in sets:
+            if a.arity != b.arity:
+                continue
+            verdicts.append(backend.is_subset(a.conjuncts, b.conjuncts))
+            verdicts.append(backend.is_disjoint(a.conjuncts, b.conjuncts))
+    return verdicts
+
+
+def time_backend_kernel_checks():
+    """(omega_seconds, smtlib_seconds, crosscheck_seconds) for one cold check each."""
+    timings = []
+    for backend in ("omega", "smtlib", "crosscheck"):
+        started = time.perf_counter()
+        result = check_kernel(backend)
+        timings.append(time.perf_counter() - started)
+        assert result.equivalent
+    return tuple(timings)
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------- #
+def bench_kernel_check_omega(benchmark):
+    result = run_once(benchmark, check_kernel, "omega", rounds=3)
+    assert result.equivalent
+
+
+def bench_kernel_check_smtlib_builtin(benchmark):
+    result = run_once(benchmark, check_kernel, "smtlib", rounds=3)
+    assert result.equivalent
+    assert sum(result.stats.solver_queries.values()) > 0
+
+
+def bench_kernel_check_crosscheck(benchmark):
+    result = run_once(benchmark, check_kernel, "crosscheck", rounds=3)
+    assert result.equivalent
+    assert result.stats.solver_queries.get("crosscheck.disagreements", 0) == 0
+
+
+def bench_query_corpus_omega(benchmark):
+    verdicts = run_once(benchmark, run_query_corpus, OmegaBackend(), rounds=3)
+    assert any(verdicts)
+
+
+def bench_query_corpus_smtlib_builtin(benchmark):
+    opcache.reset()  # cold: memoized SMT replies would undercount the cost
+    verdicts = run_once(benchmark, run_query_corpus, SmtLibBackend("builtin"), rounds=3)
+    assert any(verdicts)
+
+
+def bench_query_corpus_crosscheck(benchmark):
+    opcache.reset()
+    backend = CrossCheckBackend(OmegaBackend(), SmtLibBackend("builtin"))
+    verdicts = run_once(benchmark, run_query_corpus, backend, rounds=3)
+    assert any(verdicts)
+    assert "crosscheck.disagreements" not in backend.query_counts

@@ -157,6 +157,12 @@ class CheckStats:
     opcache_hits: int = 0
     opcache_misses: int = 0
     intern_hits: int = 0
+    # Which decision-procedure backend produced the verdict (PR 8,
+    # ``repro.solvers``) and how many queries it answered, keyed
+    # ``"<backend>.<kind>"``.  ``solver_queries`` stays empty under the
+    # default omega backend, whose decisions run inline.
+    backend: str = "omega"
+    solver_queries: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     # Keys from other schema versions, preserved verbatim by the round trip
     # (never interpreted here); see ``from_dict``.

@@ -130,6 +130,21 @@ def _add_checker_option_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable tabling of established equivalences (for ablation experiments)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("omega", "smtlib", "z3", "crosscheck"),
+        default="omega",
+        help="decision-procedure backend: the omega core (default), an SMT-LIB2 "
+        "solver, the in-process z3 module, or 'crosscheck' (omega vs SMT on "
+        "every query, hard error on divergence)",
+    )
+    parser.add_argument(
+        "--smt-solver",
+        metavar="CMD",
+        default=None,
+        help="solver command for the SMT backends, e.g. 'z3', 'cvc5 --lang smt2' "
+        "or 'builtin' (default: auto-detect z3/cvc5, else builtin)",
+    )
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -364,6 +379,19 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="per-session compiled-program cache capacity (default: 64)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("omega", "smtlib", "z3", "crosscheck"),
+        default=None,
+        help="decision backend applied to requests that do not choose one "
+        "themselves (default: honour each job's own options)",
+    )
+    parser.add_argument(
+        "--smt-solver",
+        metavar="CMD",
+        default=None,
+        help="solver command for the SMT backends (default: auto-detect)",
+    )
 
 
 def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
@@ -547,6 +575,8 @@ def checker_options_from_args(args: argparse.Namespace) -> CheckOptions:
         tabling=not args.no_tabling,
         check_preconditions=not args.no_preconditions,
         timeout=getattr(args, "timeout", None),
+        backend=getattr(args, "backend", "omega"),
+        smt_solver=getattr(args, "smt_solver", None),
     )
 
 
@@ -1056,7 +1086,20 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         for outcome in results
     )
     strict_violations = args.strict and bool(scenarios.get("incompleteness"))
-    return 0 if ok and not hard_errors and not missed_bugs and not strict_violations else 1
+    # Backend-vs-backend divergence (crosscheck runs) is a soundness alarm of
+    # its own: the decision procedures disagreed on a query, so neither
+    # verdict can be trusted.  Always a hard failure.
+    solvers_block = summary.get("solvers") or {}
+    backend_disagreements = bool(solvers_block.get("disagreements"))
+    return (
+        0
+        if ok
+        and not hard_errors
+        and not missed_bugs
+        and not strict_violations
+        and not backend_disagreements
+        else 1
+    )
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -1078,6 +1121,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_timeout=args.max_timeout,
         max_inflight_per_client=args.max_inflight,
         drain_seconds=args.drain_seconds,
+        backend=args.backend,
+        smt_solver=args.smt_solver,
     )
 
     def ready(server) -> None:

@@ -1,0 +1,57 @@
+"""The decision-backend hook of the Presburger layer.
+
+:mod:`repro.presburger.setmap` consults this module before answering a
+*decision query* (feasibility, subset, equality, disjointness, point
+sampling).  When a backend is active — installed by
+:func:`repro.solvers.use_backend` around an equivalence check — the query is
+routed to it; when none is active (the default) the inline omega path runs,
+byte-identically to the pre-backend code.
+
+The holder is a :class:`contextvars.ContextVar`, so concurrent checks in
+different threads (the server's warm worker pool) can run under different
+backends without interference.  This module deliberately imports nothing
+from the rest of the package: ``setmap`` depends on it, and
+:mod:`repro.solvers` depends on ``setmap`` — the hook is the seam that keeps
+that dependency one-way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Any, Iterator, Optional
+
+__all__ = ["active_backend", "activate", "suspended"]
+
+_ACTIVE: ContextVar[Optional[Any]] = ContextVar("repro_solver_backend", default=None)
+
+
+def active_backend() -> Optional[Any]:
+    """The backend decision queries are currently routed to (``None``: inline omega)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def activate(backend: Optional[Any]) -> Iterator[Optional[Any]]:
+    """Route decision queries to *backend* within the ``with`` block."""
+    token = _ACTIVE.set(backend)
+    try:
+        yield backend
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def suspended() -> Iterator[None]:
+    """Temporarily restore the inline omega path.
+
+    Backend implementations that re-enter the :class:`~repro.presburger.Set`
+    / :class:`~repro.presburger.Map` API (e.g. to enumerate points) wrap the
+    re-entrant calls in this context manager so they cannot recurse into
+    themselves.
+    """
+    token = _ACTIVE.set(None)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

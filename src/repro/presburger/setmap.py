@@ -22,6 +22,7 @@ from .conjunct import Conjunct, Vector
 from .constraints import AffineConstraint
 from .errors import SpaceMismatchError, UnboundedSetError, UnsupportedOperationError
 from .linexpr import LinExpr
+from . import hooks as _hooks
 from . import omega
 from . import opcache as _opcache
 
@@ -308,8 +309,10 @@ class Set:
         if len(point) != self.arity:
             raise SpaceMismatchError("point arity does not match set arity")
         values = [int(x) for x in point]
+        backend = _hooks.active_backend()
+        feasible = omega.is_feasible if backend is None else backend.is_feasible
         for conjunct in self.conjuncts:
-            if omega.is_feasible(conjunct.substitute_vars(values)):
+            if feasible(conjunct.substitute_vars(values)):
                 return True
         return False
 
@@ -337,13 +340,23 @@ class Set:
 
     def is_subset(self, other: "Set") -> bool:
         self._require_compatible(other)
+        backend = _hooks.active_backend()
+        if backend is not None:
+            return backend.is_subset(self.conjuncts, other.conjuncts)
         return not _union_subtract(self.conjuncts, other.conjuncts)
 
     def is_equal(self, other: "Set") -> bool:
+        backend = _hooks.active_backend()
+        if backend is not None:
+            self._require_compatible(other)
+            return backend.is_equal(self.conjuncts, other.conjuncts)
         return self.is_subset(other) and other.is_subset(self)
 
     def is_disjoint(self, other: "Set") -> bool:
         self._require_compatible(other)
+        backend = _hooks.active_backend()
+        if backend is not None:
+            return backend.is_disjoint(self.conjuncts, other.conjuncts)
         return not _union_intersect(self.conjuncts, other.conjuncts)
 
     def project_out(self, names: Sequence[str]) -> "Set":
@@ -479,12 +492,20 @@ class Set:
         """
         if self.is_empty():
             raise ValueError("cannot sample a point from an empty set")
-        try:
-            points = list(self.points(limit=limit))
-        except (UnboundedSetError, ValueError):
-            return self.lexmin()
-        rng = random.Random(f"sample:{seed}:{len(points)}")
-        return points[rng.randrange(len(points))]
+        backend = _hooks.active_backend()
+        if backend is not None:
+            return backend.sample_point(self, seed=seed, limit=limit)
+        return self._sample_point_default(seed=seed, limit=limit)
+
+    def _sample_point_default(self, seed: int = 0, limit: int = 4096) -> Tuple[int, ...]:
+        """The inline (omega) sampling body; backends must not re-enter it."""
+        with _hooks.suspended():
+            try:
+                points = list(self.points(limit=limit))
+            except (UnboundedSetError, ValueError):
+                return self.lexmin()
+            rng = random.Random(f"sample:{seed}:{len(points)}")
+            return points[rng.randrange(len(points))]
 
     # --------------------------- dunder api ---------------------------- #
     def __and__(self, other: "Set") -> "Set":
@@ -624,8 +645,10 @@ class Map:
         values = [int(x) for x in in_point] + [int(x) for x in out_point]
         if len(values) != self.n_in + self.n_out:
             raise SpaceMismatchError("point arity does not match map arity")
+        backend = _hooks.active_backend()
+        feasible = omega.is_feasible if backend is None else backend.is_feasible
         for conjunct in self.conjuncts:
-            if omega.is_feasible(conjunct.substitute_vars(values)):
+            if feasible(conjunct.substitute_vars(values)):
                 return True
         return False
 
@@ -652,13 +675,23 @@ class Map:
 
     def is_subset(self, other: "Map") -> bool:
         self._require_compatible(other)
+        backend = _hooks.active_backend()
+        if backend is not None:
+            return backend.is_subset(self.conjuncts, other.conjuncts)
         return not _union_subtract(self.conjuncts, other.conjuncts)
 
     def is_equal(self, other: "Map") -> bool:
+        backend = _hooks.active_backend()
+        if backend is not None:
+            self._require_compatible(other)
+            return backend.is_equal(self.conjuncts, other.conjuncts)
         return self.is_subset(other) and other.is_subset(self)
 
     def is_disjoint(self, other: "Map") -> bool:
         self._require_compatible(other)
+        backend = _hooks.active_backend()
+        if backend is not None:
+            return backend.is_disjoint(self.conjuncts, other.conjuncts)
         return not _union_intersect(self.conjuncts, other.conjuncts)
 
     def as_set(self) -> Set:

@@ -69,6 +69,10 @@ class ServerConfig:
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     max_inflight_per_client: int = 16
     drain_seconds: float = 30.0
+    # Decision-backend default applied to requests that do not choose one
+    # (see WarmVerifierPool.prepare_job); None honours each job's options.
+    backend: Optional[str] = None
+    smt_solver: Optional[str] = None
 
     def build_cache(self) -> Optional[ResultCache]:
         """The verdict cache this config describes (memory-only by default)."""
@@ -99,6 +103,8 @@ class VerificationServer:
             compiled_entries=self.config.compiled_entries,
             session_entries=self.config.session_entries,
             default_timeout=self.config.default_timeout,
+            backend=self.config.backend,
+            smt_solver=self.config.smt_solver,
         )
         self.dispatcher = JobDispatcher(self.pool)
         self.addresses: List[str] = []

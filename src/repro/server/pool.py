@@ -37,6 +37,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -187,12 +188,16 @@ class WarmVerifierPool:
         compiled_entries: int = 512,
         session_entries: int = 64,
         default_timeout: Optional[float] = None,
+        backend: Optional[str] = None,
+        smt_solver: Optional[str] = None,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
         self.compiled = CompiledStore(compiled_entries)
         self.session_entries = session_entries
         self.default_timeout = default_timeout
+        self.backend = backend
+        self.smt_solver = smt_solver
         self.stats = ServerStats()
         self._threads = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="eqcheck-server"
@@ -209,6 +214,27 @@ class WarmVerifierPool:
             entry = (self._generation, Verifier(max_cache_entries=self.session_entries))
             self._local.entry = entry
         return entry[1]
+
+    def prepare_job(self, job: VerificationJob) -> VerificationJob:
+        """Apply the server's decision-backend default to *job*.
+
+        A ``serve --backend`` override rewrites jobs that carry the default
+        (``omega``) backend; a request that explicitly selected another
+        backend keeps it.  The rewrite MUST happen before any
+        :func:`~repro.service.fingerprint.job_fingerprint` computation —
+        the backend participates in the fingerprint, so rewriting later
+        would alias cache entries and dedup keys across backends.
+        Idempotent, so both the dispatcher and :meth:`run_job` can call it.
+        """
+        if self.backend is None or job.options is None:
+            return job
+        if job.options.backend != "omega":
+            return job
+        options = job.options.replace(
+            backend=self.backend,
+            smt_solver=job.options.smt_solver or self.smt_solver,
+        )
+        return dataclasses.replace(job, options=options)
 
     def effective_timeout(self, job: VerificationJob, timeout: Optional[float]) -> Optional[float]:
         """The budget this job would actually run under (the dedup key part)."""
@@ -227,6 +253,7 @@ class WarmVerifierPool:
         called from the pool's worker threads (via :meth:`submit`) but safe
         from any thread, including the main one.
         """
+        job = self.prepare_job(job)
         fingerprint = job_fingerprint(job)
         cached = self.cache.get(fingerprint) if self.cache is not None else None
         if cached is not None:
@@ -322,6 +349,7 @@ class JobDispatcher:
 
     async def run(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
         loop = asyncio.get_running_loop()
+        job = self.pool.prepare_job(job)
         fingerprint = job_fingerprint(job)
         key = (fingerprint, self.pool.effective_timeout(job, timeout))
         leader = self._inflight.get(key)

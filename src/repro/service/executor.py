@@ -8,12 +8,19 @@ pickling, easiest to debug) or on a ``ProcessPoolExecutor`` otherwise.
 
 Timeouts are enforced *inside* the executing process (the checker is pure
 Python, so there is no portable way to interrupt it from the outside without
-killing the worker): on the main thread of a POSIX process via ``SIGALRM``,
-anywhere else via a signal-free watchdog timer that raises the timeout into
-the executing thread between bytecodes (see :func:`call_with_timeout`).  A
-job that exceeds its budget yields a ``timeout`` result instead of poisoning
+killing the worker).  The general mechanism is the signal-free watchdog
+shipped with the verification server: a timer thread that raises
+:class:`JobTimeoutError` into the executing thread at the next bytecode
+boundary, so any number of threads can carry independent budgets.  The main
+thread of a POSIX process keeps the classic ``SIGALRM`` fast path — same
+semantics, delivered by the interpreter's signal machinery instead of a
+watchdog thread (see :func:`call_with_timeout` for the dispatch).  A job
+that exceeds its budget yields a ``timeout`` result instead of poisoning
 the pool.  Any exception a job raises is captured into an ``error`` result
-with its traceback — one bad program never aborts the batch.
+with its traceback — one bad program never aborts the batch.  Two alarms
+deliberately pierce that capture as ``BaseException``: the timeout itself,
+and :class:`~repro.solvers.BackendDisagreement` from a cross-checked run,
+which is recorded as an ``error`` result carrying the serialized query.
 
 Each worker process keeps its own Presburger operation cache
 (:mod:`repro.presburger.opcache`) warm across the jobs it executes; the
@@ -32,6 +39,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
+from ..solvers.base import BackendDisagreement
 from ..telemetry import METRICS as _METRICS, TRACER as _TRACER
 from .cache import ResultCache
 from .fingerprint import job_fingerprint
@@ -47,7 +55,8 @@ class JobTimeoutError(BaseException):
     pass
 
 
-# Historical internal spelling, kept for callers that imported it.
+# Alias from the SIGALRM-only era, when the timeout type was private to
+# this module; kept for callers that imported the old spelling.
 _JobTimeout = JobTimeoutError
 
 
@@ -212,6 +221,20 @@ def _execute_job_body(
             fingerprint=fingerprint,
             error=f"job exceeded the {timeout:g} s budget",
             metadata=dict(job.metadata),
+        )
+    except BackendDisagreement as error:
+        # A cross-check divergence is a BaseException so the checker's broad
+        # recovery paths cannot swallow it; it surfaces here as a hard ERROR
+        # with the serialized query attached for offline replay
+        # (repro.solvers.replay_query).
+        return JobResult(
+            name=job.name,
+            status=JobStatus.ERROR,
+            expected_equivalent=job.expected_equivalent,
+            elapsed_seconds=time.perf_counter() - started,
+            fingerprint=fingerprint,
+            error=f"BackendDisagreement: {error}",
+            metadata={**job.metadata, "backend_disagreement": error.to_dict()},
         )
     except Exception as error:
         return JobResult(

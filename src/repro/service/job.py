@@ -89,6 +89,8 @@ class VerificationJob:
     expected_equivalent: Optional[bool] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
     timeout: Optional[float] = None
+    backend: str = "omega"
+    smt_solver: Optional[str] = None
     options: Optional[CheckOptions] = None
 
     def __post_init__(self) -> None:
@@ -109,6 +111,8 @@ class VerificationJob:
                 tabling=self.tabling,
                 check_preconditions=self.check_preconditions,
                 timeout=self.timeout,
+                backend=self.backend,
+                smt_solver=self.smt_solver,
             )
         else:
             # ``options`` wins; mirror it into the flat (legacy) views so the
@@ -120,6 +124,8 @@ class VerificationJob:
             self.tabling = self.options.tabling
             self.check_preconditions = self.options.check_preconditions
             self.timeout = self.options.timeout
+            self.backend = self.options.backend
+            self.smt_solver = self.options.smt_solver
 
     def registry(self) -> OperatorRegistry:
         """The operator registry implied by this job's options."""
@@ -143,6 +149,8 @@ class VerificationJob:
             "tabling": self.tabling,
             "check_preconditions": self.check_preconditions,
             "timeout": self.timeout,
+            "backend": self.backend,
+            "smt_solver": self.smt_solver,
             "expected_equivalent": self.expected_equivalent,
             "metadata": dict(self.metadata),
         }
@@ -174,6 +182,8 @@ class VerificationJob:
             tabling=data.get("tabling", True),
             check_preconditions=data.get("check_preconditions", True),
             timeout=data.get("timeout"),
+            backend=data.get("backend", "omega"),
+            smt_solver=data.get("smt_solver"),
             **common,
         )
 

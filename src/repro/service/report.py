@@ -278,9 +278,47 @@ def aggregate_results(
     scenarios = scenario_summary(results)
     if scenarios is not None:
         summary["scenarios"] = scenarios
+    solvers = _solvers_summary(results)
+    if solvers is not None:
+        summary["solvers"] = solvers
     if cache_stats is not None:
         summary["cache"] = cache_stats.as_dict()
     return summary
+
+
+def _solvers_summary(results: Sequence[JobResult]) -> Optional[Dict[str, Any]]:
+    """The decision-backend block: per-backend query counts and divergences.
+
+    Present when any job ran under a non-default backend (its
+    :class:`~repro.checker.result.CheckStats` carry ``solver_queries``) or
+    was aborted by a :class:`~repro.solvers.BackendDisagreement` (its
+    metadata carries the serialized query).  Absent for pure omega batches,
+    keeping their summary schema unchanged.
+    """
+    backends: Dict[str, int] = {}
+    queries: Dict[str, int] = {}
+    disagreements: List[str] = []
+    for outcome in results:
+        if outcome.metadata.get("backend_disagreement") is not None:
+            disagreements.append(outcome.name)
+        if outcome.result is None:
+            continue
+        stats = outcome.result.stats
+        backend = getattr(stats, "backend", "omega")
+        if backend != "omega":
+            backends[backend] = backends.get(backend, 0) + 1
+        if outcome.cache_hit or outcome.metadata.get("deduplicated"):
+            continue
+        for key, count in (stats.solver_queries or {}).items():
+            queries[key] = queries.get(key, 0) + count
+    if not backends and not queries and not disagreements:
+        return None
+    return {
+        "backends": dict(sorted(backends.items())),
+        "queries": dict(sorted(queries.items())),
+        "disagreements": len(disagreements),
+        "disagreement_jobs": disagreements,
+    }
 
 
 def write_report(
@@ -418,6 +456,22 @@ def format_summary(summary: Dict[str, Any]) -> str:
                     "BISECT MISS : bisection failed to name the injected mutation: "
                     + ", ".join(witness["bisection_misses"])
                 )
+    solvers = summary.get("solvers")
+    if solvers:
+        per_backend = ", ".join(
+            f"{name} x{count}" for name, count in sorted(solvers.get("backends", {}).items())
+        ) or "omega only"
+        total_queries = sum(solvers.get("queries", {}).values())
+        lines.append(f"solvers     : {per_backend} | {total_queries} backend quer(ies)")
+        per_kind = solvers.get("queries", {})
+        if per_kind:
+            parts = [f"{key} {count}" for key, count in sorted(per_kind.items())]
+            lines.append("  queries   : " + ", ".join(parts))
+        if solvers.get("disagreements"):
+            lines.append(
+                "DISAGREEMENT: backends diverged on: "
+                + ", ".join(solvers.get("disagreement_jobs", []))
+            )
     if summary["expectation_mismatches"]:
         lines.append(
             "MISMATCHES  : " + ", ".join(summary["expectation_mismatches"])

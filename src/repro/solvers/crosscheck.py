@@ -1,0 +1,115 @@
+"""Differential execution of two decision backends on every query.
+
+The PR 4 scenario engine compares the checker against an interpreter
+oracle; this backend applies the same idea one layer down and compares two
+decision procedures against each other.  Every query runs on both backends;
+agreement and divergence are counted in telemetry
+(``solvers.crosscheck.agreements`` / ``.disagreements``) and a divergence
+raises :class:`~repro.solvers.base.BackendDisagreement` with the serialized
+query, so the exact constraint system that split the solvers can be
+replayed offline (:func:`~repro.solvers.base.replay_query`).
+
+``sample_point`` is cross-checked by *membership*, not by point identity:
+both backends may legitimately return different witnesses of the same set,
+so the secondary verifies that the primary's point satisfies the
+constraints instead of re-deriving it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..presburger.conjunct import Conjunct
+from ..telemetry import METRICS
+
+from .base import BackendDisagreement, SolverBackend, serialize_query
+
+__all__ = ["CrossCheckBackend"]
+
+
+class CrossCheckBackend(SolverBackend):
+    """Run *primary* and *secondary* on each query; alarm on any divergence."""
+
+    name = "crosscheck"
+
+    def __init__(self, primary: SolverBackend, secondary: SolverBackend) -> None:
+        super().__init__()
+        self.primary = primary
+        self.secondary = secondary
+
+    # ------------------------------------------------------------------ #
+    @property
+    def query_counts(self) -> Dict[str, int]:  # type: ignore[override]
+        """Own counters merged with both children's (distinct name prefixes)."""
+        merged = dict(self._own_counts)
+        merged.update(self.primary.query_counts)
+        merged.update(self.secondary.query_counts)
+        return merged
+
+    @query_counts.setter
+    def query_counts(self, value: Dict[str, int]) -> None:
+        self._own_counts = value
+
+    def _count(self, kind: str) -> None:
+        # The merged `query_counts` view is a copy; counters live in
+        # `_own_counts` so increments are not lost.
+        key = f"{self.name}.{kind}"
+        self._own_counts[key] = self._own_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    def _compare(self, kind: str, first: Any, second: Any, query: Dict[str, Any]) -> Any:
+        if first == second:
+            self._count("agreements")
+            if METRICS.enabled:
+                METRICS.inc("solvers.crosscheck.agreements")
+            return first
+        self._count("disagreements")
+        if METRICS.enabled:
+            METRICS.inc("solvers.crosscheck.disagreements")
+        raise BackendDisagreement(
+            query, self.primary.name, self.secondary.name, first, second
+        )
+
+    def is_feasible(self, conjunct: Conjunct) -> bool:
+        return self._compare(
+            "is_feasible",
+            self.primary.is_feasible(conjunct),
+            self.secondary.is_feasible(conjunct),
+            serialize_query("is_feasible", (conjunct,)),
+        )
+
+    def is_subset(self, a: Sequence[Conjunct], b: Sequence[Conjunct]) -> bool:
+        return self._compare(
+            "is_subset",
+            self.primary.is_subset(a, b),
+            self.secondary.is_subset(a, b),
+            serialize_query("is_subset", a, b),
+        )
+
+    def is_equal(self, a: Sequence[Conjunct], b: Sequence[Conjunct]) -> bool:
+        return self._compare(
+            "is_equal",
+            self.primary.is_equal(a, b),
+            self.secondary.is_equal(a, b),
+            serialize_query("is_equal", a, b),
+        )
+
+    def is_disjoint(self, a: Sequence[Conjunct], b: Sequence[Conjunct]) -> bool:
+        return self._compare(
+            "is_disjoint",
+            self.primary.is_disjoint(a, b),
+            self.secondary.is_disjoint(a, b),
+            serialize_query("is_disjoint", a, b),
+        )
+
+    def sample_point(self, set_like: Any, seed: int = 0, limit: int = 4096) -> Tuple[int, ...]:
+        point = self.primary.sample_point(set_like, seed=seed, limit=limit)
+        member = any(
+            self.secondary.is_feasible(conjunct.substitute_vars(list(point)))
+            for conjunct in set_like.conjuncts
+        )
+        query = serialize_query(
+            "sample_point", set_like.conjuncts, seed=seed, limit=limit
+        )
+        self._compare("sample_point", True, member, query)
+        return point

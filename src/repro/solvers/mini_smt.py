@@ -1,0 +1,390 @@
+"""A stdlib interpreter for the SMT-LIB2 subset this package emits.
+
+``--backend smtlib`` should work on a bare install, where no ``z3`` or
+``cvc5`` binary exists.  This module is the ``builtin`` solver that makes
+that true: it parses the scripts produced by :mod:`repro.solvers.smtlib`
+(``LIA``: integer constants, linear atoms, ``and`` / ``not`` /
+``exists``), reconstructs the constraint systems as
+:class:`~repro.presburger.conjunct.Conjunct` unions, and decides
+satisfiability with the omega core.
+
+That makes the builtin cross-check a genuine *round-trip* test — emission,
+text, parsing, reconstruction and the algebraic subset/complement reduction
+all have to agree with the inline Presburger path for the verdicts to match
+— while an external ``--smt-solver`` binary upgrades it to a fully
+independent second opinion.
+
+Also runnable as a subprocess solver (the same contract as ``z3 file.smt2``)::
+
+    python -m repro.solvers.mini_smt script.smt2
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..presburger import hooks as _hooks
+from ..presburger import omega
+from ..presburger.conjunct import Conjunct
+from ..presburger.errors import UnboundedSetError, UnsupportedOperationError
+from ..presburger.setmap import Set, _clean
+
+from .base import SolverError
+
+__all__ = ["SmtResult", "solve_text", "parse_sexprs"]
+
+Sexpr = Union[str, List["Sexpr"]]
+
+_ATOM_OPS = ("=", ">=", "<=", ">", "<")
+
+
+# --------------------------------------------------------------------------- #
+# S-expression reader
+# --------------------------------------------------------------------------- #
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        char = text[i]
+        if char in "()":
+            tokens.append(char)
+            i += 1
+        elif char == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif char.isspace():
+            i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "();":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def parse_sexprs(text: str) -> List[Sexpr]:
+    """Parse *text* into a list of nested lists/atom strings."""
+    tokens = _tokenize(text)
+    forms: List[Sexpr] = []
+    stack: List[List[Sexpr]] = []
+    for token in tokens:
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if not stack:
+                raise SolverError("unbalanced ')' in SMT input")
+            done = stack.pop()
+            (stack[-1] if stack else forms).append(done)
+        else:
+            (stack[-1] if stack else forms).append(token)
+    if stack:
+        raise SolverError("unbalanced '(' in SMT input")
+    return forms
+
+
+# --------------------------------------------------------------------------- #
+# Linear-term evaluation
+# --------------------------------------------------------------------------- #
+def _const_value(expr: Sexpr, env: Dict[str, int]) -> Optional[int]:
+    """The integer value of a constant expression, or ``None`` if symbolic."""
+    if isinstance(expr, str):
+        if expr in env:
+            return None
+        try:
+            return int(expr)
+        except ValueError:
+            raise SolverError(f"unknown symbol {expr!r}")
+    if not expr:
+        raise SolverError("empty term")
+    op = expr[0]
+    values = [_const_value(arg, env) for arg in expr[1:]]
+    if any(value is None for value in values):
+        return None
+    if op == "-":
+        if len(values) == 1:
+            return -values[0]
+        return values[0] - sum(values[1:])
+    if op == "+":
+        return sum(values)
+    if op == "*":
+        product = 1
+        for value in values:
+            product *= value
+        return product
+    raise SolverError(f"unsupported operator {op!r} in term")
+
+
+def _add_term(expr: Sexpr, scale: int, vector: List[int], env: Dict[str, int]) -> None:
+    """Accumulate ``scale * expr`` into the dense coefficient *vector*."""
+    if isinstance(expr, str):
+        if expr in env:
+            vector[env[expr]] += scale
+            return
+        try:
+            vector[-1] += scale * int(expr)
+        except ValueError:
+            raise SolverError(f"unknown symbol {expr!r}")
+        return
+    if not expr:
+        raise SolverError("empty term")
+    op = expr[0]
+    if op == "+":
+        for arg in expr[1:]:
+            _add_term(arg, scale, vector, env)
+    elif op == "-":
+        if len(expr) == 2:
+            _add_term(expr[1], -scale, vector, env)
+        else:
+            _add_term(expr[1], scale, vector, env)
+            for arg in expr[2:]:
+                _add_term(arg, -scale, vector, env)
+    elif op == "*":
+        constant = 1
+        symbolic: Optional[Sexpr] = None
+        for arg in expr[1:]:
+            value = _const_value(arg, env)
+            if value is not None:
+                constant *= value
+            elif symbolic is None:
+                symbolic = arg
+            else:
+                raise SolverError("nonlinear product is outside LIA")
+        if symbolic is None:
+            vector[-1] += scale * constant
+        else:
+            _add_term(symbolic, scale * constant, vector, env)
+    else:
+        raise SolverError(f"unsupported operator {op!r} in term")
+
+
+def _atom_vector(expr: List[Sexpr], env: Dict[str, int], width: int) -> Tuple[str, Tuple[int, ...]]:
+    """One relational atom as ``("eq" | "ineq", dense vector)`` (``>= 0`` form)."""
+    if len(expr) != 3:
+        raise SolverError(f"expected binary atom, got {expr!r}")
+    op, left, right = expr
+    vector = [0] * (width + 1)
+    _add_term(left, 1, vector, env)
+    _add_term(right, -1, vector, env)
+    if op == "=":
+        return "eq", tuple(vector)
+    if op == ">=":
+        return "ineq", tuple(vector)
+    if op == "<=":
+        return "ineq", tuple(-x for x in vector)
+    if op == ">":
+        vector[-1] -= 1
+        return "ineq", tuple(vector)
+    if op == "<":
+        negated = [-x for x in vector]
+        negated[-1] -= 1
+        return "ineq", tuple(negated)
+    raise SolverError(f"unsupported atom {op!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Formula → union of conjuncts
+# --------------------------------------------------------------------------- #
+def _is_atom(expr: Sexpr) -> bool:
+    return isinstance(expr, list) and bool(expr) and expr[0] in _ATOM_OPS
+
+
+def _intersect_unions(
+    left: Tuple[Conjunct, ...], right: Tuple[Conjunct, ...]
+) -> Tuple[Conjunct, ...]:
+    return _clean(omega.conjunct_intersect(a, b) for a in left for b in right)
+
+
+def _negate_union(pieces: Sequence[Conjunct], n_public: int) -> Tuple[Conjunct, ...]:
+    """``¬(C1 ∨ ... ∨ Ck)`` over the public space, via omega complement."""
+    result: Tuple[Conjunct, ...] = (Conjunct.universe(n_public),)
+    for piece in pieces:
+        negations = tuple(omega.complement(piece))
+        result = _clean(
+            omega.conjunct_intersect(kept, negation)
+            for kept in result
+            for negation in negations
+        )
+        if not result:
+            break
+    return result
+
+
+def _to_union(
+    expr: Sexpr, columns: List[str], env: Dict[str, int], n_public: int
+) -> Tuple[Conjunct, ...]:
+    """The set of solutions of *expr* as a union of conjuncts.
+
+    Conjuncts are over ``n_public`` public columns (the script's declared
+    constants, in declaration order); ``exists``-bound variables become
+    existential (div) columns.
+    """
+    if expr == "true":
+        return (Conjunct.universe(n_public),)
+    if expr == "false":
+        return ()
+    if _is_atom(expr):
+        return _atoms_to_union([expr], columns, env, n_public)
+    if not isinstance(expr, list) or not expr:
+        raise SolverError(f"unsupported formula {expr!r}")
+    op = expr[0]
+    if op == "and":
+        atoms = [child for child in expr[1:] if _is_atom(child) or child in ("true", "false")]
+        complex_children = [
+            child for child in expr[1:] if not (_is_atom(child) or child in ("true", "false"))
+        ]
+        union = _atoms_to_union(atoms, columns, env, n_public)
+        for child in complex_children:
+            union = _intersect_unions(union, _to_union(child, columns, env, n_public))
+            if not union:
+                break
+        return union
+    if op == "or":
+        pieces: List[Conjunct] = []
+        for child in expr[1:]:
+            pieces.extend(_to_union(child, columns, env, n_public))
+        return _clean(pieces)
+    if op == "not":
+        if len(expr) != 2:
+            raise SolverError("'not' takes one argument")
+        if len(columns) != n_public:
+            raise SolverError("negation under a quantifier is not supported")
+        return _negate_union(_to_union(expr[1], columns, env, n_public), n_public)
+    if op == "exists":
+        if len(expr) != 3:
+            raise SolverError("'exists' takes a binder list and a body")
+        bound = [binder[0] for binder in expr[1]]
+        new_columns = columns + bound
+        new_env = dict(env)
+        for name in bound:
+            if name in new_env:
+                raise SolverError(f"shadowed binder {name!r} is not supported")
+            new_env[name] = len(columns) + bound.index(name)
+        return _to_union(expr[2], new_columns, new_env, n_public)
+    raise SolverError(f"unsupported formula operator {op!r}")
+
+
+def _atoms_to_union(
+    atoms: Sequence[Sexpr], columns: List[str], env: Dict[str, int], n_public: int
+) -> Tuple[Conjunct, ...]:
+    """A conjunction of relational atoms at one scope as a single conjunct."""
+    if "false" in atoms:
+        return ()
+    width = len(columns)
+    eqs: List[Tuple[int, ...]] = []
+    ineqs: List[Tuple[int, ...]] = []
+    for atom in atoms:
+        if atom == "true":
+            continue
+        kind, vector = _atom_vector(atom, env, width)
+        (eqs if kind == "eq" else ineqs).append(vector)
+    conjunct = Conjunct(n_public, width - n_public, eqs=tuple(eqs), ineqs=tuple(ineqs))
+    return _clean([conjunct])
+
+
+# --------------------------------------------------------------------------- #
+# Script execution
+# --------------------------------------------------------------------------- #
+@dataclass
+class SmtResult:
+    """Outcome of one script: verdict, and model values if requested."""
+
+    status: str
+    values: Optional[Tuple[int, ...]] = None
+    names: Tuple[str, ...] = ()
+
+
+def solve_text(text: str) -> SmtResult:
+    """Execute an SMT-LIB2 script and return its ``(check-sat)`` verdict.
+
+    Supports exactly the command and formula subset the emitter produces
+    (plus ``or`` and chained ``declare-fun`` for robustness); anything else
+    raises :class:`~repro.solvers.base.SolverError`.
+    """
+    declared: List[str] = []
+    asserts: List[Sexpr] = []
+    wanted: Tuple[str, ...] = ()
+    check_requested = False
+    for form in parse_sexprs(text):
+        if not isinstance(form, list) or not form:
+            raise SolverError(f"unsupported top-level form {form!r}")
+        command = form[0]
+        if command in ("set-logic", "set-option", "set-info", "exit", "push", "pop"):
+            continue
+        if command == "declare-const":
+            declared.append(form[1])
+        elif command == "declare-fun":
+            if len(form) == 4 and form[2] == []:
+                declared.append(form[1])
+            else:
+                raise SolverError("only 0-ary declare-fun is supported")
+        elif command == "assert":
+            asserts.append(form[1])
+        elif command == "check-sat":
+            check_requested = True
+        elif command == "get-value":
+            wanted = tuple(form[1])
+        else:
+            raise SolverError(f"unsupported command {command!r}")
+    if not check_requested:
+        check_requested = True  # headless scripts (commands=False) still want a verdict
+
+    env = {name: index for index, name in enumerate(declared)}
+    n_public = len(declared)
+    union: Tuple[Conjunct, ...] = (Conjunct.universe(n_public),)
+    for formula in asserts:
+        union = _intersect_unions(union, _to_union(formula, list(declared), env, n_public))
+        if not union:
+            break
+    # _clean already dropped infeasible pieces, so non-empty means sat.
+    status = "sat" if union else "unsat"
+    if status != "sat" or not wanted:
+        return SmtResult(status=status, names=wanted)
+    point = _model_point(declared, union)
+    for name in wanted:
+        if name not in env:
+            raise SolverError(f"get-value of undeclared symbol {name!r}")
+    return SmtResult(
+        status=status,
+        values=tuple(point[env[name]] for name in wanted),
+        names=wanted,
+    )
+
+
+def _model_point(declared: Sequence[str], union: Tuple[Conjunct, ...]) -> Tuple[int, ...]:
+    """A concrete solution of the final union, via the inline sampling path."""
+    names = tuple(declared) if declared else ()
+    with _hooks.suspended():
+        set_like = Set(names, union, _clean_input=False)
+        try:
+            return set_like.sample_point(seed=0)
+        except (UnboundedSetError, UnsupportedOperationError, ValueError) as error:
+            raise SolverError(f"builtin solver could not extract a model: {error}") from error
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.solvers.mini_smt script.smt2", file=sys.stderr)
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        result = solve_text(text)
+    except SolverError as error:
+        print(f"(error \"{error}\")")
+        return 1
+    print(result.status)
+    if result.values is not None:
+        rendered = " ".join(
+            f"({name} {value if value >= 0 else f'(- {-value})'})"
+            for name, value in zip(result.names, result.values)
+        )
+        print(f"({rendered})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

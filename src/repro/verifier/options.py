@@ -28,11 +28,18 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 from ..checker.properties import OperatorRegistry, default_registry
 
-__all__ = ["CheckOptions", "OPTIONS_FINGERPRINT_VERSION"]
+__all__ = ["CheckOptions", "OPTIONS_FINGERPRINT_VERSION", "BACKEND_NAMES"]
 
 #: Bump when the canonical fingerprint payload of :meth:`CheckOptions.fingerprint`
 #: changes meaning, so stale fingerprints can never collide with new ones.
-OPTIONS_FINGERPRINT_VERSION = 1
+#: Version 2: ``backend`` joined the payload (PR 8).
+OPTIONS_FINGERPRINT_VERSION = 2
+
+#: The selectable decision-procedure backends (see :mod:`repro.solvers`).
+#: Spelled here rather than imported so the options layer stays free of a
+#: solvers dependency; :func:`repro.solvers.get_backend` accepts exactly
+#: these names.
+BACKEND_NAMES = ("omega", "smtlib", "z3", "crosscheck")
 
 OperatorDecls = Tuple[Tuple[str, str], ...]
 
@@ -89,6 +96,19 @@ class CheckOptions:
         service's executor (``None``: unlimited).  The timeout cannot change
         a *computed* verdict, so it does not participate in
         :meth:`fingerprint`.
+    backend:
+        The decision-procedure backend answering the Presburger queries:
+        ``"omega"`` (default, the paper's core), ``"smtlib"`` (external
+        SMT solver via SMT-LIB2 text), ``"z3"`` (in-process, optional
+        module) or ``"crosscheck"`` (omega *and* SMT on every query, hard
+        error on divergence).  Participates in :meth:`fingerprint` — a
+        verdict computed by one backend must never be served for another.
+    smt_solver:
+        Solver command for the SMT-based backends (e.g. ``z3``, ``cvc5``,
+        ``builtin``); ``None`` auto-detects.  Like ``timeout`` it is
+        excluded from :meth:`fingerprint`: any sound SMT-LIB2 solver must
+        produce the same verdict, and a solver that doesn't is a bug to
+        surface, not a distinct cache universe.
     """
 
     method: str = "extended"
@@ -98,10 +118,16 @@ class CheckOptions:
     tabling: bool = True
     check_preconditions: bool = True
     timeout: Optional[float] = None
+    backend: str = "omega"
+    smt_solver: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("basic", "extended"):
             raise ValueError(f"unknown method {self.method!r} (expected 'basic' or 'extended')")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (expected one of {', '.join(BACKEND_NAMES)})"
+            )
         if self.operators is not None:
             canonical = _canonical_operators(self.operators)
             # An explicit spelling of the default registry collapses onto the
@@ -159,6 +185,8 @@ class CheckOptions:
             "tabling": self.tabling,
             "check_preconditions": self.check_preconditions,
             "timeout": self.timeout,
+            "backend": self.backend,
+            "smt_solver": self.smt_solver,
         }
 
     @classmethod
@@ -173,6 +201,8 @@ class CheckOptions:
             tabling=data.get("tabling", True),
             check_preconditions=data.get("check_preconditions", True),
             timeout=data.get("timeout"),
+            backend=data.get("backend", "omega"),
+            smt_solver=data.get("smt_solver"),
         )
 
     def fingerprint(self) -> str:
@@ -194,6 +224,7 @@ class CheckOptions:
             "correspondences": sorted([a, b] for a, b in self.correspondences),
             "tabling": self.tabling,
             "check_preconditions": self.check_preconditions,
+            "backend": self.backend,
         }
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()

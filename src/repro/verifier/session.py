@@ -267,7 +267,10 @@ class Verifier:
             if precondition_diagnostics:
                 frontend = time.perf_counter() - frontend_started
                 stats = CheckStats(
-                    elapsed_seconds=frontend, frontend_seconds=frontend, engine_seconds=0.0
+                    elapsed_seconds=frontend,
+                    frontend_seconds=frontend,
+                    engine_seconds=0.0,
+                    backend=resolved.backend,
                 )
                 for diagnostic in precondition_diagnostics:
                     broadcast.on_diagnostic(diagnostic)
@@ -284,7 +287,7 @@ class Verifier:
         frontend = time.perf_counter() - frontend_started
 
         with TRACER.span("engine.traverse", "engine"):
-            result = _traverse(original_addg, transformed_addg, resolved, broadcast)
+            result = _traverse_with_backend(original_addg, transformed_addg, resolved, broadcast)
         result.stats.frontend_seconds = frontend
         result.stats.elapsed_seconds = frontend + result.stats.engine_seconds
         return result
@@ -349,7 +352,7 @@ class Verifier:
         resolved = options if options is not None else self.options
         broadcast = self._broadcast(observer)
         if not TRACER.enabled:
-            result = _traverse(original, transformed, resolved, broadcast)
+            result = _traverse_with_backend(original, transformed, resolved, broadcast)
             broadcast.on_stats(result.stats)
             return result
         mark = TRACER.mark()
@@ -357,7 +360,7 @@ class Verifier:
         with TRACER.span("verifier.check_addgs", "verifier"), TRACER.span(
             "engine.traverse", "engine"
         ):
-            result = _traverse(original, transformed, resolved, broadcast)
+            result = _traverse_with_backend(original, transformed, resolved, broadcast)
         self._finish_telemetry(broadcast, result, mark, counters_before)
         return result
 
@@ -404,6 +407,31 @@ def _addg_if_built(compiled: CompiledProgram) -> Optional[ADDG]:
         return compiled.addg
     except Exception:
         return None
+
+
+def _traverse_with_backend(
+    original: ADDG,
+    transformed: ADDG,
+    resolved: CheckOptions,
+    broadcast: _Broadcast,
+) -> EquivalenceResult:
+    """Run the traversal under the options' decision backend.
+
+    ``omega`` (the default) installs nothing — the inline Presburger path
+    runs exactly as before the backend layer existed.  Any other backend is
+    activated on the context-local hook for the duration of the traversal,
+    and its per-kind query counters land in ``stats.solver_queries``.  A
+    :class:`~repro.solvers.BackendDisagreement` raised mid-traversal
+    propagates (it is a ``BaseException``) with the hook already reset.
+    """
+    from ..solvers import use_backend
+
+    with use_backend(resolved.backend, resolved.smt_solver) as backend:
+        result = _traverse(original, transformed, resolved, broadcast)
+    result.stats.backend = resolved.backend
+    if backend is not None:
+        result.stats.solver_queries = dict(backend.query_counts)
+    return result
 
 
 def _traverse(

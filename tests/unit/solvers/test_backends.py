@@ -1,0 +1,130 @@
+"""Backend protocol, selection, routing and options/stats plumbing tests."""
+
+import pytest
+
+from repro.checker.result import CheckStats
+from repro.presburger import parse_set
+from repro.presburger import hooks
+from repro.solvers import (
+    BACKEND_NAMES,
+    OmegaBackend,
+    SmtLibBackend,
+    available_backends,
+    get_backend,
+    use_backend,
+)
+from repro.verifier.options import CheckOptions
+
+
+class TestSelection:
+    def test_get_backend_names(self):
+        assert get_backend("omega").name == "omega"
+        assert get_backend("smtlib", "builtin").name == "smtlib"
+        crosscheck = get_backend("crosscheck", "builtin")
+        assert crosscheck.name == "crosscheck"
+        assert crosscheck.primary.name == "omega"
+        assert crosscheck.secondary.name == "smtlib"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("simplex")
+
+    def test_available_backends_always_include_stdlib_ones(self):
+        names = available_backends()
+        for name in ("omega", "smtlib", "crosscheck"):
+            assert name in names
+        assert set(names) <= set(BACKEND_NAMES)
+
+
+class TestOmegaBackend:
+    def test_decisions_match_set_api(self):
+        small = parse_set("{ [i] : 0 <= i < 4 }")
+        big = parse_set("{ [i] : 0 <= i < 8 }")
+        other = parse_set("{ [i] : 10 <= i < 12 }")
+        backend = OmegaBackend()
+        assert backend.is_subset(small.conjuncts, big.conjuncts)
+        assert not backend.is_subset(big.conjuncts, small.conjuncts)
+        assert backend.is_equal(small.conjuncts, small.conjuncts)
+        assert backend.is_disjoint(small.conjuncts, other.conjuncts)
+        assert backend.is_feasible(small.conjuncts[0])
+        assert backend.sample_point(small) in {(i,) for i in range(4)}
+
+    def test_query_counters(self):
+        backend = OmegaBackend()
+        small = parse_set("{ [i] : 0 <= i < 4 }")
+        backend.is_subset(small.conjuncts, small.conjuncts)
+        backend.is_subset(small.conjuncts, small.conjuncts)
+        backend.is_equal(small.conjuncts, small.conjuncts)
+        assert backend.query_counts == {"omega.is_subset": 2, "omega.is_equal": 1}
+
+
+class TestRouting:
+    def test_omega_installs_nothing(self):
+        # The default backend IS the inline path: nothing on the hook, no
+        # counters, byte-identical behaviour.
+        with use_backend("omega") as backend:
+            assert backend is None
+            assert hooks.active_backend() is None
+
+    def test_smtlib_routes_set_queries(self):
+        small = parse_set("{ [i] : 0 <= i < 4 }")
+        big = parse_set("{ [i] : 0 <= i < 8 }")
+        with use_backend("smtlib", "builtin") as backend:
+            assert hooks.active_backend() is backend
+            assert small.is_subset(big)
+            assert small.contains([2])
+        assert hooks.active_backend() is None
+        assert backend.query_counts["smtlib.is_subset"] == 1
+        assert backend.query_counts["smtlib.is_feasible"] == 1
+
+    def test_backend_reentry_is_suspended(self):
+        # sample_point's fallback re-enters the Set API; the hook must be
+        # suspended there or a routing backend would recurse into itself.
+        small = parse_set("{ [i] : 0 <= i < 4 }")
+        with use_backend("smtlib", "builtin"):
+            point = small.sample_point()
+        assert point in {(i,) for i in range(4)}
+
+
+class TestOptionsPlumbing:
+    def test_backend_validated(self):
+        with pytest.raises(ValueError):
+            CheckOptions(backend="simplex")
+
+    def test_backend_in_fingerprint(self):
+        default = CheckOptions()
+        assert default.fingerprint() != CheckOptions(backend="smtlib").fingerprint()
+        # ... but the concrete solver binary is excluded, like timeout: any
+        # sound solver must compute the same verdict.
+        assert (
+            CheckOptions(backend="smtlib", smt_solver="z3").fingerprint()
+            == CheckOptions(backend="smtlib", smt_solver="builtin").fingerprint()
+        )
+
+    def test_roundtrip(self):
+        options = CheckOptions(backend="crosscheck", smt_solver="builtin")
+        again = CheckOptions.from_dict(options.to_dict())
+        assert again == options
+
+    def test_from_dict_tolerates_pre_backend_payloads(self):
+        options = CheckOptions.from_dict({"method": "basic"})
+        assert options.backend == "omega"
+        assert options.smt_solver is None
+
+
+class TestCheckStatsPlumbing:
+    def test_default_backend_field(self):
+        stats = CheckStats()
+        assert stats.backend == "omega"
+        assert stats.solver_queries == {}
+
+    def test_roundtrip(self):
+        stats = CheckStats(backend="crosscheck", solver_queries={"omega.is_equal": 3})
+        again = CheckStats.from_dict(stats.as_dict())
+        assert again.backend == "crosscheck"
+        assert again.solver_queries == {"omega.is_equal": 3}
+
+    def test_from_dict_tolerates_pre_backend_payloads(self):
+        stats = CheckStats.from_dict({"elapsed_seconds": 1.0})
+        assert stats.backend == "omega"
+        assert stats.solver_queries == {}

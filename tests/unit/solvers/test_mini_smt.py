@@ -1,0 +1,129 @@
+"""Unit tests for the bundled stdlib SMT-LIB2 interpreter (``builtin`` solver)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.presburger import parse_set
+from repro.solvers import mini_smt
+from repro.solvers.smtlib import SmtLibBackend, feasibility_script, subset_scripts
+
+
+class TestParser:
+    def test_parse_sexprs_nesting(self):
+        forms = mini_smt.parse_sexprs("(a (b 1) 2) (c)")
+        assert forms == [["a", ["b", "1"], "2"], ["c"]]
+
+    def test_comments_are_stripped(self):
+        forms = mini_smt.parse_sexprs("(a 1) ; trailing comment (not a form)\n(b)")
+        assert forms == [["a", "1"], ["b"]]
+
+    def test_unbalanced_parens_rejected(self):
+        from repro.solvers.base import SolverError
+
+        with pytest.raises(SolverError):
+            mini_smt.parse_sexprs("(a (b)")
+
+
+class TestSolveText:
+    def test_sat_with_model(self):
+        result = mini_smt.solve_text(
+            "(set-logic LIA)\n"
+            "(declare-const x Int)\n"
+            "(assert (and (>= x 3) (>= 5 x)))\n"
+            "(check-sat)\n"
+            "(get-value (x))\n"
+        )
+        assert result.status == "sat"
+        assert result.values is not None
+        (value,) = result.values
+        assert 3 <= value <= 5
+
+    def test_unsat(self):
+        result = mini_smt.solve_text(
+            "(declare-const x Int)\n"
+            "(assert (>= x 3))\n(assert (>= 2 x))\n(check-sat)\n"
+        )
+        assert result.status == "unsat"
+
+    def test_exists_divisibility(self):
+        # x even and x odd is unsat; x even alone is sat.
+        even = "(exists ((k Int)) (= x (* 2 k)))"
+        odd = "(exists ((k Int)) (= x (+ (* 2 k) 1)))"
+        base = "(declare-const x Int)\n(assert (and (>= x 0) (>= 10 x)))\n"
+        assert (
+            mini_smt.solve_text(base + f"(assert {even})\n(check-sat)\n").status == "sat"
+        )
+        assert (
+            mini_smt.solve_text(
+                base + f"(assert {even})\n(assert {odd})\n(check-sat)\n"
+            ).status
+            == "unsat"
+        )
+
+    def test_negation_of_quantified_body(self):
+        # 0 <= x < 8 and not(exists k: x = 2k): the odd numbers — sat.
+        script = (
+            "(declare-const x Int)\n"
+            "(assert (and (>= x 0) (>= 7 x)))\n"
+            "(assert (not (exists ((k Int)) (= x (* 2 k)))))\n"
+            "(check-sat)\n(get-value (x))\n"
+        )
+        result = mini_smt.solve_text(script)
+        assert result.status == "sat"
+        assert result.values[0] % 2 == 1
+
+    def test_emitted_scripts_round_trip(self):
+        conjunct = parse_set("{ [i] : exists a : i = 3a and 0 <= i < 9 }").conjuncts[0]
+        assert mini_smt.solve_text(feasibility_script(conjunct)).status == "sat"
+        a = parse_set("{ [i] : exists a : i = 6a and 0 <= i < 12 }").conjuncts
+        b = parse_set("{ [i] : exists a : i = 3a and 0 <= i < 12 }").conjuncts
+        (forward,) = subset_scripts(a, b)
+        (backward,) = subset_scripts(b, a)
+        assert mini_smt.solve_text(forward).status == "unsat"  # 6Z inside 3Z
+        assert mini_smt.solve_text(backward).status == "sat"  # 3 is a counterexample
+
+
+class TestSubprocessPath:
+    """The builtin interpreter doubles as a real solver *binary* for tests.
+
+    Running ``python -m repro.solvers.mini_smt`` through the subprocess path
+    of :class:`SmtLibBackend` exercises exactly the plumbing an external z3
+    or cvc5 would use — tempfile handoff, stdout parsing, model extraction —
+    without needing either installed.
+    """
+
+    @pytest.fixture()
+    def solver_cmd(self, monkeypatch):
+        src_root = os.path.abspath(
+            os.path.join(os.path.dirname(mini_smt.__file__), "..", "..")
+        )
+        existing = os.environ.get("PYTHONPATH")
+        monkeypatch.setenv(
+            "PYTHONPATH", src_root + (os.pathsep + existing if existing else "")
+        )
+        return f"{sys.executable} -m repro.solvers.mini_smt"
+
+    def test_cli_prints_solver_style_output(self, solver_cmd, tmp_path):
+        script = tmp_path / "probe.smt2"
+        script.write_text(
+            "(declare-const x Int)\n(assert (= x 4))\n(check-sat)\n(get-value (x))\n"
+        )
+        completed = subprocess.run(
+            solver_cmd.split() + [str(script)], capture_output=True, text=True
+        )
+        assert completed.returncode == 0
+        lines = completed.stdout.splitlines()
+        assert lines[0] == "sat"
+        assert "((x 4))" in lines[1]
+
+    def test_backend_through_subprocess(self, solver_cmd):
+        backend = SmtLibBackend(solver_cmd)
+        a = parse_set("{ [i] : 0 <= i < 4 }").conjuncts
+        b = parse_set("{ [i] : 0 <= i < 8 }").conjuncts
+        assert backend.is_subset(a, b)
+        assert not backend.is_subset(b, a)
+        point = backend.sample_point(parse_set("{ [i, j] : i = 2 and j = -3 }"))
+        assert point == (2, -3)

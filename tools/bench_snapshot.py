@@ -10,7 +10,10 @@ PR that moves the numbers:
 * ``BENCH_verifier.json`` — the session-reuse variant corpus of
   ``benchmarks/bench_verifier.py`` (seed 7, 12 variants);
 * ``BENCH_service.json`` — a serial batch over the built-in corpus
-  (generated + buggy pairs, seed 0).
+  (generated + buggy pairs, seed 0);
+* ``BENCH_solvers.json`` — the decision-backend comparison of
+  ``benchmarks/bench_solvers.py`` (omega vs SMT-LIB2 vs crosscheck on the
+  ``fir`` kernel).
 
 Each snapshot splits into two sub-objects:
 
@@ -162,10 +165,44 @@ def snapshot_service() -> dict:
     }
 
 
+def snapshot_solvers() -> dict:
+    """The decision-backend comparison: same kernel, three backends."""
+    import bench_solvers
+
+    timings = {}
+    results = {}
+    for backend in ("omega", "smtlib", "crosscheck"):
+        started = time.perf_counter()
+        results[backend] = bench_solvers.check_kernel(backend)
+        timings[backend] = time.perf_counter() - started
+    crosscheck_counts = dict(results["crosscheck"].stats.solver_queries)
+    omega_seconds = timings["omega"]
+    return {
+        "deterministic": {
+            "kernel": bench_solvers.BENCH_KERNEL,
+            "verdicts": {
+                backend: bool(result.equivalent) for backend, result in results.items()
+            },
+            "smtlib_queries": dict(results["smtlib"].stats.solver_queries),
+            "crosscheck_queries": crosscheck_counts,
+            "disagreements": crosscheck_counts.get("crosscheck.disagreements", 0),
+        },
+        "timing": {
+            "omega_seconds": round(timings["omega"], 6),
+            "smtlib_seconds": round(timings["smtlib"], 6),
+            "crosscheck_seconds": round(timings["crosscheck"], 6),
+            "crosscheck_overhead": (
+                round(timings["crosscheck"] / omega_seconds, 3) if omega_seconds else 0.0
+            ),
+        },
+    }
+
+
 SUITES = {
     "presburger": snapshot_presburger,
     "verifier": snapshot_verifier,
     "service": snapshot_service,
+    "solvers": snapshot_solvers,
 }
 
 
