@@ -7,24 +7,36 @@ checker performs most often — composition, equality, subtraction with
 divisibility constraints, feasibility — at the formula sizes that actually
 occur, backing that claim for this reimplementation.
 
-The repeated-composition ablation at the bottom measures the operation cache
-of :mod:`repro.presburger.opcache` (interned conjuncts + memoized relation
-algebra) against the uncached baseline; the cached run must be at least
-1.5x faster.  The same scenario doubles as a CI smoke gate::
+Three ablations double as CI smoke gates::
 
     PYTHONPATH=src python benchmarks/bench_presburger.py --smoke
 
-which exits non-zero when the speedup regresses below the threshold.
+* the operation cache of :mod:`repro.presburger.opcache` (interned
+  conjuncts + memoized relation algebra) against the uncached baseline —
+  the cached run must be at least 1.5x faster;
+* the flat-matrix kernel of :mod:`repro.presburger.kernel` against the
+  original object-at-a-time code (``--kernel-ablation``) — flat must be at
+  least 1.5x faster on the uncached composition + feasibility workload;
+* the persistent cache (``--warm-start``) — a second process sharing the
+  same ``--persist-dir`` must finish the workload at least 2x faster than
+  the first, cold one.
+
+``--smoke`` runs all three and exits non-zero when any ratio regresses.
 """
 
+import os
+import subprocess
 import sys
+import tempfile
 import time
 
 import pytest
 
-from repro.presburger import opcache, parse_map, parse_set, transitive_closure
+from repro.presburger import kernel, opcache, parse_map, parse_set, transitive_closure
 
 from conftest import run_once
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture(scope="module")
@@ -158,11 +170,154 @@ def bench_cache_ablation_speedup():
     )
 
 
-def _smoke() -> int:
-    """CI gate: run the ablation once and fail loudly on a perf regression."""
+# --------------------------------------------------------------------------- #
+# Kernel ablation: flat-matrix kernel vs the original object-at-a-time code
+# --------------------------------------------------------------------------- #
+# Both modes produce bit-identical results (tests/unit/presburger/test_kernel.py
+# gates that); this ablation measures what the flat layout buys.  The cache is
+# disabled inside each timed leg so raw compute is compared, not memoization.
+KERNEL_SPEEDUP_THRESHOLD = 1.5
+
+_FEASIBILITY_SOURCES = (
+    "{ [i] : exists a : 3a <= i and i <= 3a + 1 and 0 <= i < 12 }",
+    "{ [i] : exists a : i = 2a and exists b : i = 3b and 0 <= i < 18 }",
+    "{ [i] : exists a : i = 2a and 0 <= i < 64 }",
+    "{ [i] : 0 <= i < 48 ; [i] : 50 <= i < 90 }",
+)
+
+_feasibility_sets = None
+
+
+def _run_feasibility_sweep(rounds: int):
+    """Set-algebra sweep over pre-parsed strided/dark-shadow sets.
+
+    Parsing happens once (it costs the same in both kernel modes and would
+    only dilute the ablation); the timed region is pure normalize /
+    elimination / feasibility work.
+    """
+    global _feasibility_sets
+    if _feasibility_sets is None:
+        _feasibility_sets = [parse_set(source) for source in _FEASIBILITY_SOURCES]
+    for _ in range(rounds):
+        for a in _feasibility_sets:
+            for b in _feasibility_sets:
+                a.intersect(b).is_empty()
+                a.subtract(b).is_empty()
+
+
+def _run_kernel_workload(iterations: int) -> None:
+    """Composition chains plus FM-heavy set algebra, uncached."""
+    with opcache.disabled():
+        _run_repeated_composition(iterations)
+        _run_feasibility_sweep(iterations)
+
+
+def time_kernel_ablation(iterations: int = 20):
+    """Wall-clock the workload in object mode, then flat mode.
+
+    Returns ``(object_seconds, flat_seconds)``.  One untimed warmup round
+    per mode absorbs parser/intern-pool cold-start effects.
+    """
+    timings = {}
+    for mode in ("object", "flat"):
+        with kernel.use(mode):
+            _run_kernel_workload(2)
+            started = time.perf_counter()
+            _run_kernel_workload(iterations)
+            timings[mode] = time.perf_counter() - started
+    return timings["object"], timings["flat"]
+
+
+def bench_kernel_ablation_speedup():
+    """Non-timing assertion: the flat kernel must keep its >= 1.5x win."""
+    object_seconds, flat_seconds = time_kernel_ablation()
+    speedup = object_seconds / flat_seconds if flat_seconds else float("inf")
+    assert speedup >= KERNEL_SPEEDUP_THRESHOLD, (
+        f"flat-kernel speedup degraded to {speedup:.2f}x "
+        f"(object {object_seconds:.3f} s vs flat {flat_seconds:.3f} s)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Warm start: a second process reusing the persistent operation cache
+# --------------------------------------------------------------------------- #
+WARM_START_THRESHOLD = 2.0
+
+#: Distinct closures/compositions/subtractions, all persistable ops, sized so
+#: the cold leg is compute-dominated and the warm leg is sqlite-read-dominated.
+_WARM_WORKLOAD_STEPS = 12
+
+
+def _run_warm_workload() -> None:
+    for i in range(1, _WARM_WORKLOAD_STEPS + 1):
+        step = parse_map(
+            "{ [i, j] -> [i + %d, j - 1] : 0 <= i < 64 and 1 <= j < 16 }" % i
+        )
+        closure, exact = transitive_closure(step)
+        assert exact
+        strided = parse_map(
+            "{ [k] -> [k] : exists j : k = %dj and 0 <= k < 2048 }" % (i + 1)
+        )
+        identity = parse_map("{ [k] -> [k] : 0 <= k < 2048 }")
+        assert not identity.subtract(strided).is_empty()
+
+
+def _warm_child(persist_dir: str) -> int:
+    """Child-process entry: run the workload against *persist_dir*, print seconds."""
+    opcache.attach_persistent(persist_dir)
+    started = time.perf_counter()
+    _run_warm_workload()
+    print(f"{time.perf_counter() - started:.6f}")
+    return 0
+
+
+def time_warm_start(persist_dir: str | None = None):
+    """Run the warm workload in two fresh processes sharing one persist dir.
+
+    Returns ``(cold_seconds, warm_seconds)``.  Fresh interpreters ensure the
+    second run can only be warm through the disk tier, never through
+    inherited in-memory state.
+    """
+    if persist_dir is None:
+        persist_dir = tempfile.mkdtemp(prefix="repro-warmstart-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("REPRO_OPCACHE_PERSIST_DIR", None)
+    env.pop("REPRO_OPCACHE_DISABLE", None)
+
+    def run_child() -> float:
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--warm-child", persist_dir],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"warm-start child failed:\n{proc.stderr}")
+        return float(proc.stdout.strip().splitlines()[-1])
+
+    return run_child(), run_child()
+
+
+def bench_warm_start_speedup():
+    """Non-timing assertion: a warm process must be >= 2x faster than cold."""
+    cold_seconds, warm_seconds = time_warm_start()
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    assert speedup >= WARM_START_THRESHOLD, (
+        f"warm-start speedup degraded to {speedup:.2f}x "
+        f"(cold {cold_seconds:.3f} s vs warm {warm_seconds:.3f} s)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CLI smoke gates
+# --------------------------------------------------------------------------- #
+def _smoke_cache() -> int:
     disabled_seconds, enabled_seconds = time_repeated_composition()
     speedup = disabled_seconds / enabled_seconds if enabled_seconds else float("inf")
     stats = opcache.stats()
+    print("[opcache ablation]")
     print(f"uncached : {disabled_seconds:.3f} s")
     print(f"cached   : {enabled_seconds:.3f} s  ({stats.hits} hit(s), {stats.misses} miss(es))")
     print(f"speedup  : {speedup:.2f}x  (threshold {SPEEDUP_THRESHOLD}x)")
@@ -173,9 +328,56 @@ def _smoke() -> int:
     return 0
 
 
+def _smoke_kernel() -> int:
+    object_seconds, flat_seconds = time_kernel_ablation()
+    speedup = object_seconds / flat_seconds if flat_seconds else float("inf")
+    print("[kernel ablation]")
+    print(f"object   : {object_seconds:.3f} s")
+    print(f"flat     : {flat_seconds:.3f} s")
+    print(f"speedup  : {speedup:.2f}x  (threshold {KERNEL_SPEEDUP_THRESHOLD}x)")
+    if speedup < KERNEL_SPEEDUP_THRESHOLD:
+        print("FAIL: flat-kernel speedup below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def _smoke_warm_start() -> int:
+    cold_seconds, warm_seconds = time_warm_start()
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    print("[warm start]")
+    print(f"cold     : {cold_seconds:.3f} s")
+    print(f"warm     : {warm_seconds:.3f} s")
+    print(f"speedup  : {speedup:.2f}x  (threshold {WARM_START_THRESHOLD}x)")
+    if speedup < WARM_START_THRESHOLD:
+        print("FAIL: warm-start speedup below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def _smoke() -> int:
+    """CI gate: run every ablation and fail loudly on any perf regression."""
+    failures = 0
+    for gate in (_smoke_cache, _smoke_kernel, _smoke_warm_start):
+        failures += gate()
+        print()
+    return 1 if failures else 0
+
+
 if __name__ == "__main__":
-    if "--smoke" in sys.argv[1:]:
+    argv = sys.argv[1:]
+    if "--warm-child" in argv:
+        sys.exit(_warm_child(argv[argv.index("--warm-child") + 1]))
+    if "--warm-start" in argv:
+        sys.exit(_smoke_warm_start())
+    if "--kernel-ablation" in argv:
+        sys.exit(_smoke_kernel())
+    if "--smoke" in argv:
         sys.exit(_smoke())
     print(__doc__)
-    print("run under pytest for the full benchmark suite, or pass --smoke")
+    print(
+        "run under pytest for the full benchmark suite, or pass "
+        "--smoke / --kernel-ablation / --warm-start"
+    )
     sys.exit(2)

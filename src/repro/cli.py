@@ -145,6 +145,13 @@ def _add_checker_option_arguments(parser: argparse.ArgumentParser) -> None:
         help="solver command for the SMT backends, e.g. 'z3', 'cvc5 --lang smt2' "
         "or 'builtin' (default: auto-detect z3/cvc5, else builtin)",
     )
+    parser.add_argument(
+        "--persist-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the Presburger operation cache under DIR so warm state "
+        "survives processes (shared by batch workers; default: in-memory only)",
+    )
 
 
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -392,6 +399,13 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="solver command for the SMT backends (default: auto-detect)",
     )
+    parser.add_argument(
+        "--persist-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the Presburger operation cache under DIR so warm "
+        "state survives server restarts (default: in-memory only)",
+    )
 
 
 def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
@@ -577,6 +591,7 @@ def checker_options_from_args(args: argparse.Namespace) -> CheckOptions:
         timeout=getattr(args, "timeout", None),
         backend=getattr(args, "backend", "omega"),
         smt_solver=getattr(args, "smt_solver", None),
+        persist_dir=getattr(args, "persist_dir", None),
     )
 
 
@@ -936,7 +951,12 @@ def _run_batch(args: argparse.Namespace) -> int:
         return error_code
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = BatchExecutor(cache=cache, workers=args.workers, timeout=args.timeout)
+    executor = BatchExecutor(
+        cache=cache,
+        workers=args.workers,
+        timeout=args.timeout,
+        persist_dir=getattr(args, "persist_dir", None),
+    )
 
     from .presburger import opcache
 
@@ -1123,6 +1143,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         drain_seconds=args.drain_seconds,
         backend=args.backend,
         smt_solver=args.smt_solver,
+        persist_dir=args.persist_dir,
     )
 
     def ready(server) -> None:

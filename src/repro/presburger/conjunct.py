@@ -44,7 +44,7 @@ class Conjunct:
         Inequality constraints, each meaning ``v . (vars, divs, 1) >= 0``.
     """
 
-    __slots__ = ("n_vars", "n_div", "eqs", "ineqs", "_key", "_hash")
+    __slots__ = ("n_vars", "n_div", "eqs", "ineqs", "_key", "_hash", "_normed")
 
     def __init__(
         self,
@@ -64,13 +64,54 @@ class Conjunct:
         # deduplication, tabling keys, the operation cache).
         self._key: Tuple | None = None
         self._hash: int | None = None
+        # True only for conjuncts produced by the normalisation kernel:
+        # normalize() is idempotent, so flagged conjuncts can skip a second
+        # pass entirely (see repro.presburger.kernel).
+        self._normed = False
 
     @staticmethod
     def _check(vector: Sequence[int], width: int) -> Vector:
+        # Identity-preserving for rows that are already canonical tuples of
+        # ints: rebuilding them here would silently strip the interned
+        # instances produced by normalize() (the hash-consing pools dedupe
+        # by value, but identity-fast comparisons and the pool hit rate
+        # depend on the *same* tuple object flowing through).
+        if type(vector) is tuple and all(type(x) is int for x in vector):
+            if len(vector) != width:
+                raise ValueError(
+                    f"constraint vector has length {len(vector)}, expected {width}"
+                )
+            return vector
         vec = tuple(int(x) for x in vector)
         if len(vec) != width:
             raise ValueError(f"constraint vector has length {len(vec)}, expected {width}")
         return vec
+
+    @classmethod
+    def _make(
+        cls,
+        n_vars: int,
+        n_div: int,
+        eqs: Tuple[Vector, ...],
+        ineqs: Tuple[Vector, ...],
+        normed: bool = False,
+    ) -> "Conjunct":
+        """Trusted constructor for the flat-matrix kernel.
+
+        The caller guarantees *eqs*/*ineqs* are tuples of width-correct
+        tuples of Python ints (kernel row operations only ever produce
+        those), so the per-row ``_check`` validation of ``__init__`` — a
+        measurable slice of the hot path — is skipped.
+        """
+        self = object.__new__(cls)
+        self.n_vars = n_vars
+        self.n_div = n_div
+        self.eqs = eqs
+        self.ineqs = ineqs
+        self._key = None
+        self._hash = None
+        self._normed = normed
+        return self
 
     # ------------------------------------------------------------------ #
     # Basic queries

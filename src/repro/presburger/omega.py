@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set as PySet, Tuple
 
 from .conjunct import Conjunct, Vector, vector_gcd
 from .errors import UnsupportedOperationError
+from . import kernel as _kernel
 from . import opcache as _opcache
 from ..telemetry import METRICS as _METRICS
 
@@ -90,7 +91,13 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
     Returns ``None`` when a contradiction is detected syntactically (the
     conjunct is trivially empty).  The result is logically equivalent to the
     input over the integers.
+
+    Under the default flat-matrix kernel (see :mod:`repro.presburger.kernel`)
+    the batched implementation runs instead of the per-row loops below; both
+    produce bit-identical results and fully interned rows.
     """
+    if _kernel.FLAT:
+        return _kernel.normalize_conjunct(conjunct)
     eqs: List[Vector] = []
     ineqs: List[Vector] = []
     intern_vector = _opcache.intern_vector
@@ -158,7 +165,9 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
                 consumed.add(key)
                 consumed.add(neg_key)
                 continue
-        final_ineqs.append(key + (constant,))
+        # key + (constant,) is a fresh tuple even when nothing was tightened;
+        # re-intern it so every vector stored in the result stays canonical.
+        final_ineqs.append(intern_vector(key + (constant,)))
 
     for vec in promoted_eqs:
         g = vector_gcd(vec[:-1])
@@ -174,10 +183,48 @@ def normalize(conjunct: Conjunct) -> Optional[Conjunct]:
                 if x < 0:
                     reduced = tuple(-y for y in reduced)
                 break
+        reduced = intern_vector(reduced)
         if reduced not in eqs:
             eqs.append(reduced)
 
     return Conjunct(conjunct.n_vars, conjunct.n_div, eqs, final_ineqs)
+
+
+def _intern_rows(conjunct: Conjunct) -> Conjunct:
+    """Re-intern every row of *conjunct* (leak-audit helper).
+
+    Column-dropping rebuilds constraint vectors as fresh tuples; routing the
+    result through here restores the invariant that every vector stored in a
+    conjunct that survives into a ``Set``/``Map`` is the canonical interned
+    instance, so later equality tests stay identity-fast.
+    """
+    iv = _opcache.intern_vector
+    return Conjunct._make(
+        conjunct.n_vars,
+        conjunct.n_div,
+        tuple(iv(v) for v in conjunct.eqs),
+        tuple(iv(v) for v in conjunct.ineqs),
+        normed=conjunct._normed,
+    )
+
+
+def _build(n_vars: int, n_div: int, eqs, ineqs) -> Conjunct:
+    """Construct a conjunct, skipping per-row validation under the flat kernel.
+
+    All call sites pass tuples of Python ints produced by the substitution /
+    combination helpers, so the object path's ``_check`` is redundant there;
+    the object path keeps it for an honest ablation baseline.
+    """
+    if _kernel.FLAT:
+        return Conjunct._make(n_vars, n_div, tuple(eqs), tuple(ineqs))
+    return Conjunct(n_vars, n_div, eqs, ineqs)
+
+
+def _dropped_dims(conjunct: Conjunct, col: int) -> Tuple[int, int]:
+    """The (n_vars, n_div) of *conjunct* after dropping column *col*."""
+    if col < conjunct.n_vars:
+        return conjunct.n_vars - 1, conjunct.n_div
+    return conjunct.n_vars, conjunct.n_div - 1
 
 
 # --------------------------------------------------------------------------- #
@@ -199,18 +246,32 @@ def eliminate_col(conjunct: Conjunct, col: int) -> List[Conjunct]:
     conjunct = normalized
 
     if not conjunct.involves_col(col):
-        return [conjunct.drop_col(col)]
+        # drop_col rebuilds every row as a fresh (shrunk) tuple: re-intern so
+        # the hash-consing invariant survives this exit too.
+        return [_intern_rows(conjunct.drop_col(col))]
 
     # 1. A unit-coefficient equality allows exact substitution.
     for index, eq in enumerate(conjunct.eqs):
         if abs(eq[col]) == 1:
-            new_eqs = [
-                _apply_substitution(vec, eq, col)
-                for j, vec in enumerate(conjunct.eqs)
-                if j != index
-            ]
-            new_ineqs = [_apply_substitution(vec, eq, col) for vec in conjunct.ineqs]
-            reduced = Conjunct(conjunct.n_vars, conjunct.n_div, new_eqs, new_ineqs).drop_col(col)
+            if _kernel.FLAT:
+                remaining = [vec for j, vec in enumerate(conjunct.eqs) if j != index]
+                n_vars, n_div = _dropped_dims(conjunct, col)
+                reduced = Conjunct._make(
+                    n_vars,
+                    n_div,
+                    tuple(_kernel.substitute_drop(remaining, eq, col)),
+                    tuple(_kernel.substitute_drop(conjunct.ineqs, eq, col)),
+                )
+            else:
+                new_eqs = [
+                    _apply_substitution(vec, eq, col)
+                    for j, vec in enumerate(conjunct.eqs)
+                    if j != index
+                ]
+                new_ineqs = [_apply_substitution(vec, eq, col) for vec in conjunct.ineqs]
+                reduced = Conjunct(
+                    conjunct.n_vars, conjunct.n_div, new_eqs, new_ineqs
+                ).drop_col(col)
             renorm = normalize(reduced)
             return [renorm] if renorm is not None else []
 
@@ -240,10 +301,24 @@ def _eliminate_inequality_col(conjunct: Conjunct, col: int) -> List[Conjunct]:
     uppers = [v for v in conjunct.ineqs if v[col] < 0]
     others = [v for v in conjunct.ineqs if v[col] == 0]
 
+    def _shadow_conjunct(shadow: List[Vector]) -> Conjunct:
+        # Every row (eqs, others, resultants) has a zero coefficient in the
+        # eliminated column, so dropping it is a pure row-shrink.
+        if _kernel.FLAT:
+            n_vars, n_div = _dropped_dims(conjunct, col)
+            return Conjunct._make(
+                n_vars,
+                n_div,
+                tuple(_kernel.drop_rows(conjunct.eqs, col)),
+                tuple(_kernel.drop_rows(others + shadow, col)),
+            )
+        return Conjunct(
+            conjunct.n_vars, conjunct.n_div, conjunct.eqs, others + shadow
+        ).drop_col(col)
+
     if not lowers or not uppers:
         # Unbounded in at least one direction: an integer value always exists.
-        reduced = Conjunct(conjunct.n_vars, conjunct.n_div, conjunct.eqs, others).drop_col(col)
-        renorm = normalize(reduced)
+        renorm = normalize(_shadow_conjunct([]))
         return [renorm] if renorm is not None else []
 
     # When every lower bound (or every upper bound) has a unit coefficient,
@@ -251,37 +326,36 @@ def _eliminate_inequality_col(conjunct: Conjunct, col: int) -> List[Conjunct]:
     # shadow is exact and the dark-shadow bookkeeping can be skipped.
     unit_bounds = all(v[col] == 1 for v in lowers) or all(v[col] == -1 for v in uppers)
 
-    real_shadow: List[Vector] = []
-    dark_shadow: List[Vector] = []
-    all_exact = True
-    for lower in lowers:
-        b = lower[col]
-        for upper in uppers:
-            a = -upper[col]
-            resultant = [b * upper[j] + a * lower[j] for j in range(len(lower))]
-            assert resultant[col] == 0
-            real_shadow.append(tuple(resultant))
-            if unit_bounds:
-                continue  # slack is provably zero for this pair
-            slack = (a - 1) * (b - 1)
-            if slack:
-                all_exact = False
-            dark = list(resultant)
-            dark[-1] -= slack
-            dark_shadow.append(tuple(dark))
+    if _kernel.FLAT:
+        real_shadow, dark_shadow, all_exact = _kernel.fm_combine(
+            lowers, uppers, col, unit_bounds
+        )
+    else:
+        real_shadow = []
+        dark_shadow = []
+        all_exact = True
+        for lower in lowers:
+            b = lower[col]
+            for upper in uppers:
+                a = -upper[col]
+                resultant = [b * upper[j] + a * lower[j] for j in range(len(lower))]
+                assert resultant[col] == 0
+                real_shadow.append(tuple(resultant))
+                if unit_bounds:
+                    continue  # slack is provably zero for this pair
+                slack = (a - 1) * (b - 1)
+                if slack:
+                    all_exact = False
+                dark = list(resultant)
+                dark[-1] -= slack
+                dark_shadow.append(tuple(dark))
 
     if all_exact:
-        reduced = Conjunct(
-            conjunct.n_vars, conjunct.n_div, conjunct.eqs, others + real_shadow
-        ).drop_col(col)
-        renorm = normalize(reduced)
+        renorm = normalize(_shadow_conjunct(real_shadow))
         return [renorm] if renorm is not None else []
 
     results: List[Conjunct] = []
-    dark_conjunct = Conjunct(
-        conjunct.n_vars, conjunct.n_div, conjunct.eqs, others + dark_shadow
-    ).drop_col(col)
-    dark_norm = normalize(dark_conjunct)
+    dark_norm = normalize(_shadow_conjunct(dark_shadow))
     if dark_norm is not None:
         results.append(dark_norm)
 
@@ -443,13 +517,27 @@ def simplify(conjunct: Conjunct) -> Optional[Conjunct]:
                     break
             if unit is not None:
                 index, eq = unit
-                new_eqs = [
-                    _apply_substitution(vec, eq, col)
-                    for j, vec in enumerate(current.eqs)
-                    if j != index
-                ]
-                new_ineqs = [_apply_substitution(vec, eq, col) for vec in current.ineqs]
-                reduced = Conjunct(current.n_vars, current.n_div, new_eqs, new_ineqs).drop_col(col)
+                if _kernel.FLAT:
+                    remaining = [vec for j, vec in enumerate(current.eqs) if j != index]
+                    n_vars, n_div = _dropped_dims(current, col)
+                    reduced = Conjunct._make(
+                        n_vars,
+                        n_div,
+                        tuple(_kernel.substitute_drop(remaining, eq, col)),
+                        tuple(_kernel.substitute_drop(current.ineqs, eq, col)),
+                    )
+                else:
+                    new_eqs = [
+                        _apply_substitution(vec, eq, col)
+                        for j, vec in enumerate(current.eqs)
+                        if j != index
+                    ]
+                    new_ineqs = [
+                        _apply_substitution(vec, eq, col) for vec in current.ineqs
+                    ]
+                    reduced = Conjunct(
+                        current.n_vars, current.n_div, new_eqs, new_ineqs
+                    ).drop_col(col)
                 renorm = normalize(reduced)
                 if renorm is None:
                     return None
@@ -481,7 +569,7 @@ def simplify(conjunct: Conjunct) -> Optional[Conjunct]:
                 vec if vec[col] == 0 else _scaled_substitution(vec, def_eq, col)
                 for vec in current.ineqs
             ]
-            candidate = normalize(Conjunct(current.n_vars, current.n_div, new_eqs, new_ineqs))
+            candidate = normalize(_build(current.n_vars, current.n_div, new_eqs, new_ineqs))
             if candidate is None:
                 return None
             current = candidate
@@ -538,7 +626,10 @@ def _dedupe_divisibility(conjunct: Conjunct) -> Conjunct:
     result = Conjunct(conjunct.n_vars, conjunct.n_div, new_eqs, conjunct.ineqs)
     for col in sorted(drop_cols, reverse=True):
         result = result.drop_col(col)
-    return result
+    # This is the last stop before simplified conjuncts are stored into a
+    # Set/Map, and drop_col produced fresh row tuples: re-intern them so the
+    # hash-consing invariant holds for everything a Set can contain.
+    return _intern_rows(result)
 
 
 # --------------------------------------------------------------------------- #

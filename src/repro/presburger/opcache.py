@@ -33,6 +33,17 @@ Public knobs
     Any non-empty value other than ``0``/``false``/``no`` disables both the
     operation cache and the intern hit accounting at import time.
 
+``REPRO_OPCACHE_PERSIST_DIR`` (environment variable)
+    A directory for the disk-backed second tier (see
+    :mod:`repro.presburger.persist`): in-memory misses consult
+    ``<dir>/opcache.sqlite`` before recomputing, fresh results are written
+    through, and decoded conjuncts repopulate the intern pools — so warm
+    state survives processes and is shared by executor workers and the
+    server pool.  Unset (the default) means memory-only, exactly as before.
+    :func:`attach_persistent` / :func:`detach_persistent` control it at
+    runtime; ``CheckOptions.persist_dir`` and the ``--persist-dir`` CLI
+    flags export it.
+
 :func:`configure`
     Programmatic runtime control over size and enablement.
 
@@ -59,14 +70,18 @@ from ..telemetry import METRICS as _METRICS, TRACER as _TRACER
 __all__ = [
     "OpCacheStats",
     "OpCache",
+    "attach_persistent",
     "cache",
     "configure",
+    "detach_persistent",
     "disabled",
     "is_enabled",
     "intern_conjunct",
     "intern_expr",
     "intern_vector",
     "memoized",
+    "persistent_store",
+    "reattach_persistent",
     "reset",
     "snapshot",
     "stats",
@@ -99,6 +114,11 @@ class OpCacheStats:
     union-intersect, ``"us"`` for union-subtract, ``"simplify"``,
     ``"feasible"``, ``"closure"``).  ``intern_hits``/``intern_misses`` count
     intern-pool lookups (a hit means an already-canonical object was reused).
+
+    ``disk_hits``/``disk_misses``/``disk_writes``/``disk_errors`` count the
+    optional persistent tier (always zero when no store is attached); a disk
+    hit is *also* recorded as an ordinary hit for the consulted operation,
+    since the caller got a cached result either way.
     """
 
     hits: int = 0
@@ -106,6 +126,10 @@ class OpCacheStats:
     evictions: int = 0
     intern_hits: int = 0
     intern_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
     per_op: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     def record(self, op: str, hit: bool) -> None:
@@ -125,6 +149,10 @@ class OpCacheStats:
             evictions=self.evictions,
             intern_hits=self.intern_hits,
             intern_misses=self.intern_misses,
+            disk_hits=self.disk_hits,
+            disk_misses=self.disk_misses,
+            disk_writes=self.disk_writes,
+            disk_errors=self.disk_errors,
             per_op=dict(self.per_op),
         )
 
@@ -141,6 +169,10 @@ class OpCacheStats:
             evictions=self.evictions - earlier.evictions,
             intern_hits=self.intern_hits - earlier.intern_hits,
             intern_misses=self.intern_misses - earlier.intern_misses,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            disk_misses=self.disk_misses - earlier.disk_misses,
+            disk_writes=self.disk_writes - earlier.disk_writes,
+            disk_errors=self.disk_errors - earlier.disk_errors,
             per_op=per_op,
         )
 
@@ -151,6 +183,10 @@ class OpCacheStats:
             "evictions": self.evictions,
             "intern_hits": self.intern_hits,
             "intern_misses": self.intern_misses,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_writes": self.disk_writes,
+            "disk_errors": self.disk_errors,
             "per_op": {op: {"hits": h, "misses": m} for op, (h, m) in sorted(self.per_op.items())},
         }
 
@@ -203,6 +239,9 @@ class OpCache:
         self._conjuncts = _InternPool()
         self._exprs = _InternPool()
         self._vectors = _InternPool()
+        # Optional disk-backed second tier (repro.presburger.persist); None
+        # means memory-only.
+        self._persist = None
 
     # ---------------------------- memoization --------------------------- #
     def memoized(self, op: str, key: Hashable, compute: Callable[[], Any]) -> Any:
@@ -223,6 +262,25 @@ class OpCache:
             if _METRICS.enabled:
                 _METRICS.inc("opcache.hits")
             return entries[full_key]
+        store = self._persist
+        if store is not None:
+            found = store.load(op, key)
+            if found is not store.MISS:
+                # A disk hit is still a cache hit for the caller; promote it
+                # into the memory tier so repeats stay identity-fast.
+                self.stats.record(op, hit=True)
+                self.stats.disk_hits += 1
+                if _METRICS.enabled:
+                    _METRICS.inc("opcache.hits")
+                    _METRICS.inc("opcache.disk_hits")
+                entries[full_key] = found
+                if len(entries) > self.maxsize:
+                    entries.popitem(last=False)
+                    self.stats.evictions += 1
+                return found
+            self.stats.disk_misses += 1
+            if store.errors:
+                self.stats.disk_errors = store.errors
         self.stats.record(op, hit=False)
         if _METRICS.enabled:
             _METRICS.inc("opcache.misses")
@@ -231,6 +289,13 @@ class OpCache:
                 result = compute()
         else:
             result = compute()
+        if store is not None:
+            if store.save(op, key, result):
+                self.stats.disk_writes += 1
+                if _METRICS.enabled:
+                    _METRICS.inc("opcache.disk_writes")
+            elif store.errors:
+                self.stats.disk_errors = store.errors
         entries[full_key] = result
         if len(entries) > self.maxsize:
             entries.popitem(last=False)
@@ -280,6 +345,61 @@ _CACHE = OpCache(maxsize=_env_size(), enabled=not _env_disabled())
 def cache() -> OpCache:
     """The process-wide operation cache instance."""
     return _CACHE
+
+
+def attach_persistent(path: str):
+    """Attach a disk-backed second tier at *path* (a directory).
+
+    Replaces any previously attached store.  Returns the
+    :class:`~repro.presburger.persist.PersistentStore`; the caller may
+    inspect ``store.disabled`` to see whether the directory was usable (an
+    unusable store silently degrades to memory-only, because persistence is
+    purely an optimization).
+    """
+    from . import persist as _persist
+
+    detach_persistent()
+    store = _persist.PersistentStore(path)
+    _CACHE._persist = store
+    return store
+
+
+def detach_persistent() -> None:
+    """Close and drop the persistent tier (memory tier is untouched)."""
+    store = _CACHE._persist
+    if store is not None:
+        _CACHE._persist = None
+        store.close()
+
+
+def persistent_store():
+    """The currently attached persistent store, or ``None``."""
+    return _CACHE._persist
+
+
+def reattach_persistent() -> None:
+    """Re-open the persistent store on a fresh connection (fork safety).
+
+    sqlite connections must not be shared across ``fork``; pool-worker
+    initializers call this so each worker process talks to the shared store
+    through its own connection.  The inherited parent connection object is
+    dropped without closing it (closing could disturb the parent's handle).
+    """
+    store = _CACHE._persist
+    if store is not None:
+        _CACHE._persist = store.reopened()
+
+
+def _attach_from_env() -> None:
+    path = os.environ.get("REPRO_OPCACHE_PERSIST_DIR", "").strip()
+    if path:
+        try:
+            attach_persistent(path)
+        except Exception:
+            _CACHE._persist = None  # never let a bad cache dir break imports
+
+
+_attach_from_env()
 
 
 def is_enabled() -> bool:

@@ -23,6 +23,7 @@ from .constraints import AffineConstraint
 from .errors import SpaceMismatchError, UnboundedSetError, UnsupportedOperationError
 from .linexpr import LinExpr
 from . import hooks as _hooks
+from . import kernel as _kernel
 from . import omega
 from . import opcache as _opcache
 
@@ -50,6 +51,46 @@ def _cached_feasible(conjunct: Conjunct) -> bool:
     return _opcache.memoized("feasible", conjunct, lambda: omega.is_feasible(conjunct))
 
 
+def _cached_feasible_many(conjuncts: Sequence[Conjunct]) -> List[bool]:
+    """Feasibility of several conjuncts, batched through the flat kernel.
+
+    The memoization accounting is identical to calling
+    :func:`_cached_feasible` in a loop (each conjunct records exactly one
+    hit or miss, duplicates hit); only the *computation* of the misses is
+    handed to :func:`repro.presburger.kernel.feasible_many` as one batch,
+    which shares the metrics increment and the normalisation sweep across
+    the whole union.
+    """
+    if not _kernel.FLAT or len(conjuncts) < 2:
+        return [_cached_feasible(conjunct) for conjunct in conjuncts]
+    cache = _opcache.cache()
+    if not cache.enabled:
+        return _kernel.feasible_many(conjuncts)
+    # Peek (without recording) to find the conjuncts that need computing,
+    # batch-compute those, then replay through memoized() so hit/miss
+    # accounting and storage behave exactly as the one-at-a-time path.
+    entries = cache._entries
+    misses = {}
+    for conjunct in conjuncts:
+        if ("feasible", conjunct) not in entries and conjunct not in misses:
+            misses[conjunct] = None
+    if misses:
+        pending = list(misses)
+        for conjunct, verdict in zip(pending, _kernel.feasible_many(pending)):
+            misses[conjunct] = verdict
+
+    def lookup(conjunct: Conjunct) -> bool:
+        verdict = misses.get(conjunct)
+        # A server worker thread can evict an entry between the peek and the
+        # replay; recompute rather than fail in that (rare) case.
+        return omega.is_feasible(conjunct) if verdict is None else verdict
+
+    return [
+        _opcache.memoized("feasible", conjunct, lambda c=conjunct: lookup(c))
+        for conjunct in conjuncts
+    ]
+
+
 def _clean(conjuncts: Iterable[Conjunct]) -> Tuple[Conjunct, ...]:
     """Simplify, drop infeasible conjuncts and deduplicate syntactically.
 
@@ -57,13 +98,18 @@ def _clean(conjuncts: Iterable[Conjunct]) -> Tuple[Conjunct, ...]:
     through here, which makes it the natural interning choke point: the
     surviving conjuncts are canonical (hash-consed) instances, so the
     dedup below and all later equality / cache-key computations are cheap.
+    Feasibility of the whole union is decided in one batched kernel call.
     """
-    seen = {}
+    simplified_union: List[Conjunct] = []
     for conjunct in conjuncts:
         simplified = _cached_simplify(conjunct)
-        if simplified is None:
-            continue
-        if not _cached_feasible(simplified):
+        if simplified is not None:
+            simplified_union.append(simplified)
+    seen = {}
+    for simplified, feasible in zip(
+        simplified_union, _cached_feasible_many(simplified_union)
+    ):
+        if not feasible:
             continue
         key = simplified.normalized_key()
         if key not in seen:

@@ -73,6 +73,9 @@ class ServerConfig:
     # (see WarmVerifierPool.prepare_job); None honours each job's options.
     backend: Optional[str] = None
     smt_solver: Optional[str] = None
+    # Directory of the persistent Presburger op-cache shared by the pool's
+    # worker threads (None: in-memory warm state only).
+    persist_dir: Optional[str] = None
 
     def build_cache(self) -> Optional[ResultCache]:
         """The verdict cache this config describes (memory-only by default)."""
@@ -105,6 +108,7 @@ class VerificationServer:
             default_timeout=self.config.default_timeout,
             backend=self.config.backend,
             smt_solver=self.config.smt_solver,
+            persist_dir=self.config.persist_dir,
         )
         self.dispatcher = JobDispatcher(self.pool)
         self.addresses: List[str] = []

@@ -179,6 +179,12 @@ class WarmVerifierPool:
         shared store, for `Program`-identity keys).
     default_timeout:
         Wall-clock budget applied to jobs that carry none of their own.
+    persist_dir:
+        Directory of the persistent Presburger op-cache
+        (:mod:`repro.presburger.persist`).  All worker threads share the
+        process-wide opcache, so one attach here warms every session — and
+        a daemon restart starts warm from disk instead of re-deriving the
+        relation algebra cold.
     """
 
     def __init__(
@@ -190,6 +196,7 @@ class WarmVerifierPool:
         default_timeout: Optional[float] = None,
         backend: Optional[str] = None,
         smt_solver: Optional[str] = None,
+        persist_dir: Optional[str] = None,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
@@ -198,6 +205,11 @@ class WarmVerifierPool:
         self.default_timeout = default_timeout
         self.backend = backend
         self.smt_solver = smt_solver
+        self.persist_dir = persist_dir
+        if persist_dir:
+            from ..presburger import opcache
+
+            opcache.attach_persistent(persist_dir)
         self.stats = ServerStats()
         self._threads = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="eqcheck-server"

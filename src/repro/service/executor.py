@@ -151,18 +151,30 @@ def _run_with_timeout(job: VerificationJob, timeout: Optional[float]):
     return call_with_timeout(job.run, timeout)
 
 
-def _worker_init(collect_telemetry: bool) -> None:
+def _worker_init(collect_telemetry: bool, persist_dir: Optional[str] = None) -> None:
     """Pool-worker initializer: start every worker from a clean tracer.
 
     With the ``fork`` start method a worker inherits the parent's record
     buffer (and its ``pid`` stamp); shipping those inherited spans home again
     would duplicate them, so the buffers are cleared — and re-stamped with
     the worker's own pid — before the first job runs.
+
+    The worker also (re-)attaches the persistent op-cache: with ``fork`` the
+    inherited sqlite connection must not be reused, and with ``spawn`` an
+    explicitly configured *persist_dir* is not inherited at all.  Every
+    worker then shares the batch's warm on-disk state through its own
+    connection (WAL keeps concurrent workers safe).
     """
     _TRACER.clear()
     _METRICS.clear()
     _TRACER.enabled = collect_telemetry
     _METRICS.enabled = collect_telemetry
+    from ..presburger import opcache
+
+    if persist_dir and opcache.persistent_store() is None:
+        opcache.attach_persistent(persist_dir)
+    else:
+        opcache.reattach_persistent()
 
 
 def execute_job(
@@ -270,6 +282,11 @@ class BatchExecutor:
         cache misses to a ``ProcessPoolExecutor`` of that many workers.
     timeout:
         Per-job wall-clock budget in seconds (``None``: unlimited).
+    persist_dir:
+        Directory of the shared persistent Presburger op-cache
+        (:mod:`repro.presburger.persist`); attached in this process and in
+        every pool worker, so the whole batch reads and fills one warm
+        store.  ``None`` keeps whatever the process already has attached.
     """
 
     def __init__(
@@ -277,10 +294,16 @@ class BatchExecutor:
         cache: Optional[ResultCache] = None,
         workers: int = 1,
         timeout: Optional[float] = None,
+        persist_dir: Optional[str] = None,
     ):
         self.cache = cache
         self.workers = max(1, int(workers))
         self.timeout = timeout
+        self.persist_dir = persist_dir
+        if persist_dir:
+            from ..presburger import opcache
+
+            opcache.attach_persistent(persist_dir)
         # index of an executing job -> indices of its in-batch duplicates
         # (same fingerprint); rebuilt by every run() call.
         self._followers: dict = {}
@@ -408,7 +431,9 @@ class BatchExecutor:
     ) -> None:
         collect = _TRACER.enabled or _METRICS.enabled
         with ProcessPoolExecutor(
-            max_workers=self.workers, initializer=_worker_init, initargs=(collect,)
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(collect, self.persist_dir),
         ) as pool:
             future_index = {
                 pool.submit(

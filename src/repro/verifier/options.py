@@ -109,6 +109,13 @@ class CheckOptions:
         excluded from :meth:`fingerprint`: any sound SMT-LIB2 solver must
         produce the same verdict, and a solver that doesn't is a bug to
         surface, not a distinct cache universe.
+    persist_dir:
+        Directory for the disk-backed Presburger op-cache
+        (:mod:`repro.presburger.persist`), so warm state survives processes;
+        ``None`` (the default) keeps the cache in-memory only.  Excluded
+        from :meth:`fingerprint` for the same reason as ``timeout``: where
+        cached work is stored cannot change a verdict (the cache-invariance
+        test leg gates exactly that).
     """
 
     method: str = "extended"
@@ -120,6 +127,7 @@ class CheckOptions:
     timeout: Optional[float] = None
     backend: str = "omega"
     smt_solver: Optional[str] = None
+    persist_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("basic", "extended"):
@@ -187,6 +195,7 @@ class CheckOptions:
             "timeout": self.timeout,
             "backend": self.backend,
             "smt_solver": self.smt_solver,
+            "persist_dir": self.persist_dir,
         }
 
     @classmethod
@@ -203,6 +212,7 @@ class CheckOptions:
             timeout=data.get("timeout"),
             backend=data.get("backend", "omega"),
             smt_solver=data.get("smt_solver"),
+            persist_dir=data.get("persist_dir"),
         )
 
     def fingerprint(self) -> str:

@@ -1,0 +1,294 @@
+"""Unit tests for the persistent operation cache (disk tier + intern store).
+
+Covers the store in isolation (roundtrips, fingerprint wipes, corruption
+tolerance, the op whitelist) and its integration with the in-memory cache
+(disk counters, promotion, env attachment, cross-process warm starts).
+All failures must degrade to cache misses — persistence can never change a
+verdict, only how fast it is reached.
+"""
+
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.presburger import opcache, parse_map, parse_set
+from repro.presburger import persist
+from repro.presburger.conjunct import Conjunct
+from repro.presburger.persist import (
+    CACHE_FORMAT_VERSION,
+    PERSISTABLE_OPS,
+    PersistentStore,
+    store_fingerprint,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    st = PersistentStore(str(tmp_path / "cache"))
+    yield st
+    st.close()
+
+
+@pytest.fixture
+def attached(tmp_path):
+    st = opcache.attach_persistent(str(tmp_path / "cache"))
+    opcache.reset()
+    yield st
+    opcache.detach_persistent()
+    opcache.reset()
+
+
+def sample_conjunct():
+    return parse_set("{ [i] : exists a : i = 2a and 0 <= i < 16 }").conjuncts[0]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            42,
+            -7,
+            "infeasible",
+            ("a", 1, None),
+        ],
+    )
+    def test_primitives(self, store, value):
+        assert store.save("feasible", ("k", 1), value)
+        assert store.load("feasible", ("k", 1)) == value
+
+    def test_none_is_not_a_miss(self, store):
+        assert store.load("feasible", "absent") is store.MISS
+        store.save("feasible", "present", None)
+        assert store.load("feasible", "present") is None
+
+    def test_conjunct_roundtrip_interns(self, store):
+        conjunct = sample_conjunct()
+        assert store.save("simplify", conjunct, conjunct)
+        loaded = store.load("simplify", conjunct)
+        assert loaded == conjunct
+        for vector in loaded.eqs + loaded.ineqs:
+            assert opcache.intern_vector(vector) is vector
+        assert opcache.intern_conjunct(loaded) is loaded
+
+    def test_set_roundtrip(self, store):
+        value = parse_set("{ [i] : 0 <= i < 4 ; [i] : 6 <= i < 10 }")
+        store.save("us", ("union", 1), value)
+        loaded = store.load("us", ("union", 1))
+        assert loaded == value
+        assert loaded.names == value.names
+        assert isinstance(loaded.conjuncts, tuple)
+
+    def test_map_roundtrip(self, store):
+        value = parse_map("{ [i] -> [j] : j = i + 1 and 0 <= i < 8 }")
+        store.save("compose", ("m", 2), value)
+        loaded = store.load("compose", ("m", 2))
+        assert loaded == value
+        assert tuple(loaded.in_names) == tuple(value.in_names)
+        assert tuple(loaded.out_names) == tuple(value.out_names)
+
+    def test_conjunct_keys_use_structural_identity(self, store):
+        conjunct = sample_conjunct()
+        twin = Conjunct(conjunct.n_vars, conjunct.n_div, conjunct.eqs, conjunct.ineqs)
+        store.save("feasible", conjunct, True)
+        assert store.load("feasible", twin) is True
+
+
+class TestGating:
+    def test_unknown_ops_are_not_persisted(self, store):
+        assert "internal.debug" not in PERSISTABLE_OPS
+        assert not store.save("internal.debug", "k", 1)
+        assert store.load("internal.debug", "k") is store.MISS
+        assert store.entry_count() == 0
+
+    def test_unencodable_value_is_skipped(self, store):
+        assert not store.save("simplify", "k", object())
+        assert store.load("simplify", "k") is store.MISS
+
+    def test_unencodable_key_is_a_miss(self, store):
+        assert not store.save("simplify", object(), 1)
+        assert store.load("simplify", object()) is store.MISS
+
+
+class TestLifecycle:
+    def test_fingerprint_mismatch_wipes(self, tmp_path):
+        path = str(tmp_path / "cache")
+        first = PersistentStore(path)
+        first.save("feasible", "k", True)
+        assert first.entry_count() == 1
+        first.close()
+
+        db = os.path.join(path, "opcache.sqlite")
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "UPDATE meta SET value = 'format-v0;alien' WHERE key = 'fingerprint'"
+        )
+        conn.commit()
+        conn.close()
+
+        second = PersistentStore(path)
+        assert second.entry_count() == 0
+        assert second.load("feasible", "k") is second.MISS
+        second.close()
+
+    def test_matching_fingerprint_preserves(self, tmp_path):
+        path = str(tmp_path / "cache")
+        first = PersistentStore(path)
+        first.save("feasible", "k", True)
+        first.close()
+        second = PersistentStore(path)
+        assert second.load("feasible", "k") is True
+        second.close()
+
+    def test_corrupt_file_restarts_empty(self, tmp_path):
+        path = str(tmp_path / "cache")
+        os.makedirs(path)
+        with open(os.path.join(path, "opcache.sqlite"), "wb") as fh:
+            fh.write(b"this is not a sqlite database at all")
+        st = PersistentStore(path)
+        assert not st.disabled
+        assert st.save("feasible", "k", False)
+        assert st.load("feasible", "k") is False
+        st.close()
+
+    def test_torn_row_is_dropped(self, store):
+        store.save("feasible", "k", True)
+        digest = persist.encode_key("feasible", "k")
+        with store._lock:
+            store._conn.execute(
+                "UPDATE ops SET value = ? WHERE key = ?", (b"\x80garbage", digest)
+            )
+        assert store.load("feasible", "k") is store.MISS
+        assert store.entry_count() == 0
+
+    def test_closed_store_is_disabled(self, store):
+        store.close()
+        assert store.disabled
+        assert not store.save("feasible", "k", True)
+        assert store.load("feasible", "k") is store.MISS
+        assert store.entry_count() == 0
+
+    def test_reopened_shares_the_directory(self, store):
+        store.save("feasible", "k", 7)
+        clone = store.reopened()
+        assert clone.path == store.path
+        assert clone.load("feasible", "k") == 7
+        clone.close()
+
+    def test_fingerprint_content(self):
+        fp = store_fingerprint()
+        assert f"format-v{CACHE_FORMAT_VERSION}" in fp
+        assert f"py{sys.version_info[0]}.{sys.version_info[1]}" in fp
+        assert "kernel-v" in fp
+
+
+class TestCacheIntegration:
+    def test_disk_write_then_cross_reset_hit(self, attached):
+        conjunct = sample_conjunct()
+        opcache.memoized("feasible", conjunct, lambda: True)
+        stats = opcache.stats()
+        assert stats.disk_writes >= 1
+        assert stats.misses >= 1
+
+        opcache.reset()  # drop the in-memory tier, keep the disk tier
+        sentinel = []
+
+        def recompute():
+            sentinel.append(True)
+            return True
+
+        assert opcache.memoized("feasible", conjunct, recompute) is True
+        assert sentinel == []  # served from disk, not recomputed
+        stats = opcache.stats()
+        assert stats.disk_hits == 1
+        assert stats.hits == 1  # a disk hit is an ordinary hit too
+        assert stats.misses == 0
+
+    def test_disk_hit_promotes_to_memory(self, attached):
+        conjunct = sample_conjunct()
+        opcache.memoized("feasible", conjunct, lambda: False)
+        opcache.reset()
+        opcache.memoized("feasible", conjunct, lambda: False)
+        first = opcache.stats().disk_hits
+        opcache.memoized("feasible", conjunct, lambda: False)
+        assert opcache.stats().disk_hits == first  # second hit was memory-only
+
+    def test_nonpersistable_ops_stay_memory_only(self, attached):
+        opcache.memoized("transient.op", "k", lambda: 3)
+        stats = opcache.stats()
+        assert stats.disk_writes == 0
+        assert attached.entry_count() == 0
+
+    def test_detach_stops_writing(self, tmp_path):
+        store = opcache.attach_persistent(str(tmp_path / "cache"))
+        opcache.reset()
+        opcache.detach_persistent()
+        opcache.memoized("feasible", "k", lambda: True)
+        assert store.entry_count() == 0
+        assert opcache.persistent_store() is None
+
+    def test_reattach_uses_fresh_connection(self, attached):
+        opcache.memoized("feasible", "k", lambda: True)
+        before = opcache.persistent_store()
+        opcache.reattach_persistent()
+        after = opcache.persistent_store()
+        assert after is not None
+        assert after is not before
+        assert after.path == before.path
+        assert after.load("feasible", "k") is True
+
+    def test_env_attachment(self, tmp_path):
+        path = str(tmp_path / "envcache")
+        code = (
+            "from repro.presburger import opcache\n"
+            "store = opcache.persistent_store()\n"
+            "assert store is not None, 'env attachment failed'\n"
+            "opcache.memoized('feasible', 'warm', lambda: True)\n"
+            "assert store.entry_count() == 1\n"
+        )
+        env = dict(os.environ, REPRO_OPCACHE_PERSIST_DIR=path)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd="/root/repo",
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_cross_process_warm_start(self, tmp_path):
+        """A second process over the same persist dir must serve the first
+        process's results from disk without recomputing."""
+        path = str(tmp_path / "shared")
+        workload = (
+            "from repro.presburger import opcache, parse_set\n"
+            "opcache.attach_persistent({path!r})\n"
+            "a = parse_set('{{ [i] : exists d : i = 2d and 0 <= i < 32 }}')\n"
+            "b = parse_set('{{ [i] : 0 <= i < 32 }}')\n"
+            "assert a.is_subset(b) and not b.is_subset(a)\n"
+            "stats = opcache.stats()\n"
+            "print(stats.disk_hits, stats.disk_writes)\n"
+        ).format(path=path)
+        env = dict(os.environ, PYTHONPATH="src")
+        env.pop("REPRO_OPCACHE_PERSIST_DIR", None)
+
+        cold = subprocess.run(
+            [sys.executable, "-c", workload], env=env, cwd="/root/repo",
+            capture_output=True, text=True,
+        )
+        assert cold.returncode == 0, cold.stderr
+        cold_hits, cold_writes = map(int, cold.stdout.split())
+        assert cold_writes > 0
+        assert cold_hits == 0
+
+        warm = subprocess.run(
+            [sys.executable, "-c", workload], env=env, cwd="/root/repo",
+            capture_output=True, text=True,
+        )
+        assert warm.returncode == 0, warm.stderr
+        warm_hits, warm_writes = map(int, warm.stdout.split())
+        assert warm_hits > 0
+        assert warm_writes == 0

@@ -62,8 +62,10 @@ def _per_op_dict(stats) -> dict:
 
 
 def snapshot_presburger() -> dict:
-    """The operation-cache ablation scenario, counters taken from a cold run."""
-    from repro.presburger import opcache
+    """The operation-cache, kernel and warm-start ablations, counters cold."""
+    import tempfile
+
+    from repro.presburger import kernel, opcache
     import bench_presburger
 
     opcache.reset()
@@ -77,6 +79,28 @@ def snapshot_presburger() -> dict:
     bench_presburger._run_repeated_composition(PRESBURGER_ITERATIONS)
     delta = opcache.stats().delta(before)
     speedup = disabled_seconds / enabled_seconds if enabled_seconds else 0.0
+
+    # Kernel ablation: flat-matrix kernel vs the object-at-a-time baseline.
+    object_seconds, flat_seconds = bench_presburger.time_kernel_ablation(
+        PRESBURGER_ITERATIONS
+    )
+    kernel_speedup = object_seconds / flat_seconds if flat_seconds else 0.0
+
+    # Warm start: two fresh processes sharing one persistent cache directory,
+    # plus an in-process cold pass for the deterministic disk-write count.
+    cold_seconds, warm_seconds = bench_presburger.time_warm_start()
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-persist-") as tmp:
+        opcache.attach_persistent(tmp)
+        try:
+            opcache.reset()
+            before = opcache.stats().copy()
+            bench_presburger._run_warm_workload()
+            persist_delta = opcache.stats().delta(before)
+        finally:
+            opcache.detach_persistent()
+            opcache.reset()
+
     return {
         "deterministic": {
             "iterations": PRESBURGER_ITERATIONS,
@@ -85,11 +109,20 @@ def snapshot_presburger() -> dict:
             "intern_hits": delta.intern_hits,
             "intern_misses": delta.intern_misses,
             "per_op": _per_op_dict(delta),
+            "kernel_fingerprint": kernel.fingerprint(),
+            "warm_workload_disk_writes": persist_delta.disk_writes,
+            "warm_workload_disk_hits": persist_delta.disk_hits,
         },
         "timing": {
             "uncached_seconds": round(disabled_seconds, 6),
             "cached_seconds": round(enabled_seconds, 6),
             "speedup": round(speedup, 3),
+            "kernel_object_seconds": round(object_seconds, 6),
+            "kernel_flat_seconds": round(flat_seconds, 6),
+            "kernel_speedup": round(kernel_speedup, 3),
+            "warm_cold_seconds": round(cold_seconds, 6),
+            "warm_warm_seconds": round(warm_seconds, 6),
+            "warm_speedup": round(warm_speedup, 3),
         },
     }
 
