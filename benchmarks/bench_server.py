@@ -20,6 +20,7 @@ the same scenarios run through pytest-benchmark with the qualitative
 assertions (verdicts correct, warm pass served without re-checking) attached.
 """
 
+import contextlib
 import os
 import statistics
 import subprocess
@@ -36,6 +37,13 @@ from repro.service import CorpusSpec, JobStatus, build_corpus
 from conftest import run_once
 
 SPEEDUP_THRESHOLD = 2.0
+
+#: The production observability configuration (``--log FILE`` at the default
+#: info level) may cost at most this much warm-pass throughput.  The latency
+#: histograms are always on, so they are part of the baseline by
+#: construction; the heavier debug + capture-everything diagnostic setup is
+#: reported alongside for context but not gated.
+OVERHEAD_THRESHOLD = 1.05
 
 # Small-parameter kernels: the checker's work tracks ADDG shape, not domain
 # size, so these keep the workload honest while a cold subprocess per pair
@@ -96,25 +104,52 @@ def time_cold_processes(jobs) -> float:
 # --------------------------------------------------------------------------- #
 # Warm side: the same jobs against a long-lived daemon
 # --------------------------------------------------------------------------- #
-def time_warm_server(jobs, passes: int = 1):
+def time_warm_server(jobs, passes: int = 1, best_of: int = 1, **config_kwargs):
     """Warm a fresh in-process daemon with one pass, then time *passes* more.
 
     Returns ``(seconds, stats)`` where *stats* is the server's final counter
     snapshot.  The timed passes are what a client re-verifying a corpus
     against a running daemon experiences: verdict-cache hits over an
-    already-hot session pool.
+    already-hot session pool.  With ``best_of > 1`` the timed block repeats
+    and the fastest repetition wins (damps scheduler noise for the
+    overhead comparison).  Extra keyword arguments extend the
+    :class:`ServerConfig` (e.g. ``log_path=...`` for the observability leg).
     """
-    with ServerThread(ServerConfig(port=0, workers=2)) as handle:
+    with ServerThread(ServerConfig(port=0, workers=2, **config_kwargs)) as handle:
         with ServerClient(handle.address) as client:
             warmup = client.run_jobs(jobs, timeout=120.0)
             assert all(outcome.status == JobStatus.OK for outcome in warmup)
-            started = time.perf_counter()
-            for _ in range(passes):
-                results = client.run_jobs(jobs, timeout=120.0)
-                assert all(outcome.status == JobStatus.OK for outcome in results)
-            elapsed = time.perf_counter() - started
+            best = None
+            for _ in range(max(1, best_of)):
+                started = time.perf_counter()
+                for _ in range(passes):
+                    results = client.run_jobs(jobs, timeout=120.0)
+                    assert all(outcome.status == JobStatus.OK for outcome in results)
+                elapsed = time.perf_counter() - started
+                best = elapsed if best is None else min(best, elapsed)
             stats = client.stats()
-    return elapsed, stats
+    return best, stats
+
+
+def time_observed_warm_server(jobs, passes: int = 1, best_of: int = 1, full: bool = False):
+    """Like :func:`time_warm_server` with the observability surface on.
+
+    The default is the production configuration the ``<= 5%`` gate holds:
+    ``--log FILE`` at its default info level (one access-log style
+    completion event per check).  ``full=True`` is the heavier diagnostic setup —
+    debug-level logging plus a zero slow threshold capturing every request
+    into the ring — reported for context, not gated (capturing *every*
+    request as "slow" is a smoke-test posture, not an operating point).
+    """
+    kwargs = {"log_level": "debug", "slow_threshold": 0.0} if full else {"log_level": "info"}
+    with tempfile.TemporaryDirectory(prefix="eqcheck-bench-obs-") as directory:
+        return time_warm_server(
+            jobs,
+            passes=passes,
+            best_of=best_of,
+            log_path=os.path.join(directory, "requests.jsonl"),
+            **kwargs,
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -136,6 +171,19 @@ def bench_e11_warm_server_pass(benchmark, jobs):
     _seconds, stats = run_once(benchmark, warm, rounds=2)
     assert stats["cache_hits"] >= len(jobs)  # the timed pass never re-checked
     benchmark.extra_info["cache_hit_rate"] = stats["cache_hit_rate"]
+
+
+def bench_e11_observability_overhead(benchmark, jobs):
+    """Warm pass with the full observability surface on; must stay ~free."""
+
+    def observed():
+        return time_observed_warm_server(jobs, passes=1, full=True)
+
+    _seconds, stats = run_once(benchmark, observed, rounds=2)
+    assert stats["request_log"]["events_written"] > 0
+    assert stats["request_log"]["degraded"] is False
+    assert stats["slow"]["captured"] > 0
+    benchmark.extra_info["log_events"] = stats["request_log"]["events_written"]
 
 
 def bench_e11_concurrent_clients(benchmark, jobs):
@@ -182,6 +230,89 @@ def _smoke() -> int:
     print(f"speedup     : {speedup:.2f}x  (threshold {SPEEDUP_THRESHOLD}x)")
     if speedup < SPEEDUP_THRESHOLD:
         print("FAIL: warm-server speedup below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def _timed_block(client, jobs, passes: int) -> float:
+    started = time.perf_counter()
+    for _ in range(passes):
+        results = client.run_jobs(jobs, timeout=120.0)
+        assert all(outcome.status == JobStatus.OK for outcome in results)
+    return time.perf_counter() - started
+
+
+def _overhead(passes: int = 4, reps: int = 25) -> int:
+    """CI gate: production logging must cost <= 5% warm-pass throughput.
+
+    Three daemons (bare, info-level log, debug log + capture-everything)
+    stay alive side by side and the timed blocks *interleave* across them
+    for *reps* rounds.  Each round yields one *paired* ratio — its blocks
+    run back-to-back within tens of milliseconds, so clock drift and
+    scheduler weather hit numerator and denominator alike — and the gate
+    holds the median ratio across rounds, which shrugs off the occasional
+    round a background task lands on.  Sequential unpaired measurement
+    (time all of A, then all of B) lets that same drift masquerade as
+    instrumentation cost.  The gated configuration is the one operators
+    run (``--log FILE``, info level); the debug + slow-capture diagnostic
+    setup is printed for context only.
+    """
+    jobs = corpus_jobs()
+    with tempfile.TemporaryDirectory(prefix="eqcheck-bench-obs-") as directory:
+        configs = {
+            "base": ServerConfig(port=0, workers=2),
+            "info": ServerConfig(
+                port=0, workers=2,
+                log_path=os.path.join(directory, "info.jsonl"), log_level="info",
+            ),
+            "full": ServerConfig(
+                port=0, workers=2,
+                log_path=os.path.join(directory, "debug.jsonl"), log_level="debug",
+                slow_threshold=0.0,
+            ),
+        }
+        with contextlib.ExitStack() as stack:
+            clients = {}
+            for key, config in configs.items():
+                handle = stack.enter_context(ServerThread(config))
+                clients[key] = stack.enter_context(ServerClient(handle.address))
+            for client in clients.values():
+                warmup = client.run_jobs(jobs, timeout=120.0)
+                assert all(outcome.status == JobStatus.OK for outcome in warmup)
+            rounds = {key: [] for key in clients}
+            for _ in range(max(1, reps)):
+                for key, client in clients.items():
+                    rounds[key].append(_timed_block(client, jobs, passes))
+            info_stats = clients["info"].stats()
+            full_stats = clients["full"].stats()
+    ratio = statistics.median(
+        info / base for info, base in zip(rounds["info"], rounds["base"])
+    )
+    full_ratio = statistics.median(
+        full / base for full, base in zip(rounds["full"], rounds["base"])
+    )
+    log_stats = info_stats["request_log"]
+    print(
+        f"corpus        : {len(jobs)} kernel pair(s), {passes} warm pass(es) per block, "
+        f"median of {reps} interleaved paired round(s)"
+    )
+    print(f"baseline      : {min(rounds['base']):.3f} s best block  (histograms only)")
+    print(
+        f"observed      : {min(rounds['info']):.3f} s best block  "
+        f"({log_stats['events_written']} log event(s) at info level)"
+    )
+    print(
+        f"diagnostic    : {full_ratio:.3f}x  "
+        f"({full_stats['request_log']['events_written']} event(s) at debug, "
+        f"{full_stats['slow']['captured']} slow capture(s); context, not gated)"
+    )
+    print(f"overhead      : {ratio:.3f}x  (threshold {OVERHEAD_THRESHOLD}x)")
+    if log_stats["degraded"]:
+        print("FAIL: request log degraded to stderr during the run", file=sys.stderr)
+        return 1
+    if ratio > OVERHEAD_THRESHOLD:
+        print("FAIL: observability overhead above threshold", file=sys.stderr)
         return 1
     print("OK")
     return 0
@@ -245,6 +376,9 @@ def _main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="run the CI speedup gate")
     parser.add_argument("--soak", action="store_true", help="run the sustained-load soak")
+    parser.add_argument(
+        "--overhead", action="store_true", help="run the observability overhead gate"
+    )
     parser.add_argument("--duration", type=float, default=10.0, help="soak duration (s)")
     parser.add_argument("--clients", type=int, default=4, help="concurrent soak clients")
     args = parser.parse_args(argv)
@@ -252,6 +386,8 @@ def _main(argv) -> int:
         return _smoke()
     if args.soak:
         return _soak(args.duration, args.clients)
+    if args.overhead:
+        return _overhead()
     print(__doc__)
     print("run under pytest for the full benchmark suite, or pass --smoke / --soak")
     return 2

@@ -11,8 +11,11 @@ Usage::
     repro-eqcheck fuzz --seed 0 --pairs 50 --report fuzz_report.jsonl
     repro-eqcheck fuzz --smoke
     repro-eqcheck serve --port 8571 --workers 2 --cache-dir .eqcheck_cache
+    repro-eqcheck serve --log server.jsonl --slow-threshold 5
     repro-eqcheck check original.c transformed.c --server 127.0.0.1:8571
     repro-eqcheck batch --kernel all --server 127.0.0.1:8571
+    repro-eqcheck stats 127.0.0.1:8571
+    repro-eqcheck stats --prom --watch 5
 
     repro-eqcheck original.c transformed.c          # legacy spelling of `check`
 
@@ -83,7 +86,7 @@ from .verifier import CheckObserver, CheckOptions, Verifier
 
 __all__ = ["main", "build_arg_parser", "build_cli_parser", "checker_options_from_args"]
 
-_SUBCOMMANDS = ("check", "diagnose", "batch", "fuzz", "serve")
+_SUBCOMMANDS = ("check", "diagnose", "batch", "fuzz", "serve", "stats")
 
 _DESCRIPTION = (
     "Functional equivalence checker for array-intensive programs related by "
@@ -406,6 +409,78 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist the Presburger operation cache under DIR so warm "
         "state survives server restarts (default: in-memory only)",
     )
+    observability = parser.add_argument_group("observability")
+    observability.add_argument(
+        "--log",
+        metavar="FILE",
+        default=None,
+        dest="log_path",
+        help="append one structured JSON event per line (connects, requests, "
+        "verdicts) to FILE; see docs/observability.md for the schema",
+    )
+    observability.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum event level written to --log (default: info; debug adds "
+        "connect/disconnect and non-check requests)",
+    )
+    observability.add_argument(
+        "--log-max-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        metavar="N",
+        help="rotate the request log (FILE -> FILE.1) when it would exceed "
+        "N bytes (default: 32 MiB)",
+    )
+    observability.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="capture a self-contained record of every check slower than "
+        "SECONDS into the in-memory slow ring (0 captures everything; "
+        "default: disabled)",
+    )
+    observability.add_argument(
+        "--slow-capacity",
+        type=int,
+        default=32,
+        metavar="N",
+        help="slow-request ring size; oldest records are evicted (default: 32)",
+    )
+
+
+def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "server",
+        nargs="?",
+        default="127.0.0.1:8571",
+        metavar="ADDR",
+        help="server address, HOST:PORT or unix:PATH (default: 127.0.0.1:8571)",
+    )
+    parser.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the snapshot in Prometheus text exposition format 0.0.4",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON snapshot instead of the human summary",
+    )
+    parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="also fetch and print the captured slow-request records",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS over one connection until interrupted",
+    )
 
 
 def _add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
@@ -555,6 +630,17 @@ def build_cli_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_serve_arguments(serve)
+    stats = subparsers.add_parser(
+        "stats",
+        help="inspect a running server: deep counters, latency histograms, "
+        "Prometheus exposition, slow requests",
+        description=(
+            "Fetch a running server's observability snapshot and render it as "
+            "a human summary (default), raw JSON (--json), or Prometheus text "
+            "exposition (--prom, ready for a scrape job or textfile collector)."
+        ),
+    )
+    _add_stats_arguments(stats)
     return parser
 
 
@@ -645,18 +731,29 @@ def _check_on_server(args: argparse.Namespace, original_source: str, transformed
     if args.dump_addg:
         print("error: --dump-addg is not available with --server", file=sys.stderr)
         return 2
+    from . import telemetry
+
     job = VerificationJob(
         name=args.original,
         original_source=original_source,
         transformed_source=transformed_source,
         options=checker_options_from_args(args),
     )
+    # When the run is traced (--trace wraps this via _run_with_telemetry),
+    # ask the daemon for its spans too and merge them into our timeline: the
+    # exported trace then shows client wait and server work side by side,
+    # keyed by pid.
+    want_trace = telemetry.TRACER.enabled
     try:
         with ServerClient(args.server) as client:
-            outcome = client.check_job(job, timeout=args.timeout)
+            with telemetry.TRACER.span("client.request", "server", server=args.server):
+                outcome = client.check_job(job, timeout=args.timeout, trace=want_trace)
     except (ServerError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if want_trace and getattr(outcome, "telemetry", None):
+        telemetry.ingest_spans(outcome.telemetry.get("spans") or ())
+        outcome.telemetry = None
     if outcome.status != JobStatus.OK or outcome.result is None:
         print(
             f"error: server check {outcome.status}: {outcome.error or 'no result'}",
@@ -841,13 +938,30 @@ def _run_batch_on_server(args: argparse.Namespace, jobs) -> int:
     if error_code is not None:
         return error_code
 
+    from . import telemetry
+
+    want_trace = telemetry.TRACER.enabled
+    base_progress = _make_progress(report_handle, args.quiet, _batch_format_line)
+
+    def progress(outcome) -> None:
+        # Fold each job's server-side spans into the client tracer as results
+        # stream in, then drop the transient payload so reports stay lean.
+        if want_trace and getattr(outcome, "telemetry", None):
+            telemetry.ingest_spans(outcome.telemetry.get("spans") or ())
+            outcome.telemetry = None
+        base_progress(outcome)
+
     try:
         with ServerClient(args.server) as client:
-            results = client.run_jobs(
-                jobs,
-                timeout=args.timeout,
-                progress=_make_progress(report_handle, args.quiet, _batch_format_line),
-            )
+            with telemetry.TRACER.span(
+                "client.batch", "server", server=args.server, jobs=len(jobs)
+            ):
+                results = client.run_jobs(
+                    jobs,
+                    timeout=args.timeout,
+                    progress=progress,
+                    trace=want_trace,
+                )
             server_stats = client.stats()
     except (ServerError, ValueError, OSError) as error:
         print(f"error: server batch failed: {error}", file=sys.stderr)
@@ -1144,6 +1258,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         smt_solver=args.smt_solver,
         persist_dir=args.persist_dir,
+        log_path=args.log_path,
+        log_level=args.log_level,
+        log_max_bytes=args.log_max_bytes,
+        slow_threshold=args.slow_threshold,
+        slow_capacity=max(1, args.slow_capacity),
     )
 
     def ready(server) -> None:
@@ -1156,6 +1275,48 @@ def _run_serve(args: argparse.Namespace) -> int:
     try:
         run_server(config, ready=ready)
     except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The `stats` subcommand: fetch and render a live server's snapshot."""
+    import json
+    import time
+
+    from .server import ServerClient, ServerError
+    from .service.report import format_server_snapshot
+
+    def render(client) -> None:
+        if args.prom:
+            envelope = client.stats(format="prometheus")
+            sys.stdout.write(envelope.get("text") or "")
+            sys.stdout.flush()
+            return
+        snapshot = client.stats(slow=args.slow)
+        if args.json:
+            print(json.dumps(snapshot, sort_keys=True, default=str))
+            return
+        print(format_server_snapshot(snapshot))
+        if args.slow:
+            records = (snapshot.get("slow") or {}).get("records") or []
+            if not records:
+                print("slow requests: none captured")
+            for record in records:
+                print(json.dumps(record, sort_keys=True, default=str))
+
+    try:
+        with ServerClient(args.server) as client:
+            while True:
+                render(client)
+                if not args.watch:
+                    break
+                time.sleep(max(0.1, args.watch))
+                print(f"--- {time.strftime('%H:%M:%S')} ---")
+    except KeyboardInterrupt:
+        return 0
+    except (ServerError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return 0
@@ -1226,6 +1387,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_with_telemetry(args, _run_diagnose)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "stats":
+            return _run_stats(args)
         return _run_with_telemetry(args, _run_check)
     args = build_arg_parser().parse_args(argv)
     return _run_with_telemetry(args, _run_check)

@@ -152,8 +152,21 @@ class ServerClient:
     def ping(self) -> Dict[str, Any]:
         return self.request("ping")
 
-    def stats(self) -> Dict[str, Any]:
-        return self.request("stats")
+    def stats(
+        self, format: Optional[str] = None, slow: bool = False
+    ) -> Dict[str, Any]:
+        """The server's deep observability snapshot.
+
+        ``format="prometheus"`` returns the exposition-text envelope
+        (``{"format": ..., "content_type": ..., "text": ...}``); ``slow``
+        embeds the captured slow-request records under ``slow.records``.
+        """
+        params: Dict[str, Any] = {}
+        if format is not None:
+            params["format"] = format
+        if slow:
+            params["slow"] = True
+        return self.request("stats", params or None)
 
     def reset(self) -> Dict[str, Any]:
         return self.request("reset")
@@ -161,12 +174,36 @@ class ServerClient:
     def shutdown(self) -> Dict[str, Any]:
         return self.request("shutdown")
 
-    def check_job(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
-        """Run one job on the server; returns the reconstructed result."""
+    @staticmethod
+    def _reconstruct(payload: Dict[str, Any], trace: bool) -> JobResult:
+        """Rebuild a JobResult, rescuing the server's span shipment first.
+
+        ``JobResult.from_dict`` reads only the fields it knows, so the
+        response's ``trace`` block (server-side ``SpanRecord`` dicts plus
+        the daemon pid) would silently vanish; it is re-attached on the
+        transient ``telemetry`` field for the caller to ingest.
+        """
+        outcome = JobResult.from_dict(payload)
+        if trace and isinstance(payload.get("trace"), dict):
+            outcome.telemetry = payload["trace"]
+        return outcome
+
+    def check_job(
+        self, job: VerificationJob, timeout: Optional[float] = None, trace: bool = False
+    ) -> JobResult:
+        """Run one job on the server; returns the reconstructed result.
+
+        With *trace* the server records the check under a per-request root
+        span and ships its finished spans back; they land on the returned
+        result's transient ``telemetry`` field (``{"spans": [...], "pid":
+        N}``), ready for :func:`repro.telemetry.ingest_spans`.
+        """
         params: Dict[str, Any] = {"job": job.to_dict()}
         if timeout is not None:
             params["timeout"] = timeout
-        return JobResult.from_dict(self.request("check", params))
+        if trace:
+            params["trace"] = True
+        return self._reconstruct(self.request("check", params), trace)
 
     def run_jobs(
         self,
@@ -174,13 +211,15 @@ class ServerClient:
         timeout: Optional[float] = None,
         window: int = 8,
         progress: Optional[Callable[[JobResult], None]] = None,
+        trace: bool = False,
     ) -> List[JobResult]:
         """Pipeline *jobs* over this connection; results in input order.
 
         Keeps up to *window* requests in flight (stay at or below the
         server's per-client budget or the excess is rejected), reading
         responses — which may complete out of order — as they arrive.
-        *progress* fires per completion, in completion order.
+        *progress* fires per completion, in completion order.  *trace*
+        requests server-side spans per job, as in :meth:`check_job`.
         """
         jobs = list(jobs)
         results: List[Optional[JobResult]] = [None] * len(jobs)
@@ -192,6 +231,8 @@ class ServerClient:
                 params: Dict[str, Any] = {"job": jobs[sent].to_dict()}
                 if timeout is not None:
                     params["timeout"] = timeout
+                if trace:
+                    params["trace"] = True
                 index_of[self._send_request("check", params)] = sent
                 sent += 1
                 outstanding += 1
@@ -202,7 +243,7 @@ class ServerClient:
             index = index_of.pop(response.get("id"), None)
             if index is None:
                 raise ServerError("protocol", f"unsolicited response id {response.get('id')!r}")
-            outcome = JobResult.from_dict(self._unwrap(response))
+            outcome = self._reconstruct(self._unwrap(response), trace)
             results[index] = outcome
             if progress is not None:
                 progress(outcome)

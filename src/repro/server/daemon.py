@@ -43,8 +43,18 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..service.cache import ResultCache
+from ..service.fingerprint import job_fingerprint
 from ..service.job import VerificationJob
-from ..telemetry import METRICS, TRACER
+from ..service.report import SERVER_SNAPSHOT_VERSION
+from ..telemetry import (
+    METRICS,
+    TRACER,
+    Histogram,
+    RequestLogger,
+    SlowRequestRing,
+    render_server_snapshot,
+)
+from ..telemetry.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from . import protocol
 from .pool import JobDispatcher, WarmVerifierPool
 
@@ -76,6 +86,13 @@ class ServerConfig:
     # Directory of the persistent Presburger op-cache shared by the pool's
     # worker threads (None: in-memory warm state only).
     persist_dir: Optional[str] = None
+    # Observability (docs/observability.md, "Operating the server"): the
+    # structured JSONL request log and the bounded slow-request capture.
+    log_path: Optional[str] = None
+    log_level: str = "info"
+    log_max_bytes: int = 32 * 1024 * 1024
+    slow_threshold: Optional[float] = None
+    slow_capacity: int = 32
 
     def build_cache(self) -> Optional[ResultCache]:
         """The verdict cache this config describes (memory-only by default)."""
@@ -118,6 +135,29 @@ class VerificationServer:
         self._shutdown_event: Optional[asyncio.Event] = None
         self.draining = False
         self._started_monotonic = time.monotonic()
+        self.request_log: Optional[RequestLogger] = (
+            RequestLogger(
+                self.config.log_path,
+                level=self.config.log_level,
+                max_bytes=self.config.log_max_bytes,
+            )
+            if self.config.log_path
+            else None
+        )
+        self.slow_requests = SlowRequestRing(self.config.slow_capacity)
+        # Always-on request/check latency histograms: unlike the opt-in
+        # METRICS registry these must be observable through `stats` on any
+        # daemon, telemetry flags or not.  Observed only from the event-loop
+        # thread, so no lock is needed.
+        self.request_latency = Histogram("request_seconds")
+        self.check_latency = Histogram("check_seconds")
+        # Per-request trace propagation: while >=1 traced check is in
+        # flight the process-wide tracer is enabled; when we flipped it on
+        # ourselves we also turn it off (and drop the buffer) once the last
+        # traced request finishes, so untraced traffic never accumulates
+        # spans unboundedly.
+        self._traced_inflight = 0
+        self._owns_tracer = False
 
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
@@ -182,6 +222,8 @@ class VerificationServer:
                 break
             await asyncio.wait(pending, timeout=remaining)
         self.pool.close()
+        if self.request_log is not None:
+            self.request_log.close()
         if self.config.unix_socket and os.path.exists(self.config.unix_socket):
             try:
                 os.remove(self.config.unix_socket)
@@ -194,6 +236,7 @@ class VerificationServer:
         ctx = _ClientContext(str(peername))
         self._connections += 1
         METRICS.inc("server.connections")
+        self._log_event("connect", peer=ctx.peer, connections=self._connections)
         try:
             while True:
                 try:
@@ -207,8 +250,13 @@ class VerificationServer:
                 except asyncio.LimitOverrunError:
                     # The stream cannot be re-synchronised past an oversized
                     # frame; answer once, then hang up this connection.
-                    self.pool.stats.rejected += 1
+                    self.pool.stats.inc("rejected")
                     METRICS.inc("server.frames_too_large")
+                    self._log_event(
+                        "request_rejected",
+                        peer=ctx.peer,
+                        code=protocol.ERROR_FRAME_TOO_LARGE,
+                    )
                     await self._send(
                         ctx,
                         writer,
@@ -228,6 +276,7 @@ class VerificationServer:
                 task.add_done_callback(self._request_tasks.discard)
         finally:
             self._connections -= 1
+            self._log_event("disconnect", peer=ctx.peer, connections=self._connections)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -249,7 +298,7 @@ class VerificationServer:
 
     async def _serve_frame(self, ctx: _ClientContext, writer: asyncio.StreamWriter, line: bytes) -> None:
         """Decode, dispatch and answer one frame; never lets an error escape."""
-        self.pool.stats.requests += 1
+        self.pool.stats.inc("requests")
         METRICS.inc("server.requests")
         METRICS.set("server.inflight", self.dispatcher.inflight)
         request_id: Any = None
@@ -258,28 +307,104 @@ class VerificationServer:
             request_id = payload.get("id")
             request_id, method, params = protocol.validate_request(payload)
         except protocol.ProtocolError as error:
-            self.pool.stats.rejected += 1
+            self.pool.stats.inc("rejected")
+            self._log_event(
+                "request_rejected", request=request_id, peer=ctx.peer, code=error.code
+            )
             await self._send(ctx, writer, protocol.error_response(request_id, error.code, error.message))
             return
-        with TRACER.span("server.request", "server", method=method):
+        traced = method == "check" and bool(params.get("trace"))
+        if traced:
+            self._begin_request_trace()
+        mark = TRACER.mark() if traced else 0
+        started = time.perf_counter()
+        error_code: Optional[str] = None
+        with TRACER.span("server.request", "server", method=method, request=request_id):
             try:
                 response = await self._dispatch(ctx, request_id, method, params)
             except protocol.ProtocolError as error:
-                self.pool.stats.rejected += 1
+                self.pool.stats.inc("rejected")
+                error_code = error.code
                 response = protocol.error_response(request_id, error.code, error.message)
             except asyncio.CancelledError:
                 # Drain timeout hit while this request was still running:
                 # tell the client rather than vanish.
+                error_code = protocol.ERROR_SHUTTING_DOWN
                 response = protocol.error_response(
                     request_id, protocol.ERROR_SHUTTING_DOWN, "server shut down before completion"
                 )
             except Exception as error:  # the queue must never wedge
-                self.pool.stats.errors += 1
+                self.pool.stats.inc("errors")
                 METRICS.inc("server.internal_errors")
+                error_code = protocol.ERROR_INTERNAL
                 response = protocol.error_response(
                     request_id, protocol.ERROR_INTERNAL, f"{type(error).__name__}: {error}"
                 )
+        wall = time.perf_counter() - started
+        self.request_latency.observe(wall)
+        if traced:
+            self._finish_request_trace(mark, request_id, response)
+        if error_code is not None:
+            self._log_event(
+                "request_rejected",
+                level="error" if error_code == protocol.ERROR_INTERNAL else None,
+                request=request_id,
+                peer=ctx.peer,
+                method=method,
+                code=error_code,
+                wall_seconds=round(wall, 6),
+            )
+        elif method != "check":
+            # check requests log their own richer completion event inside
+            # _serve_check, where the outcome is in scope.
+            self._log_event(
+                "request_completed",
+                level="debug",
+                request=request_id,
+                peer=ctx.peer,
+                method=method,
+                wall_seconds=round(wall, 6),
+            )
         await self._send(ctx, writer, response)
+
+    # ------------------------------------------------------------------ #
+    def _log_event(self, kind: str, level: Optional[str] = None, **fields: Any) -> None:
+        if self.request_log is not None:
+            self.request_log.emit(kind, level=level, **fields)
+
+    def _begin_request_trace(self) -> None:
+        self._traced_inflight += 1
+        if not TRACER.enabled:
+            TRACER.enabled = True
+            self._owns_tracer = True
+
+    def _finish_request_trace(self, mark: int, request_id: Any, response: Dict[str, Any]) -> None:
+        """Append this request's event-loop spans to the response and clean up.
+
+        The pool already attached the worker thread's spans (filtered by
+        thread id); here the root ``server.request`` span — identified by
+        its ``request`` arg, since concurrent requests interleave on the
+        loop thread — joins them, then the traced-inflight accounting winds
+        down (possibly disabling and clearing the tracer we enabled).
+        """
+        try:
+            own_tid = threading.get_ident()
+            root_spans = [
+                record.to_dict()
+                for record in TRACER.records_since(mark)
+                if record.tid == own_tid and record.args.get("request") == request_id
+            ]
+        finally:
+            self._traced_inflight -= 1
+            if self._traced_inflight == 0 and self._owns_tracer:
+                TRACER.enabled = False
+                self._owns_tracer = False
+                TRACER.clear()
+        result = response.get("result") if response.get("ok") else None
+        if isinstance(result, dict):
+            trace_block = result.setdefault("trace", {})
+            trace_block.setdefault("spans", []).extend(root_spans)
+            trace_block["pid"] = os.getpid()
 
     # ------------------------------------------------------------------ #
     async def _dispatch(self, ctx: _ClientContext, request_id: Any, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -290,13 +415,30 @@ class VerificationServer:
                     "pong": True,
                     "protocol_version": protocol.PROTOCOL_VERSION,
                     "uptime_seconds": time.monotonic() - self._started_monotonic,
+                    "pid": os.getpid(),
                     "draining": self.draining,
                 },
             )
         if method == "stats":
-            payload = self.pool.snapshot()
-            payload["inflight"] = self.dispatcher.inflight
-            payload["draining"] = self.draining
+            payload = self.snapshot()
+            if params.get("slow"):
+                payload["slow"]["records"] = self.slow_requests.snapshot()
+            fmt = params.get("format")
+            if fmt == "prometheus":
+                metric_rows = METRICS.snapshot() if METRICS.enabled else None
+                return protocol.ok_response(
+                    request_id,
+                    {
+                        "format": "prometheus",
+                        "content_type": _PROM_CONTENT_TYPE,
+                        "text": render_server_snapshot(payload, metric_rows=metric_rows),
+                    },
+                )
+            if fmt not in (None, "json"):
+                raise protocol.ProtocolError(
+                    protocol.ERROR_INVALID_REQUEST,
+                    f"unknown stats format {fmt!r}; expected 'json' or 'prometheus'",
+                )
             return protocol.ok_response(request_id, payload)
         if method == "reset":
             self.pool.reset()
@@ -341,13 +483,141 @@ class VerificationServer:
             )
         if self.config.max_timeout is not None:
             timeout = min(timeout, self.config.max_timeout) if timeout else self.config.max_timeout
+        trace_requested = bool(params.get("trace"))
+        # Fingerprint once, on the event loop: the accepted log event, the
+        # dispatcher's dedup key and the pool's cache front all reuse it
+        # (hashing two whole programs costs ~1 ms — recomputing it per layer
+        # was the bulk of the observability overhead).
+        job = self.pool.prepare_job(job)
+        fingerprint = job_fingerprint(job)
+        if self.request_log is not None and self.request_log.enabled_for("debug"):
+            self._log_event(
+                "request_accepted",
+                request=request_id,
+                peer=ctx.peer,
+                method="check",
+                job=job.name,
+                fingerprint=fingerprint,
+                trace=trace_requested or None,
+            )
         ctx.inflight += 1
         METRICS.set("server.queue_depth", self.dispatcher.inflight)
+        started = time.perf_counter()
         try:
-            outcome = await self.dispatcher.run(job, timeout)
+            outcome = await self.dispatcher.run(
+                job,
+                timeout,
+                collect_spans=trace_requested,
+                request_id=request_id,
+                fingerprint=fingerprint,
+            )
         finally:
             ctx.inflight -= 1
-        return protocol.ok_response(request_id, outcome.to_dict())
+        wall = time.perf_counter() - started
+        if not outcome.cache_hit and not outcome.metadata.get("deduplicated"):
+            self.check_latency.observe(wall)
+        if self.request_log is not None and self.request_log.enabled_for("info"):
+            # The per-phase breakdown is a debug-level detail: it nearly
+            # doubles the serialised record, and slow-request captures carry
+            # it regardless of log level.
+            check_stats = None
+            if self.request_log.enabled_for("debug") and outcome.result is not None:
+                check_stats = outcome.result.stats
+            self._log_event(
+                "request_completed",
+                request=request_id,
+                peer=ctx.peer,
+                method="check",
+                job=outcome.name,
+                fingerprint=outcome.fingerprint,
+                status=outcome.status,
+                verdict=outcome.equivalent,
+                dedup="follower" if outcome.metadata.get("deduplicated") else "leader",
+                cache="verdict" if outcome.cache_hit else "none",
+                wall_seconds=round(wall, 6),
+                elapsed_seconds=round(outcome.elapsed_seconds, 6),
+                phase_seconds=dict(check_stats.phase_seconds) if check_stats is not None and check_stats.phase_seconds else None,
+                error=outcome.error,
+            )
+        if self.config.slow_threshold is not None and wall >= self.config.slow_threshold:
+            self._capture_slow(request_id, job, outcome, wall)
+        result_payload = outcome.to_dict()
+        if trace_requested and outcome.telemetry:
+            # JobResult.to_dict deliberately drops the transient telemetry
+            # field; the shipped spans travel as a sibling `trace` block that
+            # _finish_request_trace tops up with the server root span.
+            result_payload["trace"] = {"spans": list(outcome.telemetry.get("spans") or ())}
+            outcome.telemetry = None
+        return protocol.ok_response(request_id, result_payload)
+
+    def _capture_slow(self, request_id: Any, job: VerificationJob, outcome, wall: float) -> None:
+        """Persist a self-contained slow-request record into the bounded ring."""
+        check_stats = outcome.result.stats if outcome.result is not None else None
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "request": request_id,
+            "job": job.name,
+            "fingerprint": outcome.fingerprint,
+            "status": outcome.status,
+            "verdict": outcome.equivalent,
+            "wall_seconds": wall,
+            "elapsed_seconds": outcome.elapsed_seconds,
+            "dedup": bool(outcome.metadata.get("deduplicated")),
+            "cache_hit": outcome.cache_hit,
+            "options": job.options.to_dict() if job.options is not None else None,
+            "error": outcome.error,
+        }
+        if check_stats is not None:
+            record["phase_seconds"] = dict(check_stats.phase_seconds)
+            record["frontend_seconds"] = check_stats.frontend_seconds
+            record["engine_seconds"] = check_stats.engine_seconds
+            record["opcache"] = {
+                "hits": check_stats.opcache_hits,
+                "misses": check_stats.opcache_misses,
+            }
+            record["solver_queries"] = dict(check_stats.solver_queries)
+        self.slow_requests.add(record)
+        self._log_event(
+            "request_slow",
+            request=request_id,
+            job=job.name,
+            fingerprint=outcome.fingerprint,
+            wall_seconds=round(wall, 6),
+            threshold_seconds=self.config.slow_threshold,
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The deep ``stats`` payload: one schema over every serving layer.
+
+        Extends :meth:`WarmVerifierPool.snapshot` (counters, caches,
+        opcache, solver queries) with the daemon's own view — identity
+        fields for fleet tooling (``pid``/``protocol_version``/
+        ``uptime_seconds``), live connection/in-flight gauges, the always-on
+        latency histograms and the slow-request/request-log summaries.
+        ``repro.telemetry.prom.render_server_snapshot`` renders exactly this
+        payload, and :func:`repro.service.report.format_server_snapshot`
+        pretty-prints it for ``repro-eqcheck stats``.
+        """
+        payload = self.pool.snapshot()
+        payload["schema_version"] = SERVER_SNAPSHOT_VERSION
+        payload["protocol_version"] = protocol.PROTOCOL_VERSION
+        payload["pid"] = os.getpid()
+        payload["uptime_seconds"] = time.monotonic() - self._started_monotonic
+        payload["inflight"] = self.dispatcher.inflight
+        payload["connections"] = self._connections
+        payload["draining"] = self.draining
+        payload["latency"] = {
+            "request_seconds": self.request_latency.snapshot(),
+            "check_seconds": self.check_latency.snapshot(),
+        }
+        payload["slow"] = {
+            "threshold_seconds": self.config.slow_threshold,
+            "capacity": self.slow_requests.capacity,
+            "captured": self.slow_requests.captured,
+            "held": len(self.slow_requests),
+        }
+        payload["request_log"] = self.request_log.stats() if self.request_log is not None else None
+        return payload
 
 
 async def _serve(config: ServerConfig, ready=None, install_signals: bool = True) -> None:

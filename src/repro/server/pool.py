@@ -41,11 +41,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from ..presburger import opcache
 from ..service.cache import ResultCache
 from ..service.executor import execute_job
 from ..service.fingerprint import job_fingerprint
 from ..service.job import JobResult, JobStatus, VerificationJob
-from ..telemetry import METRICS
+from ..telemetry import METRICS, TRACER, request_scope
 from ..verifier import CompiledProgram, Verifier
 from ..lang import parse_program
 
@@ -60,6 +61,14 @@ class ServerStats:
     :data:`repro.telemetry.METRICS` registry, which the pool mirrors into
     when enabled) so the ``stats`` RPC and the soak benchmark can always
     observe the server, telemetry flags or not.
+
+    Counters are mutated from two places at once — the asyncio event loop
+    (``requests``/``rejected``/``dedup_hits``/``errors``) and the pool's
+    worker threads (``cache_hits``/``checks_executed``/``timeouts``/
+    ``errors``) — so every update must go through :meth:`inc`, which takes
+    the same one-lock-per-increment approach as
+    :class:`repro.telemetry.metrics.Counter`.  Bare ``stats.field += 1``
+    read-modify-writes can drop increments under thread preemption.
     """
 
     requests: int = 0
@@ -73,6 +82,14 @@ class ServerStats:
     rejected: int = 0
     resets: int = 0
     started_at: float = field(default_factory=time.time)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically add *amount* to the counter *name*."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -80,20 +97,21 @@ class ServerStats:
         return self.cache_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
-            "requests": self.requests,
-            "checks_executed": self.checks_executed,
-            "dedup_hits": self.dedup_hits,
-            "cache_hits": self.cache_hits,
-            "cache_hit_rate": self.cache_hit_rate,
-            "compile_hits": self.compile_hits,
-            "compile_misses": self.compile_misses,
-            "errors": self.errors,
-            "timeouts": self.timeouts,
-            "rejected": self.rejected,
-            "resets": self.resets,
-            "uptime_seconds": time.time() - self.started_at,
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "checks_executed": self.checks_executed,
+                "dedup_hits": self.dedup_hits,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": self.cache_hit_rate,
+                "compile_hits": self.compile_hits,
+                "compile_misses": self.compile_misses,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "rejected": self.rejected,
+                "resets": self.resets,
+                "uptime_seconds": time.time() - self.started_at,
+            }
 
 
 class CompiledStore:
@@ -211,6 +229,8 @@ class WarmVerifierPool:
 
             opcache.attach_persistent(persist_dir)
         self.stats = ServerStats()
+        self.solver_queries: Dict[str, int] = {}
+        self._solver_lock = threading.Lock()
         self._threads = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="eqcheck-server"
         )
@@ -256,7 +276,14 @@ class WarmVerifierPool:
             return timeout
         return self.default_timeout
 
-    def run_job(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
+    def run_job(
+        self,
+        job: VerificationJob,
+        timeout: Optional[float] = None,
+        collect_spans: bool = False,
+        request_id: Optional[Any] = None,
+        fingerprint: Optional[str] = None,
+    ) -> JobResult:
         """Execute one job warm, synchronously, in the calling thread.
 
         Cache front first; a miss runs the check through this thread's
@@ -264,12 +291,26 @@ class WarmVerifierPool:
         budget enforced by the signal-free timeout path.  Designed to be
         called from the pool's worker threads (via :meth:`submit`) but safe
         from any thread, including the main one.
+
+        *request_id* (the JSON-RPC id of the server request this job serves)
+        is bound as the thread's request scope, so the ``verifier.check``
+        root span — and any other request-aware instrumentation — tags
+        itself with it.  With *collect_spans* the finished spans this thread
+        recorded during the check are attached to the transient
+        ``outcome.telemetry`` field, for the daemon to ship back to the
+        client.  The collection filters by thread id rather than draining
+        the tracer, so concurrent traced requests on other workers never
+        steal (or lose) each other's spans.
         """
         job = self.prepare_job(job)
-        fingerprint = job_fingerprint(job)
+        if fingerprint is None:
+            # Hashing a job is ~1 ms (two whole programs through SHA-256);
+            # callers that already fingerprinted — the dispatcher does, for
+            # its dedup key — pass it down instead of paying again.
+            fingerprint = job_fingerprint(job)
         cached = self.cache.get(fingerprint) if self.cache is not None else None
         if cached is not None:
-            self.stats.cache_hits += 1
+            self.stats.inc("cache_hits")
             METRICS.inc("server.cache_hits")
             return JobResult(
                 name=job.name,
@@ -285,31 +326,55 @@ class WarmVerifierPool:
 
         def warm_run():
             session = self._session()
-            original = self.compiled.get_or_compile(job.original_source)
-            transformed = self.compiled.get_or_compile(job.transformed_source)
-            return session.check(original, transformed, options=job.options)
+            with request_scope(request_id):
+                original = self.compiled.get_or_compile(job.original_source)
+                transformed = self.compiled.get_or_compile(job.transformed_source)
+                return session.check(original, transformed, options=job.options)
 
+        mark = TRACER.mark() if collect_spans and TRACER.enabled else None
         outcome = execute_job(
             job, self.effective_timeout(job, timeout), fingerprint, run=warm_run
         )
-        self.stats.checks_executed += 1
+        if mark is not None:
+            tid = threading.get_ident()
+            outcome.telemetry = {
+                "spans": [
+                    record.to_dict()
+                    for record in TRACER.records_since(mark)
+                    if record.tid == tid
+                ]
+            }
+        self.stats.inc("checks_executed")
         METRICS.inc("server.checks_executed")
         if outcome.status == JobStatus.TIMEOUT:
-            self.stats.timeouts += 1
+            self.stats.inc("timeouts")
             METRICS.inc("server.timeouts")
         elif outcome.status == JobStatus.ERROR:
-            self.stats.errors += 1
+            self.stats.inc("errors")
             METRICS.inc("server.check_errors")
         elif self.cache is not None and outcome.result is not None:
             try:
                 self.cache.put(fingerprint, outcome.result)
             except OSError:
                 self.cache.stats.store_errors += 1
+        if outcome.result is not None and outcome.result.stats.solver_queries:
+            with self._solver_lock:
+                for kind, count in outcome.result.stats.solver_queries.items():
+                    self.solver_queries[kind] = self.solver_queries.get(kind, 0) + count
         return outcome
 
-    def submit(self, job: VerificationJob, timeout: Optional[float] = None):
+    def submit(
+        self,
+        job: VerificationJob,
+        timeout: Optional[float] = None,
+        collect_spans: bool = False,
+        request_id: Optional[Any] = None,
+        fingerprint: Optional[str] = None,
+    ):
         """Queue *job* on the worker threads; returns a concurrent future."""
-        return self._threads.submit(self.run_job, job, timeout)
+        return self._threads.submit(
+            self.run_job, job, timeout, collect_spans, request_id, fingerprint
+        )
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
@@ -325,16 +390,33 @@ class WarmVerifierPool:
             self.compiled.clear()
             if self.cache is not None:
                 self.cache.clear()
-            self.stats.resets += 1
+            self.stats.inc("resets")
 
     def snapshot(self) -> Dict[str, Any]:
-        """The ``stats`` RPC payload: counters plus warm-state population."""
+        """The warm-state half of the ``stats`` RPC payload.
+
+        Counters plus pool/session/compiled-store occupancy, verdict-cache
+        hit rates, the process-wide Presburger opcache (memory + disk tier)
+        and the accumulated per-kind solver-backend query counts.  The
+        daemon layers its own serving-side fields on top — see
+        :meth:`repro.server.daemon.VerificationServer.snapshot`.
+        """
         self.stats.compile_hits = self.compiled.hits
         self.stats.compile_misses = self.compiled.misses
         payload = self.stats.as_dict()
         payload["compiled_store"] = self.compiled.stats()
         payload["verdict_cache"] = self.cache.stats.as_dict() if self.cache is not None else None
         payload["workers"] = self.workers
+        payload["session_entries"] = self.session_entries
+        payload["opcache"] = opcache.stats().as_dict()
+        store = opcache.persistent_store()
+        payload["persist"] = {
+            "attached": store is not None,
+            "path": getattr(store, "path", None),
+            "disabled": bool(getattr(store, "disabled", False)) if store is not None else None,
+        }
+        with self._solver_lock:
+            payload["solver_queries"] = dict(self.solver_queries)
         return payload
 
     def close(self) -> None:
@@ -359,14 +441,22 @@ class JobDispatcher:
     def inflight(self) -> int:
         return len(self._inflight)
 
-    async def run(self, job: VerificationJob, timeout: Optional[float] = None) -> JobResult:
+    async def run(
+        self,
+        job: VerificationJob,
+        timeout: Optional[float] = None,
+        collect_spans: bool = False,
+        request_id: Optional[Any] = None,
+        fingerprint: Optional[str] = None,
+    ) -> JobResult:
         loop = asyncio.get_running_loop()
         job = self.pool.prepare_job(job)
-        fingerprint = job_fingerprint(job)
+        if fingerprint is None:
+            fingerprint = job_fingerprint(job)
         key = (fingerprint, self.pool.effective_timeout(job, timeout))
         leader = self._inflight.get(key)
         if leader is not None:
-            self.pool.stats.dedup_hits += 1
+            self.pool.stats.inc("dedup_hits")
             METRICS.inc("server.dedup_hits")
             # shield(): a follower whose client vanished must not cancel the
             # leader out from under every other waiter.
@@ -374,7 +464,9 @@ class JobDispatcher:
             return self._follower_result(job, outcome)
 
         async def lead() -> JobResult:
-            return await asyncio.wrap_future(self.pool.submit(job, timeout))
+            return await asyncio.wrap_future(
+                self.pool.submit(job, timeout, collect_spans, request_id, fingerprint)
+            )
 
         task = loop.create_task(lead())
         self._inflight[key] = task

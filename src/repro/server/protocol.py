@@ -19,16 +19,26 @@ Response frame (exactly one per request)::
 Methods (see ``docs/server.md`` for the full schema):
 
 ``ping``
-    Liveness probe; returns the protocol version and server uptime.
+    Liveness probe; returns ``protocol_version``, ``uptime_seconds`` and
+    ``pid`` (so fleet tooling can detect restarts), plus ``draining``.
 ``check``
     Run one equivalence check.  ``params.job`` is the
     :meth:`repro.service.job.VerificationJob.to_dict` schema (the same one
     JSON job files use); ``params.timeout`` is this request's wall-clock
     budget in seconds.  The result is the
-    :meth:`repro.service.job.JobResult.to_dict` form.
+    :meth:`repro.service.job.JobResult.to_dict` form.  With
+    ``params.trace: true`` the server runs the check under a per-request
+    root span tagged with the request id and attaches the finished
+    server-side span records to the result as ``trace: {"spans": [...],
+    "pid": N}``, so the client can merge them into its own timeline.
 ``stats``
-    The server's counters and gauges (requests, dedup hits, verdict-cache
-    and compile-store hit rates, in-flight depth).
+    The server's deep observability snapshot (versioned by
+    ``schema_version``): lifetime counters, pool/compiled-store/verdict-
+    cache occupancy, opcache + persistent-tier counters, solver-backend
+    query counts, latency histograms and the slow-request summary.
+    ``params.format: "prometheus"`` returns ``{"format": "prometheus",
+    "content_type": ..., "text": ...}`` in exposition format 0.0.4 instead;
+    ``params.slow: true`` embeds the captured slow-request records.
 ``reset``
     Drop all warm state: verdict cache, compiled artifacts, sessions.
 ``shutdown``

@@ -24,7 +24,9 @@ from .cache import CacheStats
 from .job import JobResult, JobStatus
 
 __all__ = [
+    "SERVER_SNAPSHOT_VERSION",
     "aggregate_results",
+    "format_server_snapshot",
     "scenario_summary",
     "write_report",
     "write_result_row",
@@ -33,6 +35,15 @@ __all__ = [
     "format_summary",
     "percentile",
 ]
+
+#: Version of the server's deep ``stats`` snapshot schema, carried in the
+#: payload as ``schema_version`` so fleet tooling can detect shape changes.
+#: The schema is produced by
+#: :meth:`repro.server.daemon.VerificationServer.snapshot`, rendered to
+#: Prometheus text by :func:`repro.telemetry.prom.render_server_snapshot`
+#: and pretty-printed by :func:`format_server_snapshot` — bump this when any
+#: of the three would disagree about a field.
+SERVER_SNAPSHOT_VERSION = 1
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -478,4 +489,89 @@ def format_summary(summary: Dict[str, Any]) -> str:
         )
     if summary["failed_jobs"]:
         lines.append("failed jobs : " + ", ".join(summary["failed_jobs"]))
+    return "\n".join(lines)
+
+
+def _format_latency(name: str, snapshot: Optional[Dict[str, Any]]) -> Optional[str]:
+    if not snapshot or not snapshot.get("count"):
+        return None
+    return (
+        f"{name} n={snapshot['count']} "
+        f"mean={snapshot.get('mean', 0.0):.4f}s max={snapshot.get('max', 0.0):.4f}s"
+    )
+
+
+def format_server_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable rendering of the server's deep ``stats`` snapshot.
+
+    The display half of the shared snapshot schema (see
+    :data:`SERVER_SNAPSHOT_VERSION`): ``repro-eqcheck stats`` and its
+    ``--watch`` loop print exactly this.  Tolerant of missing keys so an
+    older or newer daemon still renders usefully.
+    """
+    lines: List[str] = []
+    lines.append(
+        f"server      : pid {snapshot.get('pid', '?')} · protocol v{snapshot.get('protocol_version', '?')}"
+        f" · up {snapshot.get('uptime_seconds', 0.0):.1f}s"
+        + (" · DRAINING" if snapshot.get("draining") else "")
+    )
+    lines.append(
+        f"requests    : {snapshot.get('requests', 0)} total, "
+        f"{snapshot.get('rejected', 0)} rejected, {snapshot.get('errors', 0)} errors, "
+        f"{snapshot.get('timeouts', 0)} timeouts | inflight {snapshot.get('inflight', 0)}, "
+        f"connections {snapshot.get('connections', 0)}, workers {snapshot.get('workers', '?')}"
+    )
+    hit_rate = snapshot.get("cache_hit_rate", 0.0) or 0.0
+    lines.append(
+        f"checks      : {snapshot.get('checks_executed', 0)} executed, "
+        f"{snapshot.get('cache_hits', 0)} verdict-cache hits ({hit_rate:.1%}), "
+        f"{snapshot.get('dedup_hits', 0)} dedup"
+    )
+    latency = snapshot.get("latency") or {}
+    latency_parts = [
+        part
+        for part in (
+            _format_latency("request", latency.get("request_seconds")),
+            _format_latency("check", latency.get("check_seconds")),
+        )
+        if part
+    ]
+    if latency_parts:
+        lines.append("latency     : " + " | ".join(latency_parts))
+    compiled = snapshot.get("compiled_store") or {}
+    if compiled:
+        lines.append(
+            f"compiled    : {compiled.get('entries', 0)} entries, "
+            f"{compiled.get('hits', 0)} hits / {compiled.get('misses', 0)} misses, "
+            f"{compiled.get('evictions', 0)} evictions"
+        )
+    opcache = snapshot.get("opcache") or {}
+    if opcache:
+        line = (
+            f"opcache     : {opcache.get('hits', 0)} hits / {opcache.get('misses', 0)} misses"
+        )
+        if opcache.get("disk_hits") or opcache.get("disk_writes"):
+            line += (
+                f" (disk: {opcache.get('disk_hits', 0)} hits, "
+                f"{opcache.get('disk_writes', 0)} writes)"
+            )
+        lines.append(line)
+    solver_queries = snapshot.get("solver_queries") or {}
+    if solver_queries:
+        parts = [f"{kind} {count}" for kind, count in sorted(solver_queries.items())]
+        lines.append("solvers     : " + ", ".join(parts))
+    slow = snapshot.get("slow") or {}
+    if slow.get("threshold_seconds") is not None:
+        lines.append(
+            f"slow        : {slow.get('captured', 0)} captured over "
+            f"{slow.get('threshold_seconds')}s (holding {slow.get('held', 0)}"
+            f"/{slow.get('capacity', 0)})"
+        )
+    request_log = snapshot.get("request_log")
+    if request_log:
+        state = "DEGRADED to stderr" if request_log.get("degraded") else request_log.get("path")
+        lines.append(
+            f"log         : {state}, {request_log.get('events_written', 0)} events"
+            f" ({request_log.get('events_dropped', 0)} below level)"
+        )
     return "\n".join(lines)

@@ -10,7 +10,12 @@ disabled by default, and pay-for-what-you-use**:
   across the ``ProcessPoolExecutor`` boundary);
 * :mod:`repro.telemetry.metrics` — a counter / gauge / histogram registry;
 * :mod:`repro.telemetry.export` — Chrome trace-event JSON (loadable in
-  Perfetto), JSONL metrics dumps, and human-readable per-phase summaries.
+  Perfetto), JSONL metrics dumps, and human-readable per-phase summaries;
+* :mod:`repro.telemetry.live` — serving-side observability: the structured
+  JSONL request log, the bounded slow-request ring and the request-scoped
+  span-tagging context used by ``repro-eqcheck serve``;
+* :mod:`repro.telemetry.prom` — Prometheus text exposition (format 0.0.4)
+  over the metrics snapshots and the server's deep ``stats`` payload.
 
 Quickstart (the CLI flags ``--trace FILE`` / ``--metrics FILE`` do exactly
 this around a check)::
@@ -48,6 +53,14 @@ from .export import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from .live import (
+    RequestLogger,
+    SlowRequestRing,
+    current_request,
+    request_scope,
+    set_current_request,
+)
+from .prom import render_metric_rows, render_server_snapshot
 
 __all__ = [
     "TRACER",
@@ -59,6 +72,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestLogger",
+    "SlowRequestRing",
     "TelemetrySnapshot",
     "enable",
     "disable",
@@ -71,7 +86,12 @@ __all__ = [
     "reset",
     "aggregate_phase_seconds",
     "chrome_trace",
+    "current_request",
     "format_phase_summary",
+    "render_metric_rows",
+    "render_server_snapshot",
+    "request_scope",
+    "set_current_request",
     "write_chrome_trace",
     "write_metrics_jsonl",
     "delta_counters",

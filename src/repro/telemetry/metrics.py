@@ -26,23 +26,33 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS", "delta
 
 
 class Counter:
-    """A monotonically increasing event counter."""
+    """A monotonically increasing event counter.
 
-    __slots__ = ("name", "value")
+    ``inc`` is thread-safe: counters are shared between the asyncio event
+    loop and pool worker threads in the verification server, where a bare
+    ``value += amount`` read-modify-write can drop increments under
+    preemption.  One short critical section per increment keeps the counter
+    exact; reads of ``value`` are single attribute loads and need no lock.
+    :class:`repro.server.pool.ServerStats` follows the same pattern.
+    """
+
+    __slots__ = ("name", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": self.kind, "name": self.name, "value": self.value}
 
     def merge(self, data: Dict[str, Any]) -> None:
-        self.value += int(data.get("value", 0))
+        self.inc(int(data.get("value", 0)))
 
 
 class Gauge:

@@ -45,6 +45,7 @@ from ..telemetry import (
     TRACER,
     TelemetrySnapshot,
     aggregate_phase_seconds,
+    current_request,
     delta_counters,
 )
 from .events import CheckObserver, _Broadcast
@@ -234,7 +235,13 @@ class Verifier:
             return result
         mark = TRACER.mark()
         counters_before = METRICS.counters() if METRICS.enabled else {}
-        with TRACER.span("verifier.check", "verifier"):
+        with TRACER.span("verifier.check", "verifier") as check_span:
+            # When the check runs under a server request, tag the root span
+            # with the request id so a merged cross-process trace can be
+            # joined back to the daemon's request log (repro.telemetry.live).
+            request = current_request()
+            if request is not None:
+                check_span.set(request=request)
             result = self._check_impl(original, transformed, resolved, broadcast)
         self._finish_telemetry(broadcast, result, mark, counters_before)
         return result
@@ -357,9 +364,12 @@ class Verifier:
             return result
         mark = TRACER.mark()
         counters_before = METRICS.counters() if METRICS.enabled else {}
-        with TRACER.span("verifier.check_addgs", "verifier"), TRACER.span(
+        with TRACER.span("verifier.check_addgs", "verifier") as check_span, TRACER.span(
             "engine.traverse", "engine"
         ):
+            request = current_request()
+            if request is not None:
+                check_span.set(request=request)
             result = _traverse_with_backend(original, transformed, resolved, broadcast)
         self._finish_telemetry(broadcast, result, mark, counters_before)
         return result

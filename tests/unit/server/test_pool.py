@@ -181,7 +181,7 @@ def run_pair_through_dispatcher(job_a, request_a, job_b, request_b, outcome_for=
     executions = []
     gate = threading.Event()
 
-    def fake_run_job(job, timeout=None):
+    def fake_run_job(job, timeout=None, collect_spans=False, request_id=None, fingerprint=None):
         executions.append((job.name, timeout))
         assert gate.wait(10), "gate never opened"
         if outcome_for is not None:
@@ -272,7 +272,7 @@ class TestDispatcherDedup:
 
     def test_inflight_table_empties_after_completion(self):
         pool = WarmVerifierPool(workers=1)
-        pool.run_job = lambda job, timeout=None: JobResult(name=job.name, status=JobStatus.OK)
+        pool.run_job = lambda job, timeout=None, *a, **k: JobResult(name=job.name, status=JobStatus.OK)
         dispatcher = JobDispatcher(pool)
         try:
             asyncio.run(dispatcher.run(make_job()))

@@ -1,0 +1,237 @@
+"""Unit tests for :mod:`repro.telemetry.live`.
+
+The structured request log (one JSON object per line, level filtering,
+size-based rotation, degrade-to-stderr on IO failure), the bounded
+slow-request ring, and the thread-local request-id scope the server uses to
+tag verifier spans.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.telemetry.live import (
+    DEFAULT_EVENT_LEVELS,
+    EVENT_KINDS,
+    LOG_LEVELS,
+    RequestLogger,
+    SlowRequestRing,
+    current_request,
+    iter_jsonl,
+    request_scope,
+    set_current_request,
+)
+
+
+class TestRequestLogger:
+    def test_emits_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="debug")
+        logger.emit("request_accepted", request=1, method="check", fingerprint="abc")
+        logger.emit("request_completed", request=1, verdict=True, wall_seconds=0.25)
+        logger.close()
+        rows = list(iter_jsonl(path))
+        assert [row["event"] for row in rows] == ["request_accepted", "request_completed"]
+        assert rows[0]["fingerprint"] == "abc"
+        assert rows[1]["verdict"] is True
+        # every row carries its level and a timestamp
+        assert all(row["level"] in LOG_LEVELS for row in rows)
+        assert all(isinstance(row["ts"], float) for row in rows)
+
+    def test_level_filter_drops_debug_events_at_info(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="info")
+        # the info-level log is completion-based: lifecycle chatter
+        # (connect, accepted) is debug detail
+        assert DEFAULT_EVENT_LEVELS["connect"] == "debug"
+        assert DEFAULT_EVENT_LEVELS["request_accepted"] == "debug"
+        logger.emit("connect", peer="x")  # below the sink level
+        logger.emit("request_accepted", request=1)  # likewise
+        logger.emit("request_completed", request=1)
+        logger.close()
+        rows = list(iter_jsonl(path))
+        assert [row["event"] for row in rows] == ["request_completed"]
+        assert logger.events_written == 1
+        assert logger.events_dropped == 2
+
+    def test_explicit_level_overrides_the_event_default(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="warning")
+        logger.emit("request_completed", request=1)  # info by default: dropped
+        logger.emit("request_completed", request=2, level="error")  # promoted: kept
+        logger.close()
+        rows = list(iter_jsonl(path))
+        assert [row["request"] for row in rows] == [2]
+        assert rows[0]["level"] == "error"
+
+    def test_invalid_level_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestLogger(str(tmp_path / "x.jsonl"), level="loud")
+
+    def test_none_valued_fields_are_dropped(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path)
+        logger.emit("request_completed", request=1, verdict=None, error=None)
+        logger.emit(
+            "request_completed",
+            request=2,
+            error='boom: "quoted"\nwith a newline',
+            elapsed_seconds=0.125,
+            unicode_name="kérnel",
+        )
+        logger.close()
+        first, second = iter_jsonl(path)
+        assert "verdict" not in first and "error" not in first
+        # awkward values (quotes, newlines, non-ASCII) round-trip intact
+        assert second["error"] == 'boom: "quoted"\nwith a newline'
+        assert second["elapsed_seconds"] == 0.125
+        assert second["unicode_name"] == "kérnel"
+
+    def test_rotation_keeps_one_predecessor(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="debug", max_bytes=1024)  # the enforced minimum
+        for index in range(64):
+            logger.emit("request_accepted", request=index, padding="x" * 64)
+        logger.close()
+        assert os.path.exists(path + ".1")
+        # both generations hold valid JSONL and nothing was lost beyond the
+        # rotated-away generations
+        current = list(iter_jsonl(path))
+        previous = list(iter_jsonl(path + ".1"))
+        assert current and previous
+        assert logger.events_written == 64
+        # the retained tail is contiguous and ends with the last event
+        retained = previous + current
+        requests = [row["request"] for row in retained]
+        assert requests == list(range(requests[0], 64))
+
+    def test_degrades_to_stderr_on_io_error(self, tmp_path, capsys):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="debug")
+        logger.emit("request_accepted", request=1)
+        assert logger.flush()
+        # Simulate the disk going away mid-flight: further writes must not
+        # raise, and events continue to stderr.
+        logger._handle.close()
+        logger.emit("request_accepted", request=2)
+        assert logger.flush()
+        assert logger.degraded
+        logger.emit("request_accepted", request=3)
+        logger.close()
+        err = capsys.readouterr().err
+        assert '"request": 2' in err.replace('"request":2', '"request": 2')
+        assert '"request": 3' in err.replace('"request":3', '"request": 3')
+        stats = logger.stats()
+        assert stats["degraded"] is True
+
+    def test_stats_shape(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="debug")
+        logger.emit("connect", peer="p")
+        stats = logger.stats()
+        assert stats == {
+            "path": path,
+            "level": "debug",
+            "degraded": False,
+            "events_written": 1,
+            "events_dropped": 0,
+        }
+        logger.close()
+
+    def test_event_kinds_have_default_levels(self):
+        assert set(EVENT_KINDS) == set(DEFAULT_EVENT_LEVELS)
+
+    def test_flush_returns_with_everything_on_disk(self, tmp_path):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path, level="debug")
+        for request in range(50):
+            logger.emit("request_accepted", request=request)
+        assert logger.flush()
+        # Everything emitted before flush() returned is on disk already,
+        # without closing the logger.
+        rows = list(iter_jsonl(path))
+        assert [row["request"] for row in rows] == list(range(50))
+        logger.close()
+
+    def test_emit_after_close_degrades_to_stderr(self, tmp_path, capsys):
+        path = str(tmp_path / "req.jsonl")
+        logger = RequestLogger(path)
+        logger.close()
+        # A straggler event during teardown must neither raise nor vanish.
+        logger.emit("request_completed", peer="late")
+        err = capsys.readouterr().err
+        assert '"late"' in err
+        assert logger.stats()["events_written"] == 1
+
+
+class TestSlowRequestRing:
+    def test_bounded_and_fifo(self):
+        ring = SlowRequestRing(capacity=3)
+        for index in range(5):
+            ring.add({"request": index})
+        assert len(ring) == 3
+        assert [record["request"] for record in ring.snapshot()] == [2, 3, 4]
+        assert ring.captured == 5  # lifetime count survives eviction
+
+    def test_snapshot_is_a_copy(self):
+        ring = SlowRequestRing(capacity=2)
+        ring.add({"request": 0})
+        snapshot = ring.snapshot()
+        snapshot.append({"request": "bogus"})
+        assert len(ring.snapshot()) == 1
+
+    def test_clear(self):
+        ring = SlowRequestRing(capacity=2)
+        ring.add({"request": 0})
+        ring.clear()
+        assert len(ring) == 0 and ring.snapshot() == []
+
+
+class TestRequestScope:
+    def test_scope_sets_and_restores(self):
+        assert current_request() is None
+        with request_scope(7):
+            assert current_request() == 7
+            with request_scope(8):
+                assert current_request() == 8
+            assert current_request() == 7
+        assert current_request() is None
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["other"] = current_request()
+
+        with request_scope("mine"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_set_current_request_direct(self):
+        set_current_request("abc")
+        try:
+            assert current_request() == "abc"
+        finally:
+            set_current_request(None)
+
+
+def test_iter_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "rows.jsonl"
+    path.write_text('{"a": 1}\n\n{"b": 2}\n', encoding="utf-8")
+    assert list(iter_jsonl(str(path))) == [{"a": 1}, {"b": 2}]
+
+
+def test_log_line_is_compact_json(tmp_path):
+    # One event must stay one line: embedded newlines in values are escaped
+    # by json.dumps, keeping the file greppable and streamable.
+    path = str(tmp_path / "req.jsonl")
+    logger = RequestLogger(path)
+    logger.emit("request_rejected", request=1, error="line one\nline two")
+    logger.close()
+    text = open(path, encoding="utf-8").read()
+    assert text.count("\n") == 1
+    assert json.loads(text)["error"] == "line one\nline two"

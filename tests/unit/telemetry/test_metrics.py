@@ -90,3 +90,78 @@ class TestDeltas:
         earlier = {"a": 2, "b": 5}
         later = {"a": 6, "b": 5, "c": 1}
         assert delta_counters(later, earlier) == {"a": 4, "c": 1}
+
+
+class TestHistogramEdgeCases:
+    def _histogram(self):
+        from repro.telemetry.metrics import Histogram
+
+        return Histogram("h")
+
+    def test_empty_snapshot(self):
+        snapshot = self._histogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["sum"] == 0
+        assert snapshot["buckets"] == {}
+        assert snapshot["min"] is None and snapshot["max"] is None
+        assert snapshot["mean"] == 0.0
+
+    def test_single_sample(self):
+        histogram = self._histogram()
+        histogram.observe(3.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["min"] == snapshot["max"] == snapshot["mean"] == 3.0
+        # 2 < 3 <= 4 = 2**2: magnitude bucket 2
+        assert snapshot["buckets"] == {"2": 1}
+
+    def test_all_equal_samples_share_one_bucket(self):
+        histogram = self._histogram()
+        for _ in range(10):
+            histogram.observe(0.25)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"0": 10}
+        assert snapshot["mean"] == 0.25
+
+    def test_overflow_clamps_to_max_bucket(self):
+        from repro.telemetry.metrics import Histogram
+
+        histogram = self._histogram()
+        histogram.observe(2.0 ** 80)  # way past 2**MAX_BUCKET
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {str(Histogram.MAX_BUCKET): 1}
+
+    def test_boundary_values_land_low(self):
+        # bucket k holds 2**(k-1) < |v| <= 2**k: an exact power of two stays
+        # in its own bucket, just past it moves up.
+        histogram = self._histogram()
+        histogram.observe(2.0)
+        histogram.observe(2.000001)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"1": 1, "2": 1}
+
+
+class TestCounterThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        # The server increments counters from worker threads while the event
+        # loop reads them; a bare `+=` loses updates under contention.
+        import threading
+
+        from repro.telemetry.metrics import Counter
+
+        counter = Counter("hammered")
+        threads = 8
+        per_thread = 2500
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread

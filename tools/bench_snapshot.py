@@ -180,6 +180,7 @@ def snapshot_service() -> dict:
     results = executor.run(jobs)
     total_seconds = time.perf_counter() - started
     summary = aggregate_results(results)
+    server, server_timing = _snapshot_service_server(jobs)
     return {
         "deterministic": {
             "spec": dict(SERVICE_SPEC),
@@ -190,12 +191,61 @@ def snapshot_service() -> dict:
             "expectation_mismatches": list(summary["expectation_mismatches"]),
             "opcache_hits": summary["opcache"]["hits"],
             "opcache_misses": summary["opcache"]["misses"],
+            "server": server,
         },
         "timing": {
             "total_seconds": round(total_seconds, 6),
             "mean_seconds_per_job": round(summary["timing"]["mean_seconds"], 6),
+            **server_timing,
         },
     }
+
+
+def _snapshot_service_server(jobs):
+    """The same corpus through a fully observed in-process daemon, twice.
+
+    One serial client, one worker, debug-level request log and a zero slow
+    threshold: every counter below is a pure function of the corpus, so the
+    block belongs in the drift-gated ``deterministic`` section.  The second
+    pass must be answered entirely from the verdict cache.
+    """
+    import collections
+    import tempfile
+
+    from repro.server import ServerClient, ServerConfig, ServerThread
+    from repro.telemetry.live import iter_jsonl
+
+    with tempfile.TemporaryDirectory(prefix="eqcheck-bench-snapshot-") as directory:
+        log_path = os.path.join(directory, "requests.jsonl")
+        config = ServerConfig(
+            port=0,
+            workers=1,
+            log_path=log_path,
+            log_level="debug",
+            slow_threshold=0.0,
+        )
+        with ServerThread(config) as handle:
+            with ServerClient(handle.address) as client:
+                client.run_jobs(jobs, timeout=120.0)
+                started = time.perf_counter()
+                client.run_jobs(jobs, timeout=120.0)
+                warm_seconds = time.perf_counter() - started
+                snap = client.stats()
+        kinds = collections.Counter(event["event"] for event in iter_jsonl(log_path))
+    server = {
+        "passes": 2,
+        "requests": snap["requests"],
+        "checks_executed": snap["checks_executed"],
+        "verdict_cache_hits": snap["cache_hits"],
+        "dedup_hits": snap["dedup_hits"],
+        "errors": snap["errors"],
+        "rejected": snap["rejected"],
+        "session_entries": snap["session_entries"],
+        "slow_captured": snap["slow"]["captured"],
+        "log_events": dict(sorted(kinds.items())),
+    }
+    timing = {"server_warm_pass_seconds": round(warm_seconds, 6)}
+    return server, timing
 
 
 def snapshot_solvers() -> dict:

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4 with a small regex parser.
+
+This is the gate behind ``repro-eqcheck stats --prom`` in CI and in the unit
+tests: the server's exposition must stay parseable by a real scraper, so we
+check the things a scrape actually breaks on rather than re-implementing the
+whole grammar.
+
+Checked per line:
+
+- ``# HELP <name> <text>`` / ``# TYPE <name> <counter|gauge|histogram|
+  summary|untyped>`` comment shape;
+- metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+- label blocks parse (names, quoted values, only ``\\\\`` / ``\\n`` / ``\\"``
+  escapes);
+- sample values are floats, ``+Inf``, ``-Inf`` or ``NaN``.
+
+Checked per metric family:
+
+- at most one HELP and one TYPE line, and TYPE precedes every sample;
+- a family typed ``histogram`` carries a ``+Inf`` ``_bucket``, ``_sum`` and
+  ``_count``, and its cumulative bucket counts never decrease.
+
+Usage::
+
+    python tools/prom_lint.py [FILE]      # defaults to stdin
+
+Exit status: 0 when the exposition is clean, 1 otherwise (problems are
+listed on stderr).  Import :func:`validate` for programmatic use.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["validate", "main"]
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+VALUE = re.compile(r"(?:[+-]?Inf|NaN|[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\Z")
+HELP_LINE = re.compile(r"# HELP (\S+) ?(.*)\Z")
+TYPE_LINE = re.compile(r"# TYPE (\S+) (counter|gauge|histogram|summary|untyped)\Z")
+SAMPLE_LINE = re.compile(r"(\S+?)(\{.*\})? (\S+)( \d+)?\Z")
+
+#: The sample suffixes that belong to the family of a histogram/summary TYPE.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def _family_of(sample_name: str) -> str:
+    for suffix in FAMILY_SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _parse_labels(block: str) -> Optional[Dict[str, str]]:
+    """Parse ``{a="x",b="y"}`` (escapes included); None on malformed input."""
+    inner = block[1:-1]
+    labels: Dict[str, str] = {}
+    position = 0
+    while position < len(inner):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', inner[position:])
+        if not match:
+            return None
+        name = match.group(1)
+        position += match.end()
+        value_chars: List[str] = []
+        while position < len(inner):
+            char = inner[position]
+            if char == "\\":
+                if position + 1 >= len(inner) or inner[position + 1] not in ('\\', 'n', '"'):
+                    return None
+                value_chars.append(inner[position + 1])
+                position += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            position += 1
+        else:
+            return None
+        labels[name] = "".join(value_chars)
+        position += 1  # the closing quote
+        if position < len(inner):
+            if inner[position] != ",":
+                return None
+            position += 1
+    return labels
+
+
+def validate(text: str) -> List[str]:
+    """Return the list of format problems in *text* (empty when clean)."""
+    problems: List[str] = []
+    helped: Dict[str, int] = {}
+    typed: Dict[str, Tuple[int, str]] = {}
+    sampled: Dict[str, int] = {}
+    # histogram family -> list of (le, count) in file order, plus sum/count flags
+    histograms: Dict[str, Dict[str, object]] = {}
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_match = HELP_LINE.match(line)
+            type_match = TYPE_LINE.match(line)
+            if help_match:
+                name = help_match.group(1)
+                if not METRIC_NAME.match(name):
+                    problems.append(f"line {number}: invalid metric name in HELP: {name!r}")
+                if name in helped:
+                    problems.append(
+                        f"line {number}: duplicate HELP for {name} (first at line {helped[name]})"
+                    )
+                helped.setdefault(name, number)
+            elif type_match:
+                name, kind = type_match.group(1), type_match.group(2)
+                if not METRIC_NAME.match(name):
+                    problems.append(f"line {number}: invalid metric name in TYPE: {name!r}")
+                if name in typed:
+                    problems.append(
+                        f"line {number}: duplicate TYPE for {name} "
+                        f"(first at line {typed[name][0]})"
+                    )
+                elif name in sampled:
+                    problems.append(
+                        f"line {number}: TYPE for {name} after its first sample "
+                        f"(line {sampled[name]})"
+                    )
+                typed.setdefault(name, (number, kind))
+                if kind == "histogram":
+                    histograms.setdefault(
+                        name, {"buckets": [], "has_sum": False, "has_count": False}
+                    )
+            elif line.startswith("# HELP") or line.startswith("# TYPE"):
+                problems.append(f"line {number}: malformed comment: {line!r}")
+            continue
+
+        match = SAMPLE_LINE.match(line)
+        if not match:
+            problems.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        name, label_block, value = match.group(1), match.group(2), match.group(3)
+        if not METRIC_NAME.match(name):
+            problems.append(f"line {number}: invalid metric name: {name!r}")
+            continue
+        labels: Dict[str, str] = {}
+        if label_block:
+            parsed = _parse_labels(label_block)
+            if parsed is None:
+                problems.append(f"line {number}: malformed label block: {label_block!r}")
+                continue
+            labels = parsed
+            for label in labels:
+                if not LABEL_NAME.match(label) or label.startswith("__"):
+                    problems.append(f"line {number}: invalid label name: {label!r}")
+        if not VALUE.match(value):
+            problems.append(f"line {number}: invalid sample value: {value!r}")
+            continue
+        family = _family_of(name)
+        sampled.setdefault(name, number)
+        sampled.setdefault(family, number)
+        state = histograms.get(family)
+        if state is not None:
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    problems.append(f"line {number}: histogram bucket without an 'le' label")
+                else:
+                    state["buckets"].append((number, labels["le"], float(value)))
+            elif name == family + "_sum":
+                state["has_sum"] = True
+            elif name == family + "_count":
+                state["has_count"] = True
+
+    for family, state in sorted(histograms.items()):
+        buckets = state["buckets"]
+        if not buckets:
+            problems.append(f"histogram {family}: no _bucket samples")
+            continue
+        if not any(le == "+Inf" for _, le, _ in buckets):
+            problems.append(f"histogram {family}: missing the +Inf bucket")
+        if not state["has_sum"]:
+            problems.append(f"histogram {family}: missing {family}_sum")
+        if not state["has_count"]:
+            problems.append(f"histogram {family}: missing {family}_count")
+        previous = None
+        for number, le, count in buckets:
+            if previous is not None and count < previous:
+                problems.append(
+                    f"line {number}: histogram {family} bucket le={le} count {count} "
+                    f"is below the previous bucket ({previous}) — buckets must be cumulative"
+                )
+            previous = count
+
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) > 1:
+        print("usage: prom_lint.py [FILE]", file=sys.stderr)
+        return 2
+    if argv and argv[0] != "-":
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    problems = validate(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} exposition problem(s)", file=sys.stderr)
+        return 1
+    families = {line.split()[2] for line in text.splitlines() if line.startswith("# TYPE ")}
+    print(f"exposition ok: {len(families)} metric families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
